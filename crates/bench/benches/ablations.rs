@@ -1,0 +1,54 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Parameter staging** — fused on-chip staging vs the literal
+//!    §IV-A DRAM round trip.
+//! 2. **MAC vector width** — the Fig 10 "16 MACs is the sweet spot"
+//!    observation, as workload latency.
+//! 3. **Split accelerator** — ONE-SA vs a matrix-unit + dedicated-SFU
+//!    design on a CNN workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onesa_core::{split_accelerator_cycles, OneSa};
+use onesa_nn::workloads;
+use onesa_sim::{analytic, ArrayConfig, ParamStaging};
+
+fn bench_staging_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("staging");
+    for (label, staging) in
+        [("fused", ParamStaging::Fused), ("dram_roundtrip", ParamStaging::Dram)]
+    {
+        let mut cfg = ArrayConfig::new(8, 16);
+        cfg.staging = staging;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| analytic::nonlinear_stats(cfg, std::hint::black_box(256), 256).cycles())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mac_sweep(c: &mut Criterion) {
+    let w = workloads::bert_base(64);
+    let mut group = c.benchmark_group("bert_latency_by_macs");
+    for macs in [4usize, 8, 16, 32] {
+        let engine = OneSa::new(ArrayConfig::new(8, macs));
+        group.bench_with_input(BenchmarkId::from_parameter(macs), &engine, |b, engine| {
+            b.iter(|| engine.run_workload(std::hint::black_box(&w)).stats.cycles())
+        });
+    }
+    group.finish();
+}
+
+fn bench_split_vs_unified(c: &mut Criterion) {
+    let cfg = ArrayConfig::new(8, 16);
+    let engine = OneSa::new(cfg.clone());
+    let w = workloads::resnet50(224);
+    c.bench_function("unified_onesa_resnet", |b| {
+        b.iter(|| engine.run_workload(std::hint::black_box(&w)).stats.cycles())
+    });
+    c.bench_function("split_design_resnet", |b| {
+        b.iter(|| split_accelerator_cycles(&cfg, std::hint::black_box(&w), 16).total)
+    });
+}
+
+criterion_group!(benches, bench_staging_ablation, bench_mac_sweep, bench_split_vs_unified);
+criterion_main!(benches);

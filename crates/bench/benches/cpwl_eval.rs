@@ -1,0 +1,54 @@
+//! Criterion bench: CPWL table construction and evaluation — the
+//! scalar/tensor costs behind every Table III cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onesa_cpwl::ops::TableSet;
+use onesa_cpwl::{NonlinearFn, PwlTable};
+use onesa_tensor::rng::Pcg32;
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_build");
+    for g in [1.0f32, 0.25, 0.0625] {
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, &g| {
+            b.iter(|| {
+                PwlTable::builder(NonlinearFn::Gelu)
+                    .granularity(std::hint::black_box(g))
+                    .build()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tensor_eval(c: &mut Criterion) {
+    let table = PwlTable::builder(NonlinearFn::Gelu).granularity(0.25).build().unwrap();
+    let x = Pcg32::seed_from_u64(3).randn(&[256, 256], 2.0);
+    c.bench_function("gelu_tensor_eval_64k", |b| {
+        b.iter(|| table.eval_tensor(std::hint::black_box(&x)).unwrap())
+    });
+
+    let tables = TableSet::for_granularity(0.25).unwrap();
+    let logits = Pcg32::seed_from_u64(4).randn(&[128, 128], 2.0);
+    c.bench_function("softmax_lowered_128x128", |b| {
+        b.iter(|| tables.softmax_rows(std::hint::black_box(&logits)).unwrap())
+    });
+}
+
+fn bench_quantized_scalar(c: &mut Criterion) {
+    let table = PwlTable::builder(NonlinearFn::Sigmoid).granularity(0.25).build().unwrap();
+    let q = table.qformat();
+    let inputs: Vec<i16> = (-2000..2000).map(|i| q.from_f32(i as f32 * 0.004)).collect();
+    c.bench_function("sigmoid_int16_shift_path_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for &xq in std::hint::black_box(&inputs) {
+                acc += table.eval_q(xq) as i32;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_table_build, bench_tensor_eval, bench_quantized_scalar);
+criterion_main!(benches);

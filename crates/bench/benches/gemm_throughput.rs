@@ -1,0 +1,42 @@
+//! Criterion bench: GEMM on the event-driven array and through the
+//! analytic model (Fig 8(a) machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onesa_sim::array::SystolicArray;
+use onesa_sim::{analytic, ArrayConfig};
+use onesa_tensor::rng::Pcg32;
+
+fn bench_event_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_gemm_tile");
+    for (d, t) in [(4usize, 4usize), (8, 16)] {
+        let cfg = ArrayConfig::new(d, t);
+        let mut arr = SystolicArray::new(cfg);
+        let mut rng = Pcg32::seed_from_u64(1);
+        let a = rng.randn(&[d, 64], 1.0);
+        let b = rng.randn(&[64, d], 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{d}x{d}x{t}")), &(), |bch, _| {
+            bch.iter(|| arr.gemm_tile(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytic_sweep(c: &mut Criterion) {
+    c.bench_function("analytic_fig8a_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for d in [2usize, 4, 8, 16, 32] {
+                for t in [2usize, 4, 8, 16] {
+                    let cfg = ArrayConfig::new(d, t);
+                    for dims in [32usize, 128, 512] {
+                        acc += analytic::linear_gops(&cfg, std::hint::black_box(dims));
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_gemm, bench_analytic_sweep);
+criterion_main!(benches);

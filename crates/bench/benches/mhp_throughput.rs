@@ -1,0 +1,50 @@
+//! Criterion bench: Matrix Hadamard Product on the event-driven array
+//! and the full nonlinear pass through the analytic model (Fig 8(b)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onesa_sim::array::SystolicArray;
+use onesa_sim::{analytic, ArrayConfig};
+use onesa_tensor::rng::Pcg32;
+
+fn bench_event_mhp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_mhp_row_tile");
+    for (d, t) in [(4usize, 8usize), (8, 16)] {
+        let cfg = ArrayConfig::new(d, t);
+        let mut arr = SystolicArray::new(cfg);
+        let mut rng = Pcg32::seed_from_u64(2);
+        let x = rng.randn(&[d, 128], 1.0);
+        let k = rng.randn(&[d, 128], 1.0);
+        let b = rng.randn(&[d, 128], 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{d}x{t}")), &(), |bch, _| {
+            bch.iter(|| {
+                arr.mhp_row_tile(
+                    std::hint::black_box(&x),
+                    std::hint::black_box(&k),
+                    std::hint::black_box(&b),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytic_nonlinear(c: &mut Criterion) {
+    c.bench_function("analytic_fig8b_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for d in [2usize, 4, 8, 16, 32] {
+                for t in [2usize, 4, 8, 16] {
+                    let cfg = ArrayConfig::new(d, t);
+                    for dims in [32usize, 128, 512] {
+                        acc += analytic::nonlinear_gnfs(&cfg, std::hint::black_box(dims));
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_mhp, bench_analytic_nonlinear);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig1 (see onesa-bench lib docs).
+fn main() {
+    print!("{}", onesa_bench::fig1_report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig9 (see onesa-bench lib docs).
+fn main() {
+    print!("{}", onesa_bench::fig9_report());
+}

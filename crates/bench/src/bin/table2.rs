@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table2 (see onesa-bench lib docs).
+fn main() {
+    print!("{}", onesa_bench::table2_report());
+}

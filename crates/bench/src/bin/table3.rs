@@ -1,0 +1,6 @@
+//! Regenerates Table III (accuracy vs granularity). Pass `--quick` for a
+//! reduced run (CI-sized datasets and epochs).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", onesa_bench::table3_report(quick));
+}

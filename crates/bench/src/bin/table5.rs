@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table5 (see onesa-bench lib docs).
+fn main() {
+    print!("{}", onesa_bench::table5_report());
+}

@@ -1,0 +1,269 @@
+//! The [`OneSa`] engine.
+
+use crate::report::ExecutionReport;
+use onesa_cpwl::ops::TableSet;
+use onesa_cpwl::PwlTable;
+use onesa_nn::workloads::{Phase, Workload};
+use onesa_resources::array::ArrayResources;
+use onesa_resources::power::PowerModel;
+use onesa_resources::{Design, ModuleCost};
+use onesa_sim::{analytic, ArrayConfig, ExecStats};
+use onesa_tensor::{gemm, Result, Tensor};
+
+/// One ONE-SA instance: a configured array plus its cost and power
+/// models.
+#[derive(Debug, Clone)]
+pub struct OneSa {
+    cfg: ArrayConfig,
+    cost: ModuleCost,
+    power: PowerModel,
+}
+
+impl OneSa {
+    /// Builds the engine for an array configuration, deriving the FPGA
+    /// cost from the calibrated resource model.
+    pub fn new(cfg: ArrayConfig) -> Self {
+        let resources = ArrayResources::calibrated();
+        let cost = resources.total(Design::OneSa, cfg.dim, cfg.macs_per_pe);
+        OneSa { cfg, cost, power: PowerModel::virtex7() }
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    /// FPGA resource cost of this design point.
+    pub fn cost(&self) -> ModuleCost {
+        self.cost
+    }
+
+    /// Modelled power at a given utilization.
+    pub fn power_watts(&self, utilization: f64) -> f64 {
+        self.power.power_at_utilization(&self.cost, utilization)
+    }
+
+    // ---------- functional execution (values + cycles) ----------
+
+    /// Executes a GEMM: returns the product and its execution stats.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors as in [`onesa_tensor::gemm::matmul`].
+    pub fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<(Tensor, ExecStats)> {
+        let (m, k) = a.shape().as_matrix()?;
+        let (_, n) = b.shape().as_matrix()?;
+        let out = gemm::matmul(a, b)?;
+        Ok((out, analytic::gemm_stats(&self.cfg, m, k, n)))
+    }
+
+    /// Executes a pointwise nonlinear function through IPF + MHP.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from the underlying tensor ops.
+    pub fn nonlinear(&self, table: &PwlTable, x: &Tensor) -> Result<(Tensor, ExecStats)> {
+        let (m, n) = matrix_or_row(x);
+        let out = table.eval_tensor(x).map_err(unwrap_cpwl)?;
+        Ok((out, analytic::nonlinear_stats(&self.cfg, m, n)))
+    }
+
+    /// Executes a row-wise softmax via the paper's lowering (row max →
+    /// exp MHP → row-sum GEMM → reciprocal MHP → scale MHP).
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from the underlying tensor ops.
+    pub fn softmax_rows(&self, tables: &TableSet, x: &Tensor) -> Result<(Tensor, ExecStats)> {
+        let (m, n) = x.shape().as_matrix()?;
+        let out = tables.softmax_rows(x).map_err(unwrap_cpwl)?;
+        Ok((out, self.softmax_stats(m, n)))
+    }
+
+    /// Executes a row-wise layer norm via the paper's lowering.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from the underlying tensor ops.
+    pub fn layernorm_rows(
+        &self,
+        tables: &TableSet,
+        x: &Tensor,
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+    ) -> Result<(Tensor, ExecStats)> {
+        let (m, n) = x.shape().as_matrix()?;
+        let out = tables.layernorm_rows(x, gamma, beta, eps).map_err(unwrap_cpwl)?;
+        Ok((out, self.norm_stats(m, n)))
+    }
+
+    // ---------- cycle composition for lowered composite ops ----------
+
+    /// A bare MHP pass (no parameter fetch): used by the scale/center
+    /// steps of the composite lowerings.
+    fn mhp_stats(&self, m: usize, n: usize) -> ExecStats {
+        let e = (m * n) as u64;
+        ExecStats::new(&self.cfg, analytic::mhp_breakdown(&self.cfg, m, n), 2 * e, 0)
+    }
+
+    /// Softmax lowering cycles: exp (IPF+MHP) + row-sum GEMM +
+    /// reciprocal (IPF+MHP on the row vector) + scale MHP.
+    pub fn softmax_stats(&self, m: usize, n: usize) -> ExecStats {
+        let exp = analytic::nonlinear_stats(&self.cfg, m, n);
+        let rowsum = analytic::gemm_stats(&self.cfg, m, n, 1);
+        let recip = analytic::nonlinear_stats(&self.cfg, m, 1);
+        let scale = self.mhp_stats(m, n);
+        exp.merged(&rowsum).merged(&recip).merged(&scale)
+    }
+
+    /// Normalization lowering cycles: mean GEMM + center MHP + square
+    /// MHP + variance GEMM + rsqrt (IPF+MHP) + affine MHP.
+    pub fn norm_stats(&self, m: usize, n: usize) -> ExecStats {
+        let mean = analytic::gemm_stats(&self.cfg, m, n, 1);
+        let center = self.mhp_stats(m, n);
+        let square = self.mhp_stats(m, n);
+        let var = analytic::gemm_stats(&self.cfg, m, n, 1);
+        let rsqrt = analytic::nonlinear_stats(&self.cfg, m, 1);
+        let affine = self.mhp_stats(m, n);
+        mean.merged(&center).merged(&square).merged(&var).merged(&rsqrt).merged(&affine)
+    }
+
+    /// Stats for one workload phase.
+    pub fn phase_stats(&self, phase: &Phase) -> ExecStats {
+        match *phase {
+            Phase::Gemm { m, k, n } => analytic::gemm_stats(&self.cfg, m, k, n),
+            Phase::Pointwise { m, n, .. } => analytic::nonlinear_stats(&self.cfg, m, n),
+            Phase::Softmax { rows, cols } => self.softmax_stats(rows, cols),
+            Phase::Norm { rows, cols } => self.norm_stats(rows, cols),
+        }
+    }
+
+    /// Runs a whole workload and produces the Table IV-style report.
+    pub fn run_workload(&self, w: &Workload) -> ExecutionReport {
+        let mut stats: Option<ExecStats> = None;
+        for phase in &w.phases {
+            let s = self.phase_stats(phase);
+            stats = Some(match stats {
+                Some(acc) => acc.merged(&s),
+                None => s,
+            });
+        }
+        let stats = stats.unwrap_or_else(|| {
+            ExecStats::new(&self.cfg, onesa_sim::CycleBreakdown::default(), 0, 0)
+        });
+        let utilization = stats.utilization(&self.cfg);
+        ExecutionReport {
+            workload: w.name.clone(),
+            stats,
+            config: self.cfg.clone(),
+            cost: self.cost,
+            power_w: self.power.power_at_utilization(&self.cost, utilization),
+        }
+    }
+}
+
+impl Default for OneSa {
+    /// The paper's evaluation design point (64 PEs, 16 MACs each).
+    fn default() -> Self {
+        OneSa::new(ArrayConfig::default())
+    }
+}
+
+fn matrix_or_row(x: &Tensor) -> (usize, usize) {
+    match x.shape().as_matrix() {
+        Ok((m, n)) => (m, n),
+        Err(_) => (1, x.len()),
+    }
+}
+
+fn unwrap_cpwl(e: onesa_cpwl::CpwlError) -> onesa_tensor::TensorError {
+    match e {
+        onesa_cpwl::CpwlError::Tensor(t) => t,
+        other => onesa_tensor::TensorError::InvalidArgument(match other {
+            onesa_cpwl::CpwlError::InvalidGranularity(_) => "invalid granularity",
+            onesa_cpwl::CpwlError::InvalidRange { .. } => "invalid range",
+            _ => "cpwl table error",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesa_cpwl::NonlinearFn;
+    use onesa_nn::workloads;
+    use onesa_tensor::rng::Pcg32;
+    use onesa_tensor::stats;
+
+    #[test]
+    fn gemm_values_match_reference() {
+        let engine = OneSa::default();
+        let mut rng = Pcg32::seed_from_u64(1);
+        let a = rng.randn(&[20, 12], 1.0);
+        let b = rng.randn(&[12, 9], 1.0);
+        let (out, s) = engine.gemm(&a, &b).unwrap();
+        assert_eq!(out, gemm::matmul(&a, &b).unwrap());
+        assert_eq!(s.macs, 20 * 12 * 9);
+        assert!(s.cycles() > 0);
+    }
+
+    #[test]
+    fn nonlinear_values_match_table() {
+        let engine = OneSa::default();
+        let table = PwlTable::builder(NonlinearFn::Gelu).granularity(0.25).build().unwrap();
+        let x = Pcg32::seed_from_u64(2).randn(&[6, 10], 2.0);
+        let (out, s) = engine.nonlinear(&table, &x).unwrap();
+        assert_eq!(out, table.eval_tensor(&x).unwrap());
+        assert_eq!(s.nonlinear_evals, 60);
+    }
+
+    #[test]
+    fn softmax_values_match_tableset() {
+        let engine = OneSa::default();
+        let tables = TableSet::for_granularity(0.25).unwrap();
+        let x = Pcg32::seed_from_u64(3).randn(&[5, 8], 1.5);
+        let (out, s) = engine.softmax_rows(&tables, &x).unwrap();
+        let reference = tables.softmax_rows(&x).unwrap();
+        assert!(stats::max_abs_diff(out.as_slice(), reference.as_slice()) < 1e-6);
+        assert!(s.cycles() > 0);
+    }
+
+    #[test]
+    fn workload_reports_are_sane() {
+        let engine = OneSa::new(ArrayConfig::new(8, 16));
+        for w in workloads::table4_workloads() {
+            let r = engine.run_workload(&w);
+            assert!(r.latency_ms() > 0.1, "{}: {}", w.name, r.latency_ms());
+            assert!(r.gops() > 10.0, "{}: {}", w.name, r.gops());
+            assert!(r.gops() <= engine.config().peak_gops());
+            assert!(r.power_w > 0.25 && r.power_w < 10.0, "{}: {} W", w.name, r.power_w);
+        }
+    }
+
+    #[test]
+    fn onesa_beats_cpu_efficiency_on_all_families() {
+        // The paper's headline: ONE-SA efficiency ≫ general-purpose CPU.
+        let engine = OneSa::new(ArrayConfig::new(8, 16));
+        for w in workloads::table4_workloads() {
+            let r = engine.run_workload(&w);
+            let cpu = onesa_baselines::cpu_i7_11700();
+            let cpu_eff = cpu.gops_for(w.family).unwrap() / cpu.power_w;
+            assert!(
+                r.gops_per_watt() > cpu_eff,
+                "{}: onesa {} vs cpu {}",
+                w.name,
+                r.gops_per_watt(),
+                cpu_eff
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_arrays_are_faster_on_big_workloads() {
+        let small = OneSa::new(ArrayConfig::new(4, 16));
+        let big = OneSa::new(ArrayConfig::new(16, 16));
+        let w = workloads::bert_base(64);
+        assert!(big.run_workload(&w).latency_ms() < small.run_workload(&w).latency_ms());
+    }
+}

@@ -1,0 +1,37 @@
+//! The ONE-SA engine: one systolic array that executes *every* phase of a
+//! neural network — GEMMs natively, and nonlinear operations through
+//! capped piecewise linearization lowered to Intermediate Parameter
+//! Fetching + Matrix Hadamard Products.
+//!
+//! [`OneSa`] ties the repository together: it owns an array
+//! configuration ([`onesa_sim::ArrayConfig`]), its FPGA cost
+//! ([`onesa_resources`]) and power model, executes tensors *functionally*
+//! (producing real values, checked against the reference kernels) while
+//! accounting cycles, and lowers whole-network [`Workload`]s into
+//! execution reports — the machinery behind the paper's Fig 8, Fig 10
+//! and Table IV.
+//!
+//! # Example
+//!
+//! ```
+//! use onesa_core::OneSa;
+//! use onesa_sim::ArrayConfig;
+//! use onesa_nn::workloads;
+//!
+//! let engine = OneSa::new(ArrayConfig::new(8, 16)); // the paper's design point
+//! let report = engine.run_workload(&workloads::bert_base(64));
+//! assert!(report.latency_ms() > 0.0);
+//! assert!(report.gops() <= engine.config().peak_gops());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod flex;
+mod report;
+
+pub use engine::OneSa;
+pub use flex::split_accelerator_cycles;
+pub use onesa_nn::workloads::Workload;
+pub use report::ExecutionReport;

@@ -1,0 +1,104 @@
+//! Granularity selection.
+//!
+//! The paper notes that "one can choose a larger granularity for easier
+//! tasks but a smaller one for more difficult tasks" and suggests
+//! automated search (NAS) as future work. This module implements the
+//! simple, deterministic version: pick the **largest** granularity whose
+//! scalar approximation error stays within a budget — larger granularity
+//! means fewer segments, a smaller L3 preload and fewer capped lookups.
+
+use crate::analysis;
+use crate::{NonlinearFn, PwlTable, Result};
+
+/// Power-of-two granularities the L3 shift path supports, coarse→fine.
+pub const POW2_CANDIDATES: [f32; 7] = [2.0, 1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125];
+
+/// Picks the largest candidate granularity whose in-range max-abs error is
+/// at most `max_err` for `func`.
+///
+/// Returns `None` when even the finest candidate misses the budget.
+///
+/// # Errors
+///
+/// Propagates table-construction failures.
+///
+/// # Example
+///
+/// ```
+/// use onesa_cpwl::{granularity, NonlinearFn};
+///
+/// let g = granularity::largest_within(NonlinearFn::Gelu, 0.01, &granularity::POW2_CANDIDATES)?;
+/// assert_eq!(g, Some(0.25)); // GELU chord error at 0.25 is ≈ 0.008
+/// # Ok::<(), onesa_cpwl::CpwlError>(())
+/// ```
+pub fn largest_within(
+    func: NonlinearFn,
+    max_err: f32,
+    candidates: &[f32],
+) -> Result<Option<f32>> {
+    let mut sorted: Vec<f32> = candidates.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("granularities are finite"));
+    for g in sorted {
+        let table = PwlTable::builder(func).granularity(g).build()?;
+        if analysis::measure(&table, 2048).max_abs <= max_err {
+            return Ok(Some(g));
+        }
+    }
+    Ok(None)
+}
+
+/// Per-function granularity assignment for a whole network: every
+/// function gets the largest granularity meeting the shared budget.
+///
+/// # Errors
+///
+/// Propagates table-construction failures.
+pub fn assign(
+    funcs: &[NonlinearFn],
+    max_err: f32,
+    candidates: &[f32],
+) -> Result<Vec<(NonlinearFn, Option<f32>)>> {
+    funcs
+        .iter()
+        .map(|&f| Ok((f, largest_within(f, max_err, candidates)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tighter_budget_gives_finer_granularity() {
+        let loose = largest_within(NonlinearFn::Gelu, 0.1, &POW2_CANDIDATES).unwrap().unwrap();
+        let tight = largest_within(NonlinearFn::Gelu, 0.001, &POW2_CANDIDATES).unwrap().unwrap();
+        assert!(tight < loose, "{tight} !< {loose}");
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let g = largest_within(NonlinearFn::Exp, 1e-9, &POW2_CANDIDATES).unwrap();
+        assert_eq!(g, None);
+    }
+
+    #[test]
+    fn relu_accepts_coarsest() {
+        // ReLU is exactly representable, so the coarsest candidate wins.
+        let g = largest_within(NonlinearFn::Relu, 1e-6, &POW2_CANDIDATES).unwrap();
+        assert_eq!(g, Some(2.0));
+    }
+
+    #[test]
+    fn assign_covers_all_functions() {
+        let out = assign(
+            &[NonlinearFn::Gelu, NonlinearFn::Tanh, NonlinearFn::Sigmoid],
+            0.05,
+            &POW2_CANDIDATES,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        for (f, g) in out {
+            assert!(g.is_some(), "{f} found no granularity");
+        }
+    }
+}

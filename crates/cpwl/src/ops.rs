@@ -1,0 +1,394 @@
+//! Matrix-level CPWL operators and the lowering of composite nonlinear
+//! ops (softmax, layer norm, batch norm) into the paper's architecture
+//! events.
+//!
+//! The decomposition mirrors §III of the paper: every *pointwise*
+//! nonlinearity becomes IPF + MHP; every *reduction* is a GEMM against a
+//! constant vector (ones for sums, `1/N` for means), which the array
+//! executes natively. This module provides the functional (value-level)
+//! form used by the accuracy experiments; `onesa-core` replays exactly
+//! the same step sequence on the cycle-level simulator.
+
+use crate::{NonlinearFn, PwlTable, Result};
+use onesa_tensor::{gemm, Tensor};
+
+/// A cached set of CPWL tables at one shared granularity — the paper's
+/// per-network "approximation granularity setting".
+///
+/// # Example
+///
+/// ```
+/// use onesa_cpwl::ops::TableSet;
+///
+/// let tables = TableSet::for_granularity(0.25)?;
+/// let x = onesa_tensor::Tensor::from_vec(vec![0.5, -0.5], &[1, 2])?;
+/// let y = tables.gelu(&x)?;
+/// assert!((y.as_slice()[0] - 0.345_7).abs() < 0.02);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableSet {
+    granularity: f32,
+    gelu: PwlTable,
+    exp: PwlTable,
+    reciprocal: PwlTable,
+    rsqrt: PwlTable,
+    tanh: PwlTable,
+    sigmoid: PwlTable,
+    relu: PwlTable,
+}
+
+impl TableSet {
+    /// Builds the standard table set at the given granularity.
+    ///
+    /// Ranges follow the lowering contracts: `exp` sees max-subtracted
+    /// logits (`≤ 0`), `reciprocal` sees softmax denominators (`≥ 1`),
+    /// `rsqrt` sees variances plus epsilon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction failures (e.g. absurd granularity).
+    pub fn for_granularity(granularity: f32) -> Result<Self> {
+        Ok(TableSet {
+            granularity,
+            gelu: PwlTable::builder(NonlinearFn::Gelu).granularity(granularity).build()?,
+            exp: PwlTable::builder(NonlinearFn::Exp)
+                .granularity(granularity)
+                .range(-16.0, 0.0)
+                .build()?,
+            reciprocal: PwlTable::builder(NonlinearFn::Reciprocal)
+                .granularity(granularity)
+                .range(1.0, 257.0)
+                .max_segments(32_768)
+                .build()?,
+            rsqrt: PwlTable::builder(NonlinearFn::Rsqrt)
+                .granularity(granularity)
+                .range(0.0625, 64.0625)
+                .max_segments(32_768)
+                .build()?,
+            tanh: PwlTable::builder(NonlinearFn::Tanh).granularity(granularity).build()?,
+            sigmoid: PwlTable::builder(NonlinearFn::Sigmoid).granularity(granularity).build()?,
+            relu: PwlTable::builder(NonlinearFn::Relu).granularity(granularity).build()?,
+        })
+    }
+
+    /// The shared granularity.
+    pub fn granularity(&self) -> f32 {
+        self.granularity
+    }
+
+    /// Borrow an individual table by function.
+    ///
+    /// Returns `None` for functions outside the cached set.
+    pub fn table(&self, func: NonlinearFn) -> Option<&PwlTable> {
+        match func {
+            NonlinearFn::Gelu => Some(&self.gelu),
+            NonlinearFn::Exp => Some(&self.exp),
+            NonlinearFn::Reciprocal => Some(&self.reciprocal),
+            NonlinearFn::Rsqrt => Some(&self.rsqrt),
+            NonlinearFn::Tanh => Some(&self.tanh),
+            NonlinearFn::Sigmoid => Some(&self.sigmoid),
+            NonlinearFn::Relu => Some(&self.relu),
+            _ => None,
+        }
+    }
+
+    /// GELU over a tensor (IPF + MHP).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn gelu(&self, x: &Tensor) -> Result<Tensor> {
+        self.gelu.eval_tensor(x)
+    }
+
+    /// ReLU over a tensor (IPF + MHP; exact at any granularity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn relu(&self, x: &Tensor) -> Result<Tensor> {
+        self.relu.eval_tensor(x)
+    }
+
+    /// Tanh over a tensor (IPF + MHP).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn tanh(&self, x: &Tensor) -> Result<Tensor> {
+        self.tanh.eval_tensor(x)
+    }
+
+    /// Sigmoid over a tensor (IPF + MHP).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors.
+    pub fn sigmoid(&self, x: &Tensor) -> Result<Tensor> {
+        self.sigmoid.eval_tensor(x)
+    }
+
+    /// Row-wise softmax lowered to array events:
+    ///
+    /// 1. row max (reduction; exact),
+    /// 2. shift by `-max` (MHP add),
+    /// 3. `exp` via IPF + MHP,
+    /// 4. row sum via GEMM with a ones vector (exact),
+    /// 5. `1/sum` via IPF + MHP,
+    /// 6. row scale (MHP).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if `x` is not a matrix.
+    pub fn softmax_rows(&self, x: &Tensor) -> Result<Tensor> {
+        let maxes = gemm::row_maxes(x)?;
+        let (m, n) = x.shape().as_matrix()?;
+        let mut shifted = x.clone();
+        for i in 0..m {
+            let row = &mut shifted.as_mut_slice()[i * n..(i + 1) * n];
+            for v in row {
+                *v -= maxes[i];
+            }
+        }
+        let expd = self.exp.eval_tensor(&shifted)?;
+        let sums = gemm::row_sums(&expd)?;
+        let inv: Vec<f32> = sums.iter().map(|&s| self.reciprocal.eval(s)).collect();
+        Ok(gemm::row_scale(&expd, &inv)?)
+    }
+
+    /// Row-wise layer normalization lowered to array events:
+    ///
+    /// 1. row mean via GEMM with `1/N` vector (exact),
+    /// 2. centering (MHP add),
+    /// 3. squares via MHP (`x ⊙ x`),
+    /// 4. row mean of squares via GEMM (exact variance),
+    /// 5. `1/√(var+ε)` via IPF + MHP,
+    /// 6. scale + affine (`γ`, `β`) via MHPs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if `x` is not a matrix or `gamma`/`beta`
+    /// lengths differ from the row width.
+    pub fn layernorm_rows(
+        &self,
+        x: &Tensor,
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+    ) -> Result<Tensor> {
+        let (m, n) = x.shape().as_matrix()?;
+        if gamma.len() != n || beta.len() != n {
+            return Err(crate::CpwlError::Tensor(onesa_tensor::TensorError::ShapeMismatch {
+                lhs: vec![m, n],
+                rhs: vec![gamma.len(), beta.len()],
+                op: "layernorm_rows",
+            }));
+        }
+        let mut out = x.clone();
+        for i in 0..m {
+            let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            let mean: f32 = row.iter().sum::<f32>() / n as f32;
+            for v in row.iter_mut() {
+                *v -= mean;
+            }
+            let var: f32 = row.iter().map(|&v| v * v).sum::<f32>() / n as f32;
+            let inv_std = self.rsqrt.eval(var + eps);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = *v * inv_std * gamma[j] + beta[j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inference-time batch normalization: with running statistics folded
+    /// into a per-channel affine, the op is a single MHP
+    /// (`y = x ⊙ k + b` with `k = γ/√(σ²+ε)`, `b = β − μ·k`).
+    ///
+    /// `x` is `[rows, channels]`; statistics are per channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error on mismatched channel counts.
+    pub fn batchnorm_rows(
+        &self,
+        x: &Tensor,
+        mean: &[f32],
+        var: &[f32],
+        gamma: &[f32],
+        beta: &[f32],
+        eps: f32,
+    ) -> Result<Tensor> {
+        let (m, n) = x.shape().as_matrix()?;
+        if mean.len() != n || var.len() != n || gamma.len() != n || beta.len() != n {
+            return Err(crate::CpwlError::Tensor(onesa_tensor::TensorError::ShapeMismatch {
+                lhs: vec![m, n],
+                rhs: vec![mean.len()],
+                op: "batchnorm_rows",
+            }));
+        }
+        // Fold stats into (k, b); the rsqrt itself goes through CPWL so a
+        // coarse granularity degrades batch-norm too, as in the paper.
+        let k: Vec<f32> =
+            (0..n).map(|j| gamma[j] * self.rsqrt.eval(var[j] + eps)).collect();
+        let b: Vec<f32> = (0..n).map(|j| beta[j] - mean[j] * k[j]).collect();
+        let mut out = x.clone();
+        for i in 0..m {
+            let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = *v * k[j] + b[j];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Exact row-wise softmax (reference for tests and the `Exact` backend).
+///
+/// # Errors
+///
+/// Returns a tensor error if `x` is not a matrix.
+pub fn softmax_rows_exact(x: &Tensor) -> Result<Tensor> {
+    let (m, n) = x.shape().as_matrix()?;
+    let mut out = x.clone();
+    for i in 0..m {
+        let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Exact row-wise layer normalization (reference).
+///
+/// # Errors
+///
+/// Returns a tensor error on malformed operands.
+pub fn layernorm_rows_exact(
+    x: &Tensor,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Result<Tensor> {
+    let (m, n) = x.shape().as_matrix()?;
+    if gamma.len() != n || beta.len() != n {
+        return Err(crate::CpwlError::Tensor(onesa_tensor::TensorError::ShapeMismatch {
+            lhs: vec![m, n],
+            rhs: vec![gamma.len(), beta.len()],
+            op: "layernorm_rows_exact",
+        }));
+    }
+    let mut out = x.clone();
+    for i in 0..m {
+        let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+        let mean: f32 = row.iter().sum::<f32>() / n as f32;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * gamma[j] + beta[j];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesa_tensor::rng::Pcg32;
+    use onesa_tensor::stats;
+
+    #[test]
+    fn softmax_rows_close_to_exact_at_fine_granularity() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let x = rng.randn(&[6, 10], 2.0);
+        let tables = TableSet::for_granularity(0.0625).unwrap();
+        let approx = tables.softmax_rows(&x).unwrap();
+        let exact = softmax_rows_exact(&x).unwrap();
+        assert!(stats::max_abs_diff(approx.as_slice(), exact.as_slice()) < 0.01);
+        // Rows still sum to ≈ 1.
+        for s in gemm::row_sums(&approx).unwrap() {
+            assert!((s - 1.0).abs() < 0.05, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn softmax_error_grows_with_granularity() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let x = rng.randn(&[8, 16], 2.0);
+        let exact = softmax_rows_exact(&x).unwrap();
+        let mut last = 0.0f32;
+        for g in [0.0625, 0.25, 1.0] {
+            let tables = TableSet::for_granularity(g).unwrap();
+            let approx = tables.softmax_rows(&x).unwrap();
+            let err = stats::rms_diff(approx.as_slice(), exact.as_slice());
+            assert!(err >= last - 1e-4, "granularity {g}: {err} < {last}");
+            last = err;
+        }
+    }
+
+    #[test]
+    fn layernorm_close_to_exact() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let x = rng.randn(&[4, 32], 1.5);
+        let gamma = vec![1.0f32; 32];
+        let beta = vec![0.0f32; 32];
+        let tables = TableSet::for_granularity(0.0625).unwrap();
+        let approx = tables.layernorm_rows(&x, &gamma, &beta, 1e-5).unwrap();
+        let exact = layernorm_rows_exact(&x, &gamma, &beta, 1e-5).unwrap();
+        assert!(stats::max_abs_diff(approx.as_slice(), exact.as_slice()) < 0.05);
+    }
+
+    #[test]
+    fn layernorm_output_is_normalized() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let x = rng.randn(&[3, 64], 3.0);
+        let gamma = vec![1.0f32; 64];
+        let beta = vec![0.0f32; 64];
+        let tables = TableSet::for_granularity(0.25).unwrap();
+        let y = tables.layernorm_rows(&x, &gamma, &beta, 1e-5).unwrap();
+        for i in 0..3 {
+            let row = y.row(i).unwrap();
+            let mean: f32 = row.iter().sum::<f32>() / 64.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 0.05, "mean {mean}");
+            assert!((var - 1.0).abs() < 0.2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_folds_to_affine() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let tables = TableSet::for_granularity(0.0625).unwrap();
+        let y = tables
+            .batchnorm_rows(&x, &[0.0, 1.0], &[1.0, 4.0], &[1.0, 1.0], &[0.0, 0.0], 0.0)
+            .unwrap();
+        // Channel 0: (x-0)/1; channel 1: (x-1)/2.
+        assert!((y.at(&[0, 0]).unwrap() - 1.0).abs() < 0.02);
+        assert!((y.at(&[0, 1]).unwrap() - 0.5).abs() < 0.02);
+        assert!((y.at(&[1, 1]).unwrap() - 1.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let x = Tensor::zeros(&[2, 3]);
+        let tables = TableSet::for_granularity(0.25).unwrap();
+        assert!(tables.layernorm_rows(&x, &[1.0; 2], &[0.0; 3], 1e-5).is_err());
+        assert!(tables
+            .batchnorm_rows(&x, &[0.0; 3], &[1.0; 3], &[1.0; 3], &[0.0; 2], 1e-5)
+            .is_err());
+    }
+
+    #[test]
+    fn table_lookup_by_function() {
+        let tables = TableSet::for_granularity(0.25).unwrap();
+        assert!(tables.table(NonlinearFn::Gelu).is_some());
+        assert!(tables.table(NonlinearFn::Mish).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the CPWL invariants the paper relies on.
+
+use onesa_cpwl::{NonlinearFn, PwlTable};
+use onesa_tensor::Tensor;
+use proptest::prelude::*;
+
+fn pow2_granularity() -> impl Strategy<Value = f32> {
+    prop_oneof![Just(0.125f32), Just(0.25), Just(0.5), Just(1.0)]
+}
+
+fn lipschitz_fn() -> impl Strategy<Value = (NonlinearFn, f32)> {
+    // (function, Lipschitz constant of f' over the default range) pairs.
+    prop_oneof![
+        Just((NonlinearFn::Gelu, 1.2f32)),
+        Just((NonlinearFn::Tanh, 0.8)),
+        Just((NonlinearFn::Sigmoid, 0.11)),
+        Just((NonlinearFn::Erf, 1.0)), // max |erf''| = 2√(2/πe) ≈ 0.968
+    ]
+}
+
+proptest! {
+    /// Chord interpolation error of a C² function is at most M₂ g² / 8.
+    #[test]
+    fn chord_error_bound((func, m2) in lipschitz_fn(), g in pow2_granularity(),
+                         frac in 0.0f32..1.0) {
+        let table = PwlTable::builder(func).granularity(g).build().unwrap();
+        let (lo, hi) = table.range();
+        let x = lo + (hi - lo) * frac;
+        let err = (table.eval(x) - func.eval(x)).abs();
+        prop_assert!(err <= m2 * g * g / 8.0 + 1e-4,
+            "{func} g={g} x={x} err={err}");
+    }
+
+    /// Capping is idempotent: evaluating far outside the range equals
+    /// evaluating with the boundary chord.
+    #[test]
+    fn capping_uses_boundary_chord(g in pow2_granularity(), x in 10.0f32..1000.0) {
+        let table = PwlTable::builder(NonlinearFn::Gelu).granularity(g).build().unwrap();
+        let n = table.n_segments();
+        let (k, b) = table.params(n - 1);
+        prop_assert_eq!(table.eval(x), k * x + b);
+        let (k0, b0) = table.params(0);
+        prop_assert_eq!(table.eval(-x), k0 * (-x) + b0);
+    }
+
+    /// The fixed-point shift index equals the float floor index on the
+    /// quantized value, for every power-of-two granularity.
+    #[test]
+    fn shift_equals_float_index(g in pow2_granularity(), x in -10.0f32..10.0) {
+        let table = PwlTable::builder(NonlinearFn::Gelu).granularity(g).build().unwrap();
+        let q = table.qformat();
+        let xq = q.from_f32(x);
+        prop_assert_eq!(table.segment_index_q(xq), table.segment_index(q.to_f32(xq)));
+    }
+
+    /// IPF + MHP over a tensor is elementwise identical to scalar eval.
+    #[test]
+    fn tensor_eval_matches_scalar(
+        g in pow2_granularity(),
+        xs in proptest::collection::vec(-20.0f32..20.0, 1..64)
+    ) {
+        let table = PwlTable::builder(NonlinearFn::Silu)
+            .granularity(g).build().unwrap();
+        let len = xs.len();
+        let t = Tensor::from_vec(xs.clone(), &[len]).unwrap();
+        let y = table.eval_tensor(&t).unwrap();
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(y.as_slice()[i], table.eval(x));
+        }
+    }
+
+    /// Monotonicity of segment indices: larger inputs never get smaller
+    /// (capped) segment indices.
+    #[test]
+    fn segment_index_is_monotone(g in pow2_granularity(),
+                                 a in -50.0f32..50.0, b in -50.0f32..50.0) {
+        let table = PwlTable::builder(NonlinearFn::Exp).granularity(g).build().unwrap();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(table.segment_index(lo) <= table.segment_index(hi));
+    }
+
+    /// Segment count × granularity spans the range.
+    #[test]
+    fn segments_tile_the_range(g in pow2_granularity()) {
+        let table = PwlTable::builder(NonlinearFn::Sigmoid).granularity(g).build().unwrap();
+        let (lo, hi) = table.range();
+        let spanned = table.n_segments() as f32 * table.granularity();
+        prop_assert!((spanned - (hi - lo)).abs() < g, "span {spanned} vs {}", hi - lo);
+    }
+}

@@ -1,0 +1,31 @@
+//! Neural-network substrate for the ONE-SA reproduction.
+//!
+//! The paper's accuracy study (Table III) runs CNN, transformer and GCN
+//! models whose nonlinear operations are replaced by capped
+//! piecewise-linear approximations at several granularities. This crate
+//! provides everything needed to repeat that study from scratch:
+//!
+//! * [`layers`] — trainable layers with hand-derived backward passes
+//!   (linear, conv2d via im2col, batch norm, layer norm, embedding,
+//!   multi-head attention, GCN propagation, activations, losses);
+//! * [`models`] — the three model families: a residual CNN
+//!   ([`models::SmallCnn`]), a BERT-style encoder ([`models::TinyBert`])
+//!   and a two-layer GCN ([`models::Gcn`]);
+//! * [`train`] — SGD/Adam training loops;
+//! * [`infer`] — the inference backends: exact arithmetic, or CPWL
+//!   tables (+ optional INT16 quantization) exactly as the array would
+//!   compute;
+//! * [`profile`] / [`workloads`] — op-class accounting and the real
+//!   ResNet-50 / BERT-base / GCN layer shapes behind Fig 1 and Table IV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod infer;
+pub mod layers;
+pub mod models;
+pub mod profile;
+pub mod train;
+pub mod workloads;
+
+pub use infer::InferenceMode;

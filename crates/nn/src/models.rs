@@ -1,0 +1,605 @@
+//! The three model families of the paper's accuracy study.
+//!
+//! Each model trains in f32 with exact nonlinearities (using the manual
+//! backprop layers) and then runs inference under any
+//! [`InferenceMode`] — exact, or CPWL at a chosen granularity with INT16
+//! quantization, matching how the array would execute it.
+
+use crate::infer::InferenceMode;
+use crate::layers::{
+    mse, softmax_cross_entropy, BatchNorm2d, Conv2d, Embedding, Gelu, LayerNorm, Linear,
+    MultiHeadAttention, Param,
+};
+use crate::train::TrainConfig;
+use onesa_data::{GraphDataset, ImageDataset, TextDataset};
+use onesa_data::text::TextTask;
+use onesa_tensor::im2col::Conv2dGeometry;
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::{gemm, stats, Tensor};
+
+fn global_avg_pool(x: &Tensor) -> Vec<f32> {
+    let dims = x.dims();
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    (0..c)
+        .map(|ch| x.as_slice()[ch * h * w..(ch + 1) * h * w].iter().sum::<f32>() / (h * w) as f32)
+        .collect()
+}
+
+/// A small residual CNN (the paper's "CNN-based ResNet" family scaled to
+/// the synthetic tasks): conv–BN–ReLU stem, one residual block, global
+/// average pooling and a linear classifier.
+#[derive(Debug, Clone)]
+pub struct SmallCnn {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    conv3: Conv2d,
+    bn3: BatchNorm2d,
+    fc: Linear,
+    channels: usize,
+}
+
+impl SmallCnn {
+    /// Builds the model for `in_channels` input channels and `classes`
+    /// outputs.
+    pub fn new(seed: u64, in_channels: usize, classes: usize) -> Self {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let ch = 8;
+        let geo = |cin: usize| Conv2dGeometry {
+            in_channels: cin,
+            out_channels: ch,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        SmallCnn {
+            conv1: Conv2d::new(&mut rng, geo(in_channels)),
+            bn1: BatchNorm2d::new(ch),
+            conv2: Conv2d::new(&mut rng, geo(ch)),
+            bn2: BatchNorm2d::new(ch),
+            conv3: Conv2d::new(&mut rng, geo(ch)),
+            bn3: BatchNorm2d::new(ch),
+            fc: Linear::new(&mut rng, ch, classes),
+            channels: ch,
+        }
+    }
+
+    /// Trains with Adam on the dataset's train split; returns the final
+    /// epoch's mean loss.
+    pub fn fit(&mut self, data: &ImageDataset, cfg: &TrainConfig) -> f32 {
+        let mut step = 0usize;
+        let mut last_loss = f32::NAN;
+        for _epoch in 0..cfg.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            let mut i = 0usize;
+            while i < data.train_x.len() {
+                let end = (i + cfg.batch_size).min(data.train_x.len());
+                let xs = &data.train_x[i..end];
+                let ys = &data.train_y[i..end];
+                epoch_loss += self.train_batch(xs, ys, cfg.lr, {
+                    step += 1;
+                    step
+                });
+                batches += 1;
+                i = end;
+            }
+            last_loss = epoch_loss / batches.max(1) as f32;
+        }
+        last_loss
+    }
+
+    fn train_batch(&mut self, xs: &[Tensor], ys: &[usize], lr: f32, t: usize) -> f32 {
+        let n = xs.len();
+        // Forward.
+        let a: Vec<Tensor> = xs.iter().map(|x| self.conv1.forward(x)).collect();
+        let a_bn = self.bn1.forward_train(&a);
+        let mut relu1_mask = Vec::with_capacity(n);
+        let r: Vec<Tensor> = a_bn
+            .iter()
+            .map(|t| {
+                relu1_mask.push(t.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+                t.map(|v| v.max(0.0))
+            })
+            .collect();
+        let b: Vec<Tensor> = r.iter().map(|x| self.conv2.forward(x)).collect();
+        let b_bn = self.bn2.forward_train(&b);
+        let mut relu2_mask = Vec::with_capacity(n);
+        let r2: Vec<Tensor> = b_bn
+            .iter()
+            .map(|t| {
+                relu2_mask.push(t.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+                t.map(|v| v.max(0.0))
+            })
+            .collect();
+        let c: Vec<Tensor> = r2.iter().map(|x| self.conv3.forward(x)).collect();
+        let c_bn = self.bn3.forward_train(&c);
+        // Residual add + final ReLU.
+        let mut relu3_mask = Vec::with_capacity(n);
+        let res: Vec<Tensor> = c_bn
+            .iter()
+            .zip(&r)
+            .map(|(cb, skip)| {
+                let s = cb.add(skip).expect("same shape");
+                relu3_mask.push(s.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+                s.map(|v| v.max(0.0))
+            })
+            .collect();
+        // Pool → logits.
+        let mut pooled = Tensor::zeros(&[n, self.channels]);
+        for (i, t) in res.iter().enumerate() {
+            pooled.row_mut(i).expect("in bounds").copy_from_slice(&global_avg_pool(t));
+        }
+        let logits = self.fc.forward(&pooled);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, ys);
+
+        // Backward.
+        let dpooled = self.fc.backward(&dlogits);
+        let dims = res[0].dims();
+        let (ch, h, w) = (dims[0], dims[1], dims[2]);
+        let dres: Vec<Tensor> = (0..n)
+            .map(|i| {
+                let mut d = Tensor::zeros(&[ch, h, w]);
+                for cc in 0..ch {
+                    let g = dpooled.as_slice()[i * ch + cc] / (h * w) as f32;
+                    for v in &mut d.as_mut_slice()[cc * h * w..(cc + 1) * h * w] {
+                        *v = g;
+                    }
+                }
+                d.mul(&relu3_mask[i]).expect("same shape")
+            })
+            .collect();
+        // Residual split: d(c_bn) = dres ; d(skip r) += dres.
+        let dc_bn = self.bn3.backward(&dres);
+        let mut dr_extra: Vec<Tensor> = dres;
+        // conv3 backward (reverse order to pop the LIFO caches).
+        let mut dr2: Vec<Tensor> = vec![Tensor::zeros(&[ch, h, w]); n];
+        for i in (0..n).rev() {
+            dr2[i] = self.conv3.backward(&dc_bn[i]);
+        }
+        let dr2m: Vec<Tensor> =
+            dr2.iter().zip(&relu2_mask).map(|(d, m)| d.mul(m).expect("same shape")).collect();
+        let db_bn = self.bn2.backward(&dr2m);
+        for i in (0..n).rev() {
+            let d = self.conv2.backward(&db_bn[i]);
+            dr_extra[i] = dr_extra[i].add(&d).expect("same shape");
+        }
+        let dr_masked: Vec<Tensor> = dr_extra
+            .iter()
+            .zip(&relu1_mask)
+            .map(|(d, m)| d.mul(m).expect("same shape"))
+            .collect();
+        let da_bn = self.bn1.backward(&dr_masked);
+        for i in (0..n).rev() {
+            let _ = self.conv1.backward(&da_bn[i]);
+        }
+
+        // Steps.
+        self.conv1.step(lr, t);
+        self.bn1.step(lr, t);
+        self.conv2.step(lr, t);
+        self.bn2.step(lr, t);
+        self.conv3.step(lr, t);
+        self.bn3.step(lr, t);
+        self.fc.step(lr, t);
+        loss
+    }
+
+    /// Logits for one sample under an inference mode.
+    pub fn logits(&self, x: &Tensor, mode: &InferenceMode) -> Vec<f32> {
+        let x = mode.boundary(x);
+        let a = mode.boundary(&self.conv1.infer(&x));
+        let (k1, b1) = mode.batchnorm_fold(
+            &self.bn1.running_mean,
+            &self.bn1.running_var,
+            self.bn1.gamma.value.as_slice(),
+            self.bn1.beta.value.as_slice(),
+            self.bn1.eps(),
+        );
+        let r = mode.relu(&mode.batchnorm_apply(&a, &k1, &b1));
+        let r = mode.boundary(&r);
+        let b = mode.boundary(&self.conv2.infer(&r));
+        let (k2, b2) = mode.batchnorm_fold(
+            &self.bn2.running_mean,
+            &self.bn2.running_var,
+            self.bn2.gamma.value.as_slice(),
+            self.bn2.beta.value.as_slice(),
+            self.bn2.eps(),
+        );
+        let r2 = mode.relu(&mode.batchnorm_apply(&b, &k2, &b2));
+        let c = mode.boundary(&self.conv3.infer(&r2));
+        let (k3, b3) = mode.batchnorm_fold(
+            &self.bn3.running_mean,
+            &self.bn3.running_var,
+            self.bn3.gamma.value.as_slice(),
+            self.bn3.beta.value.as_slice(),
+            self.bn3.eps(),
+        );
+        let cb = mode.batchnorm_apply(&c, &k3, &b3);
+        let res = mode.relu(&cb.add(&r).expect("same shape"));
+        let pooled = global_avg_pool(&mode.boundary(&res));
+        let pm = Tensor::from_vec(pooled, &[1, self.channels]).expect("length matches");
+        self.fc.infer(&pm).into_vec()
+    }
+
+    /// Test-set accuracy under an inference mode.
+    pub fn evaluate(&self, data: &ImageDataset, mode: &InferenceMode) -> f32 {
+        let mut correct = 0usize;
+        for (x, &y) in data.test_x.iter().zip(&data.test_y) {
+            let logits = self.logits(x, mode);
+            if stats::argmax(&logits) == Some(y) {
+                correct += 1;
+            }
+        }
+        correct as f32 / data.test_y.len().max(1) as f32
+    }
+}
+
+/// One transformer encoder block (post-norm, GELU feed-forward).
+#[derive(Debug, Clone)]
+struct EncoderBlock {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ff1: Linear,
+    gelu: Gelu,
+    ff2: Linear,
+    ln2: LayerNorm,
+}
+
+impl EncoderBlock {
+    fn new(rng: &mut Pcg32, d: usize, heads: usize, ff: usize) -> Self {
+        EncoderBlock {
+            attn: MultiHeadAttention::new(rng, d, heads),
+            ln1: LayerNorm::new(d),
+            ff1: Linear::new(rng, d, ff),
+            gelu: Gelu::new(),
+            ff2: Linear::new(rng, ff, d),
+            ln2: LayerNorm::new(d),
+        }
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let sm = |s: &Tensor| onesa_cpwl::ops::softmax_rows_exact(s).expect("matrix");
+        let a = self.attn.forward_with(x, &sm, true);
+        let h = self.ln1.forward(&x.add(&a).expect("same shape"));
+        let f = self.ff2.forward(&self.gelu.forward(&self.ff1.forward(&h)));
+        self.ln2.forward(&h.add(&f).expect("same shape"))
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let d_sum2 = self.ln2.backward(dy);
+        let d_f = self.ff2.backward(&d_sum2);
+        let d_g = self.gelu.backward(&d_f);
+        let d_h_ff = self.ff1.backward(&d_g);
+        let d_h = d_sum2.add(&d_h_ff).expect("same shape");
+        let d_sum1 = self.ln1.backward(&d_h);
+        let d_attn_in = self.attn.backward(&d_sum1);
+        d_sum1.add(&d_attn_in).expect("same shape")
+    }
+
+    fn infer(&self, x: &Tensor, mode: &InferenceMode) -> Tensor {
+        let sm = |s: &Tensor| mode.softmax_rows(s);
+        // The pluggable-softmax forward needs &mut for caching; clone the
+        // attention (cheap at these sizes) to keep `infer` immutable.
+        let mut attn = self.attn.clone();
+        let a = attn.forward_with(x, &sm, false);
+        let sum1 = mode.boundary(&x.add(&a).expect("same shape"));
+        let h = mode.layernorm_rows(
+            &sum1,
+            self.ln1.gamma.value.as_slice(),
+            self.ln1.beta.value.as_slice(),
+            self.ln1.eps(),
+        );
+        let f1 = self.ff1.infer(&h);
+        let g = mode.gelu(&f1);
+        let f = self.ff2.infer(&g);
+        let sum2 = mode.boundary(&h.add(&f).expect("same shape"));
+        mode.layernorm_rows(
+            &sum2,
+            self.ln2.gamma.value.as_slice(),
+            self.ln2.beta.value.as_slice(),
+            self.ln2.eps(),
+        )
+    }
+
+    fn step(&mut self, lr: f32, t: usize) {
+        self.attn.step(lr, t);
+        self.ln1.step(lr, t);
+        self.ff1.step(lr, t);
+        self.ff2.step(lr, t);
+        self.ln2.step(lr, t);
+    }
+}
+
+/// A BERT-style encoder classifier/regressor (the paper's
+/// "transformer-based BERT" family scaled to the synthetic tasks).
+#[derive(Debug, Clone)]
+pub struct TinyBert {
+    emb: Embedding,
+    blocks: Vec<EncoderBlock>,
+    head: Linear,
+    d: usize,
+    outputs: usize,
+}
+
+impl TinyBert {
+    /// Builds the model: embedding → `layers` encoder blocks → mean-pool
+    /// → linear head with `outputs` outputs (1 for regression).
+    pub fn new(seed: u64, vocab: usize, max_len: usize, outputs: usize, layers: usize) -> Self {
+        let d = 32;
+        let heads = 2;
+        let ff = 64;
+        let mut rng = Pcg32::seed_from_u64(seed);
+        TinyBert {
+            emb: Embedding::new(&mut rng, vocab, max_len, d),
+            blocks: (0..layers).map(|_| EncoderBlock::new(&mut rng, d, heads, ff)).collect(),
+            head: Linear::new(&mut rng, d, outputs),
+            d,
+            outputs,
+        }
+    }
+
+    /// Trains on the dataset's train split; returns the final mean loss.
+    pub fn fit(&mut self, data: &TextDataset, cfg: &TrainConfig) -> f32 {
+        let mut step = 0usize;
+        let mut last = f32::NAN;
+        for _epoch in 0..cfg.epochs {
+            let mut total = 0.0f32;
+            for (seq, &label) in data.train_x.iter().zip(&data.train_y) {
+                step += 1;
+                total += self.train_one(seq, label, data.task, cfg.lr, step);
+            }
+            last = total / data.train_x.len().max(1) as f32;
+        }
+        last
+    }
+
+    fn train_one(&mut self, seq: &[usize], label: f32, task: TextTask, lr: f32, t: usize) -> f32 {
+        let mut h = self.emb.forward(seq);
+        for b in &mut self.blocks {
+            h = b.forward_train(&h);
+        }
+        let l = seq.len();
+        // Mean pool.
+        let mut pooled = Tensor::zeros(&[1, self.d]);
+        for i in 0..l {
+            for j in 0..self.d {
+                pooled.as_mut_slice()[j] += h.as_slice()[i * self.d + j] / l as f32;
+            }
+        }
+        let out = self.head.forward(&pooled);
+        let (loss, dout) = match task {
+            TextTask::Classification => softmax_cross_entropy(&out, &[label as usize]),
+            TextTask::Regression => mse(&out, &[label]),
+        };
+        let dpooled = self.head.backward(&dout);
+        let mut dh = Tensor::zeros(&[l, self.d]);
+        for i in 0..l {
+            for j in 0..self.d {
+                dh.as_mut_slice()[i * self.d + j] = dpooled.as_slice()[j] / l as f32;
+            }
+        }
+        for b in self.blocks.iter_mut().rev() {
+            dh = b.backward(&dh);
+        }
+        self.emb.backward(&dh);
+        for b in &mut self.blocks {
+            b.step(lr, t);
+        }
+        self.head.step(lr, t);
+        self.emb.step(lr, t);
+        loss
+    }
+
+    /// Head outputs for one sequence under an inference mode.
+    pub fn predict(&self, seq: &[usize], mode: &InferenceMode) -> Vec<f32> {
+        let mut h = mode.boundary(&self.emb.infer(seq));
+        for b in &self.blocks {
+            h = b.infer(&h, mode);
+        }
+        let l = seq.len();
+        let mut pooled = Tensor::zeros(&[1, self.d]);
+        for i in 0..l {
+            for j in 0..self.d {
+                pooled.as_mut_slice()[j] += h.as_slice()[i * self.d + j] / l as f32;
+            }
+        }
+        self.head.infer(&mode.boundary(&pooled)).into_vec()
+    }
+
+    /// Task metric on the test split: accuracy for classification,
+    /// Pearson correlation for regression (as in GLUE's STS-B).
+    pub fn evaluate(&self, data: &TextDataset, mode: &InferenceMode) -> f32 {
+        match data.task {
+            TextTask::Classification => {
+                let mut correct = 0usize;
+                for (seq, &y) in data.test_x.iter().zip(&data.test_y) {
+                    let out = self.predict(seq, mode);
+                    if stats::argmax(&out) == Some(y as usize) {
+                        correct += 1;
+                    }
+                }
+                correct as f32 / data.test_y.len().max(1) as f32
+            }
+            TextTask::Regression => {
+                let preds: Vec<f32> =
+                    data.test_x.iter().map(|seq| self.predict(seq, mode)[0]).collect();
+                stats::pearson(&preds, &data.test_y)
+            }
+        }
+    }
+
+    /// Number of head outputs.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+}
+
+/// Two-layer Kipf–Welling GCN: `softmax(Â · ReLU(Â X W₁) · W₂)`.
+#[derive(Debug, Clone)]
+pub struct Gcn {
+    w1: Param,
+    w2: Param,
+    hidden: usize,
+}
+
+impl Gcn {
+    /// Builds the model for `features → hidden → classes`.
+    pub fn new(seed: u64, features: usize, hidden: usize, classes: usize) -> Self {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        Gcn {
+            w1: Param::new(rng.randn(&[features, hidden], (2.0 / features as f32).sqrt())),
+            w2: Param::new(rng.randn(&[hidden, classes], (2.0 / hidden as f32).sqrt())),
+            hidden,
+        }
+    }
+
+    fn forward_parts(&self, g: &GraphDataset) -> (Tensor, Tensor, Tensor, Tensor) {
+        let xw = gemm::matmul(&g.x, &self.w1.value).expect("shapes agree");
+        let z1 = gemm::matmul(&g.a_hat, &xw).expect("shapes agree");
+        let h1 = z1.map(|v| v.max(0.0));
+        let hw = gemm::matmul(&h1, &self.w2.value).expect("shapes agree");
+        let z2 = gemm::matmul(&g.a_hat, &hw).expect("shapes agree");
+        (z1, h1, z2, xw)
+    }
+
+    /// Full-batch training on the train-node mask; returns final loss.
+    pub fn fit(&mut self, g: &GraphDataset, cfg: &TrainConfig) -> f32 {
+        let mut last = f32::NAN;
+        for t in 1..=cfg.epochs * 10 {
+            let (z1, h1, z2, _) = self.forward_parts(g);
+            // Masked cross-entropy on training nodes.
+            let (n, c) = z2.shape().as_matrix().expect("matrix");
+            let probs = onesa_cpwl::ops::softmax_rows_exact(&z2).expect("matrix");
+            let mut dz2 = Tensor::zeros(&[n, c]);
+            let m = g.train_idx.len() as f32;
+            let mut loss = 0.0f32;
+            for &i in &g.train_idx {
+                let p = probs.as_slice()[i * c + g.y[i]].max(1e-12);
+                loss -= p.ln() / m;
+                for j in 0..c {
+                    dz2.as_mut_slice()[i * c + j] =
+                        (probs.as_slice()[i * c + j] - if j == g.y[i] { 1.0 } else { 0.0 }) / m;
+                }
+            }
+            // z2 = Â (h1 W2): dW2 = h1ᵀ Âᵀ dz2 = h1ᵀ (Â dz2) (Â symmetric).
+            let adz2 = gemm::matmul(&g.a_hat, &dz2).expect("shapes agree");
+            let h1t = h1.transpose().expect("matrix");
+            self.w2.grad = gemm::matmul(&h1t, &adz2).expect("shapes agree");
+            // dh1 = Â dz2 W2ᵀ.
+            let w2t = self.w2.value.transpose().expect("matrix");
+            let dh1 = gemm::matmul(&adz2, &w2t).expect("shapes agree");
+            let dz1 = dh1.zip(&z1, |d, z| if z > 0.0 { d } else { 0.0 }).expect("same shape");
+            let adz1 = gemm::matmul(&g.a_hat, &dz1).expect("shapes agree");
+            let xt = g.x.transpose().expect("matrix");
+            self.w1.grad = gemm::matmul(&xt, &adz1).expect("shapes agree");
+            self.w1.adam_step(cfg.lr, t);
+            self.w2.adam_step(cfg.lr, t);
+            self.w1.zero_grad();
+            self.w2.zero_grad();
+            last = loss;
+        }
+        last
+    }
+
+    /// Node logits under an inference mode.
+    pub fn logits(&self, g: &GraphDataset, mode: &InferenceMode) -> Tensor {
+        let x = mode.boundary(&g.x);
+        let xw = gemm::matmul(&x, &self.w1.value).expect("shapes agree");
+        let z1 = mode.boundary(&gemm::matmul(&g.a_hat, &xw).expect("shapes agree"));
+        let h1 = mode.relu(&z1);
+        let hw = gemm::matmul(&h1, &self.w2.value).expect("shapes agree");
+        mode.boundary(&gemm::matmul(&g.a_hat, &hw).expect("shapes agree"))
+    }
+
+    /// Test-node accuracy under an inference mode.
+    pub fn evaluate(&self, g: &GraphDataset, mode: &InferenceMode) -> f32 {
+        let logits = self.logits(g, mode);
+        let (_, c) = logits.shape().as_matrix().expect("matrix");
+        let mut correct = 0usize;
+        for &i in &g.test_idx {
+            let row = &logits.as_slice()[i * c..(i + 1) * c];
+            if stats::argmax(row) == Some(g.y[i]) {
+                correct += 1;
+            }
+        }
+        correct as f32 / g.test_idx.len().max(1) as f32
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesa_data::Difficulty;
+
+    #[test]
+    fn cnn_learns_easy_task() {
+        let data = ImageDataset::generate(
+            "t",
+            1,
+            Difficulty { noise: 0.3, classes: 3 },
+            (1, 8, 8),
+            12,
+        );
+        let mut model = SmallCnn::new(7, 1, 3);
+        let cfg = TrainConfig { epochs: 14, lr: 5e-3, batch_size: 12, seed: 7 };
+        let loss = model.fit(&data, &cfg);
+        assert!(loss.is_finite());
+        let acc = model.evaluate(&data, &InferenceMode::Exact);
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn cnn_cpwl_close_to_exact_at_fine_granularity() {
+        let data = ImageDataset::generate(
+            "t",
+            2,
+            Difficulty { noise: 0.3, classes: 3 },
+            (1, 8, 8),
+            10,
+        );
+        let mut model = SmallCnn::new(8, 1, 3);
+        model.fit(&data, &TrainConfig { epochs: 5, lr: 5e-3, batch_size: 10, seed: 8 });
+        let exact = model.evaluate(&data, &InferenceMode::Exact);
+        let fine = model.evaluate(&data, &InferenceMode::cpwl(0.0625).unwrap());
+        assert!((exact - fine).abs() < 0.15, "exact {exact} vs cpwl {fine}");
+    }
+
+    #[test]
+    fn bert_learns_marker_task() {
+        let data = TextDataset::classification("t", 3, Difficulty::easy(2), 32, 12, 24);
+        let mut model = TinyBert::new(5, 32, 12, 2, 1);
+        let cfg = TrainConfig { epochs: 6, lr: 2e-3, batch_size: 1, seed: 5 };
+        model.fit(&data, &cfg);
+        let acc = model.evaluate(&data, &InferenceMode::Exact);
+        assert!(acc > 0.6, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gcn_learns_communities() {
+        let g = GraphDataset::generate("t", 4, Difficulty::easy(3), 45, 8, 0.3);
+        let mut model = Gcn::new(6, 8, 16, 3);
+        let cfg = TrainConfig { epochs: 8, lr: 1e-2, batch_size: 0, seed: 6 };
+        model.fit(&g, &cfg);
+        let acc = model.evaluate(&g, &InferenceMode::Exact);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gcn_insensitive_to_granularity() {
+        // The paper observes GCNs barely degrade under CPWL (ReLU is
+        // exact; only quantization noise remains).
+        let g = GraphDataset::generate("t", 5, Difficulty::easy(3), 45, 8, 0.3);
+        let mut model = Gcn::new(9, 8, 16, 3);
+        model.fit(&g, &TrainConfig { epochs: 8, lr: 1e-2, batch_size: 0, seed: 9 });
+        let exact = model.evaluate(&g, &InferenceMode::Exact);
+        let coarse = model.evaluate(&g, &InferenceMode::cpwl(1.0).unwrap());
+        assert!((exact - coarse).abs() < 0.1, "exact {exact} vs coarse {coarse}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Real network layer shapes: the workload descriptors behind Fig 1 and
+//! Table IV.
+//!
+//! Performance on the array depends only on layer *shapes*, so the
+//! ResNet-50 / BERT-base / GCN workloads here carry the exact GEMM and
+//! nonlinear-pass dimensions of the real models. Sequence length 64 for
+//! BERT and the Reddit-scale GCN sizing are calibrated so total MACs
+//! match the op counts implied by the paper's own CPU measurements
+//! (latency × throughput): ≈ 4.0 G for ResNet-50, ≈ 5.5 G for BERT,
+//! ≈ 1.2 G for the GCN.
+
+use crate::profile::{ops_per_element, OpClass, OpCounts};
+
+/// One phase of a network's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A general matrix multiply `M×K · K×N` (convolutions via im2col).
+    Gemm {
+        /// Rows of the left operand.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Columns of the right operand.
+        n: usize,
+    },
+    /// A pointwise pass over an `M×N` tensor (activation, elementwise
+    /// multiply/add); one IPF + MHP on the array.
+    Pointwise {
+        /// Op class for Fig 1 accounting.
+        class: OpClass,
+        /// Rows.
+        m: usize,
+        /// Columns.
+        n: usize,
+        /// Whether the activation is GELU-like (8 ops/element) rather
+        /// than ReLU-like (1 op/element).
+        gelu_like: bool,
+    },
+    /// Row-wise softmax over `rows × cols`.
+    Softmax {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Batch/layer normalization over `rows × cols`.
+    Norm {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+}
+
+/// The model family a workload belongs to (Table IV columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Convolutional networks (ResNet-50 column).
+    Cnn,
+    /// Transformer encoders (BERT-base column).
+    Transformer,
+    /// Graph convolutional networks (GCN column).
+    Gnn,
+}
+
+impl std::fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelFamily::Cnn => f.write_str("ResNet-50"),
+            ModelFamily::Transformer => f.write_str("BERT-base"),
+            ModelFamily::Gnn => f.write_str("GCN"),
+        }
+    }
+}
+
+/// A named sequence of phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Network name.
+    pub name: String,
+    /// Model family (used by the baseline processor models).
+    pub family: ModelFamily,
+    /// Execution phases in order.
+    pub phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// Total multiply-accumulates in the GEMM phases.
+    pub fn total_macs(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| match *p {
+                Phase::Gemm { m, k, n } => (m * k * n) as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total elements through nonlinear (non-GEMM) phases.
+    pub fn nonlinear_elems(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| match *p {
+                Phase::Gemm { .. } => 0,
+                Phase::Pointwise { m, n, .. } => (m * n) as u64,
+                Phase::Softmax { rows, cols } => (rows * cols) as u64,
+                Phase::Norm { rows, cols } => (rows * cols) as u64,
+            })
+            .sum()
+    }
+
+    /// Op counts by class (Fig 1 accounting).
+    pub fn op_counts(&self) -> OpCounts {
+        let mut c = OpCounts::new();
+        for p in &self.phases {
+            match *p {
+                Phase::Gemm { m, k, n } => c.add(OpClass::Gemm, (m * k * n) as u64),
+                Phase::Pointwise { class, m, n, gelu_like } => {
+                    c.add(class, (m * n) as u64 * ops_per_element(class, gelu_like))
+                }
+                Phase::Softmax { rows, cols } => c.add(
+                    OpClass::Softmax,
+                    (rows * cols) as u64 * ops_per_element(OpClass::Softmax, false),
+                ),
+                Phase::Norm { rows, cols } => c.add(
+                    OpClass::Norm,
+                    (rows * cols) as u64 * ops_per_element(OpClass::Norm, false),
+                ),
+            }
+        }
+        c
+    }
+}
+
+fn conv(phases: &mut Vec<Phase>, hw: usize, cin: usize, cout: usize, k: usize, stride: usize) {
+    let ohw = hw / stride;
+    let m = ohw * ohw;
+    phases.push(Phase::Gemm { m, k: cin * k * k, n: cout });
+    // BN + ReLU after every convolution.
+    phases.push(Phase::Norm { rows: m, cols: cout });
+    phases.push(Phase::Pointwise { class: OpClass::Activation, m, n: cout, gelu_like: false });
+}
+
+/// ResNet-50 as an im2col GEMM workload.
+///
+/// `input` is the square input resolution: 224 for the ImageNet-shape
+/// model (Table IV) or 32 for the CIFAR-10 variant (Fig 1a; 3×3 stem,
+/// no initial downsampling — the standard CIFAR adaptation).
+pub fn resnet50(input: usize) -> Workload {
+    let mut phases = Vec::new();
+    let imagenet = input >= 112;
+    let mut hw = if imagenet {
+        conv(&mut phases, input, 3, 64, 7, 2); // stem 7×7/2
+        input / 4 // stem stride + 3×3/2 max pool
+    } else {
+        conv(&mut phases, input, 3, 64, 3, 1); // CIFAR stem
+        input
+    };
+    let stages: [(usize, usize, usize); 4] =
+        [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
+    let mut cin = 64;
+    for (c, blocks, first_stride) in stages {
+        for b in 0..blocks {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let out_hw = hw / stride;
+            // Bottleneck: 1×1 reduce, 3×3, 1×1 expand.
+            conv(&mut phases, hw, cin, c, 1, stride);
+            conv(&mut phases, out_hw, c, c, 3, 1);
+            conv(&mut phases, out_hw, c, 4 * c, 1, 1);
+            if b == 0 {
+                // Projection shortcut.
+                conv(&mut phases, hw, cin, 4 * c, 1, stride);
+            }
+            // Residual add.
+            phases.push(Phase::Pointwise {
+                class: OpClass::Add,
+                m: out_hw * out_hw,
+                n: 4 * c,
+                gelu_like: false,
+            });
+            cin = 4 * c;
+            hw = out_hw;
+        }
+    }
+    // Classifier.
+    phases.push(Phase::Gemm { m: 1, k: 2048, n: 1000 });
+    phases.push(Phase::Softmax { rows: 1, cols: 1000 });
+    Workload { name: format!("resnet50-{input}"), family: ModelFamily::Cnn, phases }
+}
+
+/// BERT-base encoder as a GEMM workload at sequence length `seq`
+/// (12 layers, hidden 768, 12 heads, FFN 3072).
+pub fn bert_base(seq: usize) -> Workload {
+    let d = 768;
+    let heads = 12;
+    let dk = d / heads;
+    let ff = 3072;
+    let mut phases = Vec::new();
+    for _layer in 0..12 {
+        for _qkv in 0..3 {
+            phases.push(Phase::Gemm { m: seq, k: d, n: d });
+        }
+        for _h in 0..heads {
+            phases.push(Phase::Gemm { m: seq, k: dk, n: seq }); // Q·Kᵀ
+            phases.push(Phase::Softmax { rows: seq, cols: seq });
+            phases.push(Phase::Gemm { m: seq, k: seq, n: dk }); // P·V
+        }
+        phases.push(Phase::Gemm { m: seq, k: d, n: d }); // output proj
+        phases.push(Phase::Pointwise { class: OpClass::Add, m: seq, n: d, gelu_like: false });
+        phases.push(Phase::Norm { rows: seq, cols: d });
+        phases.push(Phase::Gemm { m: seq, k: d, n: ff });
+        phases.push(Phase::Pointwise { class: OpClass::Activation, m: seq, n: ff, gelu_like: true });
+        phases.push(Phase::Gemm { m: seq, k: ff, n: d });
+        phases.push(Phase::Pointwise { class: OpClass::Add, m: seq, n: d, gelu_like: false });
+        phases.push(Phase::Norm { rows: seq, cols: d });
+    }
+    // Pooler + classifier head.
+    phases.push(Phase::Gemm { m: 1, k: d, n: d });
+    phases.push(Phase::Pointwise { class: OpClass::Activation, m: 1, n: d, gelu_like: true });
+    phases.push(Phase::Gemm { m: 1, k: d, n: 2 });
+    phases.push(Phase::Softmax { rows: 1, cols: 2 });
+    Workload { name: format!("bert-base-seq{seq}"), family: ModelFamily::Transformer, phases }
+}
+
+/// A Reddit-scale two-layer GCN: the sparse `Â·H` products appear as
+/// GEMMs with `k = average degree` per node (the MAC count of the SpMM).
+pub fn gcn_reddit_like() -> Workload {
+    let nodes = 24_576;
+    let feats = 602;
+    let hidden = 64;
+    let classes = 41;
+    let degree = 50;
+    let phases = vec![
+        Phase::Gemm { m: nodes, k: feats, n: hidden },   // X·W1
+        Phase::Gemm { m: nodes, k: degree, n: hidden },  // Â·(XW1) as SpMM
+        Phase::Pointwise { class: OpClass::Activation, m: nodes, n: hidden, gelu_like: false },
+        Phase::Gemm { m: nodes, k: hidden, n: classes }, // H·W2
+        Phase::Gemm { m: nodes, k: degree, n: classes }, // Â·(HW2)
+        Phase::Softmax { rows: nodes, cols: classes },
+    ];
+    Workload { name: "gcn-reddit-like".to_string(), family: ModelFamily::Gnn, phases }
+}
+
+/// The three Table IV workloads, in the paper's column order.
+pub fn table4_workloads() -> Vec<Workload> {
+    vec![resnet50(224), bert_base(64), gcn_reddit_like()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_macs_match_published_count() {
+        // ResNet-50 at 224² is ≈ 4.1 GMACs.
+        let w = resnet50(224);
+        let g = w.total_macs() as f64 / 1e9;
+        assert!((3.5..4.8).contains(&g), "got {g} GMACs");
+    }
+
+    #[test]
+    fn bert_base_macs_match_calibration() {
+        // Seq 64 ≈ 5.5 GMACs (the paper's measured op count).
+        let w = bert_base(64);
+        let g = w.total_macs() as f64 / 1e9;
+        assert!((4.8..6.2).contains(&g), "got {g} GMACs");
+    }
+
+    #[test]
+    fn gcn_macs_match_calibration() {
+        let w = gcn_reddit_like();
+        let g = w.total_macs() as f64 / 1e9;
+        assert!((0.9..1.4).contains(&g), "got {g} GMACs");
+    }
+
+    #[test]
+    fn fig1_shapes_resnet_cifar() {
+        // Fig 1(a): GEMM dominates, Norm is the largest non-GEMM class,
+        // activations next, softmax negligible.
+        let c = resnet50(32).op_counts();
+        assert!(c.share(OpClass::Gemm) > 50.0);
+        assert!(c.share(OpClass::Norm) > c.share(OpClass::Activation));
+        assert!(c.share(OpClass::Softmax) < 1.0);
+    }
+
+    #[test]
+    fn fig1_shapes_bert() {
+        // Fig 1(b) shape: GEMM dominates; among the nonlinear classes the
+        // ordering is GELU > layer norm > softmax (the paper's absolute
+        // percentages are larger than honest op counts give — see
+        // EXPERIMENTS.md — but the ranking is preserved).
+        let c = bert_base(64).op_counts();
+        assert!(c.share(OpClass::Gemm) > 70.0);
+        assert!(c.share(OpClass::Activation) > c.share(OpClass::Norm));
+        assert!(c.share(OpClass::Norm) > c.share(OpClass::Softmax));
+        assert!(c.share(OpClass::Softmax) > 0.0);
+    }
+
+    #[test]
+    fn nonlinear_elems_positive() {
+        for w in table4_workloads() {
+            assert!(w.nonlinear_elems() > 0, "{}", w.name);
+            assert!(w.total_macs() > 0, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the NN substrate's inference invariants.
+
+use onesa_nn::workloads::{self, Phase};
+use onesa_nn::InferenceMode;
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::{gemm, stats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CPWL softmax outputs are a valid distribution at any granularity:
+    /// non-negative, rows summing close to one.
+    #[test]
+    fn cpwl_softmax_is_distribution(seed in 0u64..500, g in prop_oneof![
+        Just(0.1f32), Just(0.25), Just(0.5), Just(1.0)
+    ]) {
+        let mode = InferenceMode::cpwl_unquantized(g).unwrap();
+        let x = Pcg32::seed_from_u64(seed).randn(&[6, 12], 2.0);
+        let y = mode.softmax_rows(&x);
+        for &v in y.as_slice() {
+            prop_assert!(v >= -1e-4, "negative probability {}", v);
+        }
+        for s in gemm::row_sums(&y).unwrap() {
+            prop_assert!((s - 1.0).abs() < 0.25, "row sum {}", s);
+        }
+    }
+
+    /// Finer granularity never evaluates GELU worse (in RMS) than
+    /// coarser granularity on the same data.
+    #[test]
+    fn finer_granularity_no_worse(seed in 0u64..500) {
+        let x = Pcg32::seed_from_u64(seed).randn(&[8, 8], 2.0);
+        let exact = InferenceMode::Exact.gelu(&x);
+        let fine = InferenceMode::cpwl_unquantized(0.125).unwrap().gelu(&x);
+        let coarse = InferenceMode::cpwl_unquantized(1.0).unwrap().gelu(&x);
+        let e_fine = stats::rms_diff(fine.as_slice(), exact.as_slice());
+        let e_coarse = stats::rms_diff(coarse.as_slice(), exact.as_slice());
+        prop_assert!(e_fine <= e_coarse + 1e-5, "{} vs {}", e_fine, e_coarse);
+    }
+
+    /// Layer norm under any mode produces near-normalized rows when the
+    /// affine is identity.
+    #[test]
+    fn layernorm_normalizes(seed in 0u64..500, g in prop_oneof![
+        Just(0.1f32), Just(0.25), Just(0.5)
+    ]) {
+        let mode = InferenceMode::cpwl_unquantized(g).unwrap();
+        let x = Pcg32::seed_from_u64(seed).randn(&[4, 24], 2.0);
+        let gamma = vec![1.0f32; 24];
+        let beta = vec![0.0f32; 24];
+        let y = mode.layernorm_rows(&x, &gamma, &beta, 1e-5);
+        for i in 0..4 {
+            let row = y.row(i).unwrap();
+            let mean: f32 = row.iter().sum::<f32>() / 24.0;
+            prop_assert!(mean.abs() < 0.1, "row {} mean {}", i, mean);
+        }
+    }
+
+    /// Workload op accounting is internally consistent: total MACs equal
+    /// the sum over GEMM phases, and every phase contributes.
+    #[test]
+    fn workload_accounting_consistent(seq in 8usize..64) {
+        let w = workloads::bert_base(seq);
+        let from_phases: u64 = w.phases.iter().map(|p| match *p {
+            Phase::Gemm { m, k, n } => (m * k * n) as u64,
+            _ => 0,
+        }).sum();
+        prop_assert_eq!(w.total_macs(), from_phases);
+        prop_assert!(w.nonlinear_elems() > 0);
+        // MACs grow monotonically with sequence length.
+        let bigger = workloads::bert_base(seq + 8);
+        prop_assert!(bigger.total_macs() > w.total_macs());
+    }
+
+    /// INT16 boundary quantization is idempotent (quantizing a
+    /// quantized tensor changes nothing beyond float noise).
+    #[test]
+    fn boundary_idempotent(seed in 0u64..500) {
+        let mode = InferenceMode::cpwl(0.25).unwrap();
+        let x = Pcg32::seed_from_u64(seed).randn(&[5, 5], 3.0);
+        let once = mode.boundary(&x);
+        let twice = mode.boundary(&once);
+        prop_assert!(stats::max_abs_diff(once.as_slice(), twice.as_slice()) < 1e-4);
+    }
+}

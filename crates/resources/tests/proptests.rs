@@ -1,0 +1,70 @@
+//! Property-based tests for the resource and power models.
+
+use onesa_resources::array::ArrayResources;
+use onesa_resources::modules::pe_cost;
+use onesa_resources::power::PowerModel;
+use onesa_resources::{Design, ModuleCost};
+use proptest::prelude::*;
+
+proptest! {
+    /// The ONE-SA delta over SA is always +518 FF + 2 LUT per PE and a
+    /// fixed L3 delta: no configuration changes BRAM (beyond +2) or DSP.
+    #[test]
+    fn onesa_delta_structure(dim in 1usize..24, logt in 1u32..6) {
+        let macs = 1usize << logt;
+        let model = ArrayResources::calibrated();
+        let sa = model.total(Design::ClassicSa, dim, macs);
+        let one = model.total(Design::OneSa, dim, macs);
+        let pes = (dim * dim) as u64;
+        prop_assert_eq!(one.ff - sa.ff, 518 * pes + 643);
+        prop_assert_eq!(one.lut - sa.lut, 2 * pes + 847);
+        prop_assert_eq!(one.bram - sa.bram, 2);
+        prop_assert_eq!(one.dsp, sa.dsp);
+    }
+
+    /// PE cost is affine in the MAC count with positive increments.
+    #[test]
+    fn pe_cost_affine_in_macs(t in 1u64..64) {
+        let a = pe_cost(Design::OneSa, t);
+        let b = pe_cost(Design::OneSa, t + 1);
+        prop_assert_eq!(b.dsp - a.dsp, 1);
+        prop_assert!(b.ff > a.ff);
+        prop_assert!(b.lut > a.lut);
+        prop_assert_eq!(b.bram, a.bram);
+    }
+
+    /// Power is monotone in every resource dimension and bounded below by
+    /// static power.
+    #[test]
+    fn power_monotone(bram in 0u64..2000, lut in 0u64..1_000_000,
+                      ff in 0u64..1_000_000, dsp in 0u64..8000) {
+        let p = PowerModel::virtex7();
+        let base = ModuleCost::new(bram, lut, ff, dsp);
+        let w = p.power_watts(&base);
+        prop_assert!(w >= p.static_w);
+        let bigger = ModuleCost::new(bram + 1, lut + 100, ff + 100, dsp + 1);
+        prop_assert!(p.power_watts(&bigger) > w);
+    }
+
+    /// Utilization scaling interpolates between the idle floor and full
+    /// power.
+    #[test]
+    fn utilization_interpolates(u in 0.0f64..1.0) {
+        let p = PowerModel::virtex7();
+        let cost = ModuleCost::new(100, 50_000, 80_000, 512);
+        let at_u = p.power_at_utilization(&cost, u);
+        let idle = p.power_at_utilization(&cost, 0.0);
+        let full = p.power_at_utilization(&cost, 1.0);
+        prop_assert!(at_u >= idle - 1e-12 && at_u <= full + 1e-12);
+    }
+
+    /// FF growth per MAC doubling stays inside the paper's Fig 9 band.
+    #[test]
+    fn ff_doubling_band(logt in 1u32..6) {
+        let t = 1u64 << logt;
+        let a = pe_cost(Design::OneSa, t).ff as f64;
+        let b = pe_cost(Design::OneSa, 2 * t).ff as f64;
+        let growth = b / a - 1.0;
+        prop_assert!((0.026..=0.538).contains(&growth), "T {} growth {}", t, growth);
+    }
+}

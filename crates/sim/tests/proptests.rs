@@ -1,0 +1,110 @@
+//! Property-based tests: the event-driven array is functionally identical
+//! to the reference kernels, and the analytic cycle model is consistent.
+
+use onesa_sim::array::SystolicArray;
+use onesa_sim::{analytic, ArrayConfig};
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::{gemm, Tensor};
+use proptest::prelude::*;
+
+fn tensor(seed: u64, dims: &[usize], std: f32) -> Tensor {
+    Pcg32::seed_from_u64(seed).randn(dims, std)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Event-driven GEMM equals the reference for arbitrary shapes that
+    /// need multiple tiles and partial edge tiles.
+    #[test]
+    fn full_gemm_equals_reference(
+        seed in 0u64..1000,
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        d in 2usize..5, t in 1usize..6,
+    ) {
+        let cfg = ArrayConfig::new(d, t);
+        let mut arr = SystolicArray::new(cfg);
+        let a = tensor(seed, &[m, k], 1.0);
+        let b = tensor(seed + 1, &[k, n], 1.0);
+        let run = arr.gemm_full(&a, &b).unwrap();
+        let reference = gemm::matmul(&a, &b).unwrap();
+        for (x, y) in run.output.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+        prop_assert_eq!(run.macs, (m * k * n) as u64);
+    }
+
+    /// Event-driven MHP equals the reference elementwise op.
+    #[test]
+    fn full_mhp_equals_reference(
+        seed in 0u64..1000,
+        m in 1usize..14, n in 1usize..14,
+        d in 2usize..5, t in 1usize..8,
+    ) {
+        let cfg = ArrayConfig::new(d, t);
+        let mut arr = SystolicArray::new(cfg);
+        let x = tensor(seed, &[m, n], 2.0);
+        let k = tensor(seed + 1, &[m, n], 1.0);
+        let b = tensor(seed + 2, &[m, n], 1.0);
+        let run = arr.mhp_full(&x, &k, &b).unwrap();
+        let reference = gemm::mhp(&x, &k, &b).unwrap();
+        for (a, r) in run.output.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((a - r).abs() < 1e-4, "{} vs {}", a, r);
+        }
+        prop_assert_eq!(run.macs, 2 * (m * n) as u64);
+    }
+
+    /// Analytic GEMM cycles are monotone in every problem dimension.
+    #[test]
+    fn gemm_cycles_monotone(
+        m in 1usize..64, k in 1usize..64, n in 1usize..64,
+    ) {
+        let cfg = ArrayConfig::default();
+        let base = analytic::gemm_breakdown(&cfg, m, k, n).total();
+        prop_assert!(analytic::gemm_breakdown(&cfg, m + 8, k, n).total() >= base);
+        prop_assert!(analytic::gemm_breakdown(&cfg, m, k + 8, n).total() >= base);
+        prop_assert!(analytic::gemm_breakdown(&cfg, m, k, n + 8).total() >= base);
+    }
+
+    /// More MACs never hurt nonlinear throughput; for matrices large
+    /// relative to the array, more PEs never hurt GEMM throughput.
+    /// (For *small* matrices more PEs can hurt — that is the paper's
+    /// throughput cliff, asserted separately below.)
+    #[test]
+    fn scaling_never_hurts(dims in 8usize..128, big_dims in 64usize..256) {
+        let small = ArrayConfig::new(4, 4);
+        let more_macs = ArrayConfig::new(4, 8);
+        let more_pes = ArrayConfig::new(8, 4);
+        prop_assert!(
+            analytic::nonlinear_stats(&more_macs, dims, dims).cycles()
+                <= analytic::nonlinear_stats(&small, dims, dims).cycles()
+        );
+        prop_assert!(
+            analytic::gemm_stats(&more_pes, big_dims, big_dims, big_dims).cycles()
+                <= analytic::gemm_stats(&small, big_dims, big_dims, big_dims).cycles()
+        );
+    }
+
+    /// The throughput cliff: on a tiny matrix, a much larger array is
+    /// *not* faster (drain of the D×D tile through the fixed-width output
+    /// FIFO dominates).
+    #[test]
+    fn small_matrices_hit_the_cliff(dims in 4usize..12) {
+        let small = ArrayConfig::new(4, 4);
+        let huge = ArrayConfig::new(16, 4);
+        prop_assert!(
+            analytic::gemm_stats(&huge, dims, dims, dims).cycles()
+                >= analytic::gemm_stats(&small, dims, dims, dims).cycles()
+        );
+    }
+
+    /// Throughput never exceeds the configured peak.
+    #[test]
+    fn never_exceeds_peak(dims in 4usize..256, d in 2usize..6, logt in 0u32..5) {
+        let cfg = ArrayConfig::new(d, 1 << logt);
+        let g = analytic::gemm_stats(&cfg, dims, dims, dims);
+        prop_assert!(g.gops() <= cfg.peak_gops() * (1.0 + 1e-9));
+        let nl = analytic::nonlinear_stats(&cfg, dims, dims);
+        prop_assert!(nl.gnfs() <= cfg.peak_gnfs() * (1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// All fallible public functions in this crate return
+/// [`Result`](crate::Result) with this error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of data elements does not match the product of the
+    /// requested shape dimensions.
+    LengthMismatch {
+        /// Number of elements supplied.
+        len: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The operation requires a matrix (rank-2 tensor).
+    NotAMatrix {
+        /// Actual rank of the offending tensor.
+        rank: usize,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending flat or axis index.
+        index: usize,
+        /// The bound that was violated.
+        bound: usize,
+    },
+    /// A parameter was outside its legal domain (for example a zero
+    /// convolution stride).
+    InvalidArgument(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, expected } => {
+                write!(f, "data length {len} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::NotAMatrix { rank } => {
+                write!(f, "expected a rank-2 tensor, got rank {rank}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for size {bound}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::LengthMismatch { len: 1, expected: 2 },
+            TensorError::ShapeMismatch { lhs: vec![1], rhs: vec![2], op: "add" },
+            TensorError::NotAMatrix { rank: 3 },
+            TensorError::IndexOutOfBounds { index: 9, bound: 3 },
+            TensorError::InvalidArgument("stride must be nonzero"),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

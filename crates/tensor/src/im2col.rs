@@ -1,0 +1,256 @@
+//! Convolution-as-GEMM lowering.
+//!
+//! Systolic arrays execute convolutions by first unrolling input patches
+//! into a matrix (`im2col`), turning the convolution into one general
+//! matrix multiply — exactly the transformation the paper assumes when it
+//! says "linear computations can be succinctly expressed as general matrix
+//! multiplications".
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel height and width (square kernels).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the stride is zero or
+    /// the kernel does not fit the padded input.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidArgument("stride must be nonzero"));
+        }
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        if ph < self.kernel || pw < self.kernel {
+            return Err(TensorError::InvalidArgument("kernel larger than padded input"));
+        }
+        Ok(((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1))
+    }
+
+    /// Rows of the im2col matrix (= patch volume `Cin·k·k`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unrolls a `[C, H, W]` input into a `[out_h·out_w, C·k·k]` patch matrix.
+///
+/// Multiplying the result by the `[C·k·k, out_channels]` reshaped kernel
+/// yields the convolution output as a `[out_h·out_w, out_channels]` matrix.
+///
+/// # Errors
+///
+/// Returns a shape error if `input` is not `[C, H, W]` with
+/// `C = geometry.in_channels`, or an invalid-argument error from
+/// [`Conv2dGeometry::output_hw`].
+pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
+    let dims = input.dims();
+    if dims.len() != 3 || dims[0] != geo.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            lhs: dims.to_vec(),
+            rhs: vec![geo.in_channels, 0, 0],
+            op: "im2col",
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let (oh, ow) = geo.output_hw(h, w)?;
+    let patch = geo.patch_len();
+    let mut out = Tensor::zeros(&[oh * ow, patch]);
+    let data = input.as_slice();
+    let k = geo.kernel;
+    let pad = geo.padding as isize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            let base_y = (oy * geo.stride) as isize - pad;
+            let base_x = (ox * geo.stride) as isize - pad;
+            for ch in 0..c {
+                for ky in 0..k {
+                    let iy = base_y + ky as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = base_x + kx as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let col = ch * k * k + ky * k + kx;
+                        let v = data[ch * h * w + iy as usize * w + ix as usize];
+                        out.as_mut_slice()[row * patch + col] = v;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reassembles a `[out_h·out_w, out_channels]` GEMM result into a
+/// `[out_channels, out_h, out_w]` feature map.
+///
+/// # Errors
+///
+/// Returns a shape error if `cols` does not match the given geometry.
+pub fn col2im_output(cols: &Tensor, out_channels: usize, oh: usize, ow: usize) -> Result<Tensor> {
+    let (rows, ch) = cols.shape().as_matrix()?;
+    if rows != oh * ow || ch != out_channels {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.dims().to_vec(),
+            rhs: vec![oh * ow, out_channels],
+            op: "col2im_output",
+        });
+    }
+    let mut out = Tensor::zeros(&[out_channels, oh, ow]);
+    for r in 0..rows {
+        for c in 0..ch {
+            out.as_mut_slice()[c * oh * ow + r] = cols.as_slice()[r * ch + c];
+        }
+    }
+    Ok(out)
+}
+
+/// Direct (reference) convolution used to validate the im2col path.
+///
+/// `input` is `[C, H, W]`; `weight` is `[out_channels, C, k, k]` flattened
+/// into `[out_channels, C·k·k]`.
+///
+/// # Errors
+///
+/// Shape errors mirror [`im2col`].
+pub fn conv2d_direct(input: &Tensor, weight: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
+    let dims = input.dims();
+    if dims.len() != 3 {
+        return Err(TensorError::NotAMatrix { rank: dims.len() });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let (oh, ow) = geo.output_hw(h, w)?;
+    let k = geo.kernel;
+    let pad = geo.padding as isize;
+    let mut out = Tensor::zeros(&[geo.out_channels, oh, ow]);
+    for oc in 0..geo.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * geo.stride) as isize - pad + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * geo.stride) as isize - pad + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let iv = input.as_slice()[ch * h * w + iy as usize * w + ix as usize];
+                            let wv = weight.as_slice()
+                                [oc * c * k * k + ch * k * k + ky * k + kx];
+                            acc += iv * wv;
+                        }
+                    }
+                }
+                out.as_mut_slice()[oc * oh * ow + oy * ow + ox] = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm;
+
+    fn geo(cin: usize, cout: usize, k: usize, stride: usize, pad: usize) -> Conv2dGeometry {
+        Conv2dGeometry { in_channels: cin, out_channels: cout, kernel: k, stride, padding: pad }
+    }
+
+    #[test]
+    fn output_geometry() {
+        let g = geo(3, 8, 3, 1, 1);
+        assert_eq!(g.output_hw(8, 8).unwrap(), (8, 8));
+        let g2 = geo(3, 8, 3, 2, 1);
+        assert_eq!(g2.output_hw(8, 8).unwrap(), (4, 4));
+        assert!(geo(1, 1, 3, 0, 0).output_hw(8, 8).is_err());
+        assert!(geo(1, 1, 9, 1, 0).output_hw(8, 8).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is just a channels-last reshuffle.
+        let input = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[2, 2, 2]).unwrap();
+        let g = geo(2, 1, 1, 1, 0);
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.dims(), &[4, 2]);
+        assert_eq!(cols.at(&[0, 0]).unwrap(), 0.0);
+        assert_eq!(cols.at(&[0, 1]).unwrap(), 4.0);
+        assert_eq!(cols.at(&[3, 0]).unwrap(), 3.0);
+        assert_eq!(cols.at(&[3, 1]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn im2col_gemm_matches_direct_conv() {
+        let g = geo(3, 5, 3, 1, 1);
+        let h = 6;
+        let w = 7;
+        let input = Tensor::from_vec(
+            (0..3 * h * w).map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.1).collect(),
+            &[3, h, w],
+        )
+        .unwrap();
+        let weight = Tensor::from_vec(
+            (0..5 * 3 * 9).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.05).collect(),
+            &[5, 3 * 9],
+        )
+        .unwrap();
+
+        let direct = conv2d_direct(&input, &weight, &g).unwrap();
+
+        let (oh, ow) = g.output_hw(h, w).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        let wt = weight.transpose().unwrap();
+        let prod = gemm::matmul(&cols, &wt).unwrap();
+        let folded = col2im_output(&prod, 5, oh, ow).unwrap();
+
+        assert_eq!(direct.dims(), folded.dims());
+        for (a, b) in direct.as_slice().iter().zip(folded.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn im2col_with_stride_and_padding() {
+        let g = geo(1, 1, 3, 2, 1);
+        let input = Tensor::from_vec((0..25).map(|i| i as f32).collect(), &[1, 5, 5]).unwrap();
+        let cols = im2col(&input, &g).unwrap();
+        // (5 + 2 - 3)/2 + 1 = 3 outputs per axis.
+        assert_eq!(cols.dims(), &[9, 9]);
+        // First patch is the top-left corner: padded row and column are 0.
+        let first = cols.row(0).unwrap();
+        assert_eq!(first, &[0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn col2im_shape_check() {
+        let cols = Tensor::zeros(&[4, 3]);
+        assert!(col2im_output(&cols, 3, 2, 2).is_ok());
+        assert!(col2im_output(&cols, 2, 2, 2).is_err());
+        assert!(col2im_output(&cols, 3, 3, 2).is_err());
+    }
+}

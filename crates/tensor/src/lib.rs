@@ -1,0 +1,48 @@
+//! Dense tensor primitives for the ONE-SA reproduction.
+//!
+//! This crate provides the numeric substrate every other crate builds on:
+//!
+//! * [`Tensor`] — a dense, row-major `f32` tensor with shape/stride
+//!   machinery, elementwise math and reductions.
+//! * [`gemm`] — reference general matrix multiplication plus the Hadamard
+//!   ops (`X ⊙ K + B`) at the heart of the paper's MHP event.
+//! * [`im2col`] — convolution-as-GEMM lowering used by the CNN substrate.
+//! * [`quant`] — symmetric INT16 quantization matching the paper's
+//!   evaluation precision.
+//! * [`fixed`] — Q-format fixed-point scalar arithmetic used by the
+//!   shift-based segment addressing of the L3 buffer.
+//! * [`rng`] — a small deterministic PRNG (PCG-32) so every experiment in
+//!   the repository is reproducible without external crates.
+//!
+//! # Example
+//!
+//! ```
+//! use onesa_tensor::{Tensor, gemm};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = gemm::matmul(&a, &b)?;
+//! assert_eq!(c, a);
+//! # Ok::<(), onesa_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod fixed;
+pub mod gemm;
+pub mod im2col;
+pub mod quant;
+pub mod rng;
+pub mod stats;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,208 @@
+//! Symmetric INT16 tensor quantization.
+//!
+//! The paper evaluates all networks and the array itself at INT16
+//! precision ("both the neural networks and the systolic arrays are
+//! quantized to INT16 precision"). This module provides the
+//! per-tensor symmetric scheme used by the reproduction's quantized
+//! inference path, plus an integer GEMM with `i64` accumulation mirroring
+//! the multi-layer accumulator of the PE.
+
+use crate::{Result, Tensor, TensorError};
+
+/// An INT16-quantized tensor with one symmetric scale factor.
+///
+/// Real value = `scale * q` for each stored `i16` element `q`.
+///
+/// # Example
+///
+/// ```
+/// use onesa_tensor::{Tensor, quant::QuantTensor};
+///
+/// let t = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3])?;
+/// let q = QuantTensor::quantize(&t);
+/// let back = q.dequantize();
+/// for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+///     assert!((a - b).abs() < 1e-3);
+/// }
+/// # Ok::<(), onesa_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantTensor {
+    dims: Vec<usize>,
+    data: Vec<i16>,
+    scale: f32,
+}
+
+impl QuantTensor {
+    /// Quantizes a float tensor symmetrically so its absolute maximum maps
+    /// to `i16::MAX`. An all-zero tensor gets scale `1.0`.
+    pub fn quantize(t: &Tensor) -> Self {
+        let max_abs = t.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / i16::MAX as f32 };
+        Self::quantize_with_scale(t, scale)
+    }
+
+    /// Quantizes with an explicit scale (values saturate at the i16 range).
+    pub fn quantize_with_scale(t: &Tensor, scale: f32) -> Self {
+        let data = t
+            .as_slice()
+            .iter()
+            .map(|&x| {
+                let q = (x / scale).round();
+                if q >= i16::MAX as f32 {
+                    i16::MAX
+                } else if q <= i16::MIN as f32 {
+                    i16::MIN
+                } else {
+                    q as i16
+                }
+            })
+            .collect();
+        QuantTensor { dims: t.dims().to_vec(), data, scale }
+    }
+
+    /// Reconstructs the float tensor `scale * q`.
+    pub fn dequantize(&self) -> Tensor {
+        let data = self.data.iter().map(|&q| q as f32 * self.scale).collect();
+        Tensor::from_vec(data, &self.dims).expect("shape preserved by construction")
+    }
+
+    /// The quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Borrow the raw `i16` values.
+    pub fn as_slice(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Integer GEMM `A · B` with `i64` accumulation, dequantized on the way
+/// out — functionally what the INT16 array computes for one tile.
+///
+/// # Errors
+///
+/// Returns shape errors as in [`crate::gemm::matmul`].
+pub fn quant_matmul(a: &QuantTensor, b: &QuantTensor) -> Result<Tensor> {
+    if a.dims.len() != 2 || b.dims.len() != 2 {
+        return Err(TensorError::NotAMatrix { rank: a.dims.len().max(b.dims.len()) });
+    }
+    let (m, k) = (a.dims[0], a.dims[1]);
+    let (k2, n) = (b.dims[0], b.dims[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims.clone(),
+            rhs: b.dims.clone(),
+            op: "quant_matmul",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let scale = a.scale * b.scale;
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for p in 0..k {
+                acc += a.data[i * k + p] as i64 * b.data[p * n + j] as i64;
+            }
+            out.as_mut_slice()[i * n + j] = acc as f32 * scale;
+        }
+    }
+    Ok(out)
+}
+
+/// Quantization error statistics for a round trip through INT16.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuantError {
+    /// Maximum absolute error.
+    pub max_abs: f32,
+    /// Root-mean-square error.
+    pub rms: f32,
+}
+
+/// Measures the round-trip error of symmetric INT16 quantization on `t`.
+pub fn round_trip_error(t: &Tensor) -> QuantError {
+    let q = QuantTensor::quantize(t);
+    let back = q.dequantize();
+    let mut max_abs = 0.0f32;
+    let mut sq = 0.0f64;
+    for (&a, &b) in t.as_slice().iter().zip(back.as_slice()) {
+        let e = (a - b).abs();
+        max_abs = max_abs.max(e);
+        sq += (e as f64) * (e as f64);
+    }
+    let n = t.len().max(1);
+    QuantError { max_abs, rms: ((sq / n as f64) as f32).sqrt() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm;
+
+    #[test]
+    fn quantize_zero_tensor() {
+        let t = Tensor::zeros(&[4]);
+        let q = QuantTensor::quantize(&t);
+        assert_eq!(q.scale(), 1.0);
+        assert_eq!(q.dequantize(), t);
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_scale() {
+        let t = Tensor::from_vec(
+            (0..100).map(|i| ((i as f32) * 0.731).sin() * 3.0).collect(),
+            &[10, 10],
+        )
+        .unwrap();
+        let q = QuantTensor::quantize(&t);
+        let err = round_trip_error(&t);
+        assert!(err.max_abs <= q.scale() * 0.5 + 1e-7, "{err:?}");
+    }
+
+    #[test]
+    fn saturation_with_small_scale() {
+        let t = Tensor::from_vec(vec![100.0, -100.0], &[2]).unwrap();
+        let q = QuantTensor::quantize_with_scale(&t, 1e-3);
+        assert_eq!(q.as_slice(), &[i16::MAX, i16::MIN]);
+    }
+
+    #[test]
+    fn quant_matmul_close_to_float() {
+        let a = Tensor::from_vec((0..12).map(|i| (i as f32 * 0.21).cos()).collect(), &[3, 4])
+            .unwrap();
+        let b = Tensor::from_vec((0..20).map(|i| (i as f32 * 0.37).sin()).collect(), &[4, 5])
+            .unwrap();
+        let exact = gemm::matmul(&a, &b).unwrap();
+        let qa = QuantTensor::quantize(&a);
+        let qb = QuantTensor::quantize(&b);
+        let approx = quant_matmul(&qa, &qb).unwrap();
+        for (x, y) in exact.as_slice().iter().zip(approx.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn quant_matmul_shape_errors() {
+        let a = QuantTensor::quantize(&Tensor::zeros(&[2, 3]));
+        let b = QuantTensor::quantize(&Tensor::zeros(&[2, 3]));
+        assert!(quant_matmul(&a, &b).is_err());
+        let v = QuantTensor::quantize(&Tensor::zeros(&[3]));
+        assert!(quant_matmul(&a, &v).is_err());
+    }
+}

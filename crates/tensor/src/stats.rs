@@ -1,0 +1,158 @@
+//! Error metrics and small statistics helpers shared by the accuracy
+//! experiments and the approximation-quality analyses.
+
+use crate::Tensor;
+
+/// Maximum absolute elementwise difference between two equally-sized
+/// slices (`0` when either slice is empty).
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+/// Root-mean-square elementwise difference (`0` when empty).
+pub fn rms_diff(a: &[f32], b: &[f32]) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sq: f64 =
+        a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64) * ((x - y) as f64)).sum();
+    ((sq / a.len() as f64) as f32).sqrt()
+}
+
+/// Mean absolute elementwise difference (`0` when empty).
+pub fn mean_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum::<f32>() / a.len() as f32
+}
+
+/// Index of the maximum element (`None` for an empty slice; ties resolve
+/// to the first maximum).
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            Some((_, bx)) if bx >= x => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Classification accuracy of row-wise argmax predictions on a logits
+/// matrix against integer labels.
+///
+/// Returns `0.0` for an empty label set.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let dims = logits.dims();
+    if dims.len() != 2 || labels.is_empty() {
+        return 0.0;
+    }
+    let (rows, cols) = (dims[0], dims[1]);
+    let n = rows.min(labels.len());
+    let mut correct = 0usize;
+    for r in 0..n {
+        let row = &logits.as_slice()[r * cols..(r + 1) * cols];
+        if argmax(row) == Some(labels[r]) {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+/// Pearson correlation coefficient between two equal-length slices
+/// (`0` for degenerate inputs), used for the STS-B-style regression task.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a[..n].iter().sum::<f32>() / n as f32;
+    let mb = b[..n].iter().sum::<f32>() / n as f32;
+    let mut cov = 0.0f64;
+    let mut va = 0.0f64;
+    let mut vb = 0.0f64;
+    for i in 0..n {
+        let da = (a[i] - ma) as f64;
+        let db = (b[i] - mb) as f64;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    (cov / (va.sqrt() * vb.sqrt())) as f32
+}
+
+/// Matthews correlation coefficient for binary predictions, the CoLA-style
+/// metric (`0` for degenerate confusion matrices).
+pub fn matthews(preds: &[usize], labels: &[usize]) -> f32 {
+    let n = preds.len().min(labels.len());
+    let (mut tp, mut tn, mut fp, mut fneg) = (0f64, 0f64, 0f64, 0f64);
+    for i in 0..n {
+        match (preds[i], labels[i]) {
+            (1, 1) => tp += 1.0,
+            (0, 0) => tn += 1.0,
+            (1, 0) => fp += 1.0,
+            (0, 1) => fneg += 1.0,
+            _ => {}
+        }
+    }
+    let denom = ((tp + fp) * (tp + fneg) * (tn + fp) * (tn + fneg)).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        ((tp * tn - fp * fneg) / denom) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diffs() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 2.0, 1.0];
+        assert_eq!(max_abs_diff(&a, &b), 2.0);
+        assert!((mean_abs_diff(&a, &b) - (0.5 + 0.0 + 2.0) / 3.0).abs() < 1e-6);
+        let rms = rms_diff(&a, &b);
+        assert!((rms - ((0.25 + 4.0) / 3.0f32).sqrt()).abs() < 1e-6);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+        assert_eq!(rms_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_ties_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[-5.0]), Some(0));
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits =
+            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-6);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-6);
+        assert_eq!(pearson(&a, &[1.0, 1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn matthews_known_cases() {
+        assert!((matthews(&[1, 0, 1, 0], &[1, 0, 1, 0]) - 1.0).abs() < 1e-6);
+        assert!((matthews(&[0, 1, 0, 1], &[1, 0, 1, 0]) + 1.0).abs() < 1e-6);
+        assert_eq!(matthews(&[1, 1, 1, 1], &[1, 0, 1, 0]), 0.0);
+    }
+}

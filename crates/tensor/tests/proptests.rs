@@ -1,0 +1,112 @@
+//! Property-based tests for the tensor substrate.
+
+use onesa_tensor::fixed::QFormat;
+use onesa_tensor::quant::{self, QuantTensor};
+use onesa_tensor::{gemm, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(v, &[r, c]).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_involution(t in small_matrix(8)) {
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn matmul_identity_left_right(t in small_matrix(8)) {
+        let (m, n) = t.shape().as_matrix().unwrap();
+        let left = gemm::matmul(&Tensor::eye(m), &t).unwrap();
+        let right = gemm::matmul(&t, &Tensor::eye(n)).unwrap();
+        for (a, b) in t.as_slice().iter().zip(left.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        for (a, b) in t.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(6), b in small_matrix(6), c in small_matrix(6)
+    ) {
+        // Force compatible shapes by reusing dims of `a`.
+        let (m, k) = a.shape().as_matrix().unwrap();
+        let b = Tensor::from_vec(
+            b.as_slice().iter().cycle().take(k * 5).copied().collect(), &[k, 5]).unwrap();
+        let c = Tensor::from_vec(
+            c.as_slice().iter().cycle().take(k * 5).copied().collect(), &[k, 5]).unwrap();
+        let lhs = gemm::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = gemm::matmul(&a, &b).unwrap().add(&gemm::matmul(&a, &c).unwrap()).unwrap();
+        let _ = m;
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            let tol = 1e-2f32.max(x.abs() * 1e-4);
+            prop_assert!((x - y).abs() < tol, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn mhp_equals_mul_plus_add(x in small_matrix(8)) {
+        let k = x.map(|v| v * 0.5 - 1.0);
+        let b = x.map(|v| -v * 0.25 + 2.0);
+        let direct = gemm::mhp(&x, &k, &b).unwrap();
+        let composed = x.mul(&k).unwrap().add(&b).unwrap();
+        prop_assert_eq!(direct, composed);
+    }
+
+    #[test]
+    fn tile_round_trip(t in small_matrix(10), th in 1usize..5, tw in 1usize..5) {
+        let (rows, cols) = t.shape().as_matrix().unwrap();
+        let mut rebuilt = Tensor::zeros(&[rows, cols]);
+        let mut r0 = 0;
+        while r0 < rows {
+            let mut c0 = 0;
+            while c0 < cols {
+                let tile = t.tile_padded(r0, c0, th, tw).unwrap();
+                rebuilt.tile_write(r0, c0, &tile).unwrap();
+                c0 += tw;
+            }
+            r0 += th;
+        }
+        prop_assert_eq!(t, rebuilt);
+    }
+
+    #[test]
+    fn quantization_error_bounded(t in small_matrix(8)) {
+        let q = QuantTensor::quantize(&t);
+        let err = quant::round_trip_error(&t);
+        // Slack beyond scale/2 covers f32 rounding in the x/scale divide and
+        // the dequantize multiply (each up to ~|q|·eps ≈ 0.004·scale).
+        prop_assert!(err.max_abs <= q.scale() * 0.51 + 1e-6,
+            "max_abs {} scale {}", err.max_abs, q.scale());
+    }
+
+    #[test]
+    fn qformat_round_trip_error_bounded(x in -60.0f32..60.0, bits in 4u8..12) {
+        let q = QFormat::new(bits);
+        prop_assume!(x.abs() < q.max_value());
+        let back = q.to_f32(q.from_f32(x));
+        prop_assert!((back - x).abs() <= q.resolution() * 0.5 + 1e-5);
+    }
+
+    #[test]
+    fn qformat_segment_shift_matches_float(
+        x in -1.9f32..1.9, log2_seg in -4i8..0
+    ) {
+        let q = QFormat::new(8);
+        let x_min = -2.0f32;
+        let seg = (2.0f32).powi(log2_seg as i32);
+        let xq = q.from_f32(x);
+        let got = q.segment_shift(xq, q.from_f32(x_min), log2_seg);
+        // Compare against the float floor computed on the *quantized* value,
+        // which is what the hardware sees.
+        let expect = ((q.to_f32(xq) - x_min) / seg).floor() as i32;
+        prop_assert_eq!(got, expect);
+    }
+}

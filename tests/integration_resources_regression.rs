@@ -1,0 +1,64 @@
+//! Regression tests pinning the resource and power models to the
+//! paper's published numbers (Tables I, II and the 7.61 W design point).
+
+use onesa_resources::array::{ArrayResources, TABLE2_ANCHORS};
+use onesa_resources::modules::{l3_cost, pe_cost, ModuleCost};
+use onesa_resources::power::PowerModel;
+use onesa_resources::Design;
+
+#[test]
+fn table1_exact() {
+    assert_eq!(l3_cost(Design::ClassicSa), ModuleCost::new(0, 174, 566, 0));
+    assert_eq!(l3_cost(Design::OneSa), ModuleCost::new(2, 1021, 1209, 0));
+    assert_eq!(pe_cost(Design::ClassicSa, 16), ModuleCost::new(1, 824, 1862, 16));
+    assert_eq!(pe_cost(Design::OneSa, 16), ModuleCost::new(1, 826, 2380, 16));
+}
+
+#[test]
+fn table2_exact() {
+    let model = ArrayResources::calibrated();
+    for (dim, sa, onesa) in TABLE2_ANCHORS {
+        assert_eq!(model.total(Design::ClassicSa, dim, 16), sa, "SA {dim}");
+        assert_eq!(model.total(Design::OneSa, dim, 16), onesa, "ONE-SA {dim}");
+    }
+}
+
+#[test]
+fn abstract_claims_hold() {
+    // "…does not introduce extra notable (less than 1.5 %) BRAMs, LUTs or
+    // DSPs but a mere 13.3 % – 24.1 % more FFs."
+    let model = ArrayResources::calibrated();
+    let mut ff_ratios = Vec::new();
+    for dim in [4usize, 8, 16] {
+        let (bram, lut, ff, dsp) = model.onesa_overhead_ratios(dim, 16);
+        assert!(bram - 1.0 < 0.015, "{dim}: BRAM {bram}");
+        assert!(lut - 1.0 < 0.015, "{dim}: LUT {lut}");
+        assert!((dsp - 1.0).abs() < 1e-12, "{dim}: DSP {dsp}");
+        ff_ratios.push(ff - 1.0);
+    }
+    let min = ff_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ff_ratios.iter().cloned().fold(0.0, f64::max);
+    assert!((0.125..0.145).contains(&min), "min FF overhead {min}");
+    assert!((0.23..0.25).contains(&max), "max FF overhead {max}");
+}
+
+#[test]
+fn power_calibration_regression() {
+    let model = ArrayResources::calibrated();
+    let power = PowerModel::virtex7();
+    let cost = model.total(Design::OneSa, 8, 16);
+    let p = power.power_watts(&cost);
+    assert!((p - 7.61).abs() < 0.05, "paper design point drifted: {p} W");
+}
+
+#[test]
+fn l3_paper_ratios() {
+    // "the proposed L3 buffer necessitates 4.87× more LUTs and 1.14×
+    // more FFs" — and its absolute size stays comparable to one PE.
+    let sa = l3_cost(Design::ClassicSa);
+    let one = l3_cost(Design::OneSa);
+    assert!(((one.lut - sa.lut) as f64 / sa.lut as f64 - 4.87).abs() < 0.01);
+    assert!(((one.ff - sa.ff) as f64 / sa.ff as f64 - 1.14).abs() < 0.01);
+    let pe = pe_cost(Design::OneSa, 16);
+    assert!(one.lut < 2 * pe.lut && one.ff < pe.ff);
+}

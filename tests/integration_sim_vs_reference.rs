@@ -1,0 +1,104 @@
+//! Cross-crate integration: the event-driven systolic array, the
+//! analytic cycle model and the reference kernels must agree.
+
+use onesa_cpwl::{NonlinearFn, PwlTable};
+use onesa_sim::array::SystolicArray;
+use onesa_sim::ipf::L3Addressing;
+use onesa_sim::{analytic, ArrayConfig};
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::{gemm, stats, Tensor};
+
+#[test]
+fn event_gemm_equals_reference_across_configs() {
+    let mut rng = Pcg32::seed_from_u64(1);
+    for (d, t) in [(2usize, 1usize), (4, 4), (8, 16), (5, 3)] {
+        let mut arr = SystolicArray::new(ArrayConfig::new(d, t));
+        let a = rng.randn(&[13, 9], 1.0);
+        let b = rng.randn(&[9, 11], 1.0);
+        let run = arr.gemm_full(&a, &b).unwrap();
+        let reference = gemm::matmul(&a, &b).unwrap();
+        assert!(
+            stats::max_abs_diff(run.output.as_slice(), reference.as_slice()) < 1e-3,
+            "config ({d},{t})"
+        );
+    }
+}
+
+#[test]
+fn full_nonlinear_pipeline_through_array_hardware_path() {
+    // IPF through the L3 addressing module, rearrange into (x,1)/(k,b)
+    // streams, MHP on the diagonal PEs — end-to-end against the scalar
+    // table evaluation.
+    let cfg = ArrayConfig::new(4, 8);
+    let table = PwlTable::builder(NonlinearFn::Gelu).granularity(0.25).build().unwrap();
+    let x = Pcg32::seed_from_u64(2).randn(&[11, 7], 2.0);
+
+    let mut addressing = L3Addressing::new(&cfg, &table);
+    let (ipf, ipf_cycles) = addressing.process(&x);
+    assert!(ipf_cycles.ipf > 0);
+
+    let mut arr = SystolicArray::new(cfg);
+    let run = arr.mhp_full(&x, &ipf.k, &ipf.b).unwrap();
+
+    for (i, &xv) in x.as_slice().iter().enumerate() {
+        let expect = table.eval(xv);
+        let got = run.output.as_slice()[i];
+        assert!((got - expect).abs() < 1e-5, "elem {i}: {got} vs {expect}");
+    }
+}
+
+#[test]
+fn analytic_matches_event_sim_on_tile_grid() {
+    for (d, t) in [(3usize, 2usize), (4, 4), (6, 8)] {
+        let cfg = ArrayConfig::new(d, t);
+        let mut arr = SystolicArray::new(cfg.clone());
+        let mut rng = Pcg32::seed_from_u64(3);
+        for k in [1usize, 5, 17] {
+            let a = rng.randn(&[d, k], 1.0);
+            let b = rng.randn(&[k, d], 1.0);
+            let run = arr.gemm_tile(&a, &b).unwrap();
+            let model = analytic::gemm_breakdown(&cfg, d, k, d);
+            assert_eq!(run.breakdown.skew, model.skew, "({d},{t},{k})");
+            assert_eq!(run.breakdown.compute, model.compute, "({d},{t},{k})");
+            assert_eq!(run.breakdown.drain, model.drain, "({d},{t},{k})");
+        }
+    }
+}
+
+#[test]
+fn quantized_table_path_close_to_float_path() {
+    // The INT16 shift-addressed path the hardware executes stays within
+    // quantization resolution of the float CPWL path.
+    let table = PwlTable::builder(NonlinearFn::Sigmoid).granularity(0.25).build().unwrap();
+    let q = table.qformat();
+    let mut worst = 0.0f32;
+    let mut x = -10.0f32;
+    while x < 10.0 {
+        let xq = q.from_f32(x);
+        let yq = q.to_f32(table.eval_q(xq));
+        let yf = table.eval(q.to_f32(xq));
+        worst = worst.max((yq - yf).abs());
+        x += 0.0173;
+    }
+    assert!(worst < 0.02, "worst deviation {worst}");
+}
+
+#[test]
+fn mode_switch_gemm_then_mhp_then_gemm() {
+    // The array reconfigures between GEMM and MHP without residue — the
+    // paper's "one-size-fits-all" property.
+    let cfg = ArrayConfig::new(4, 4);
+    let mut arr = SystolicArray::new(cfg);
+    let mut rng = Pcg32::seed_from_u64(4);
+    let a = rng.randn(&[4, 6], 1.0);
+    let b = rng.randn(&[6, 4], 1.0);
+    let g1 = arr.gemm_tile(&a, &b).unwrap();
+    let x = rng.randn(&[4, 8], 1.0);
+    let k = rng.randn(&[4, 8], 1.0);
+    let bias = rng.randn(&[4, 8], 1.0);
+    let m = arr.mhp_row_tile(&x, &k, &bias).unwrap();
+    let g2 = arr.gemm_tile(&a, &b).unwrap();
+    assert_eq!(g1.output, g2.output, "GEMM results must be identical before/after MHP");
+    let mhp_ref = gemm::mhp(&x, &k, &bias).unwrap();
+    assert!(stats::max_abs_diff(m.output.as_slice(), mhp_ref.as_slice()) < 1e-5);
+}
