@@ -14,9 +14,10 @@ use onesa_sim::{analytic, ArrayConfig, ParamStaging};
 
 fn bench_staging_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("staging");
-    for (label, staging) in
-        [("fused", ParamStaging::Fused), ("dram_roundtrip", ParamStaging::Dram)]
-    {
+    for (label, staging) in [
+        ("fused", ParamStaging::Fused),
+        ("dram_roundtrip", ParamStaging::Dram),
+    ] {
         let mut cfg = ArrayConfig::new(8, 16);
         cfg.staging = staging;
         group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
@@ -50,5 +51,10 @@ fn bench_split_vs_unified(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_staging_ablation, bench_mac_sweep, bench_split_vs_unified);
+criterion_group!(
+    benches,
+    bench_staging_ablation,
+    bench_mac_sweep,
+    bench_split_vs_unified
+);
 criterion_main!(benches);

@@ -22,7 +22,10 @@ fn bench_table_build(c: &mut Criterion) {
 }
 
 fn bench_tensor_eval(c: &mut Criterion) {
-    let table = PwlTable::builder(NonlinearFn::Gelu).granularity(0.25).build().unwrap();
+    let table = PwlTable::builder(NonlinearFn::Gelu)
+        .granularity(0.25)
+        .build()
+        .unwrap();
     let x = Pcg32::seed_from_u64(3).randn(&[256, 256], 2.0);
     c.bench_function("gelu_tensor_eval_64k", |b| {
         b.iter(|| table.eval_tensor(std::hint::black_box(&x)).unwrap())
@@ -36,9 +39,14 @@ fn bench_tensor_eval(c: &mut Criterion) {
 }
 
 fn bench_quantized_scalar(c: &mut Criterion) {
-    let table = PwlTable::builder(NonlinearFn::Sigmoid).granularity(0.25).build().unwrap();
+    let table = PwlTable::builder(NonlinearFn::Sigmoid)
+        .granularity(0.25)
+        .build()
+        .unwrap();
     let q = table.qformat();
-    let inputs: Vec<i16> = (-2000..2000).map(|i| q.from_f32(i as f32 * 0.004)).collect();
+    let inputs: Vec<i16> = (-2000..2000)
+        .map(|i| q.from_f32(i as f32 * 0.004))
+        .collect();
     c.bench_function("sigmoid_int16_shift_path_4k", |b| {
         b.iter(|| {
             let mut acc = 0i32;
@@ -50,5 +58,10 @@ fn bench_quantized_scalar(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_table_build, bench_tensor_eval, bench_quantized_scalar);
+criterion_group!(
+    benches,
+    bench_table_build,
+    bench_tensor_eval,
+    bench_quantized_scalar
+);
 criterion_main!(benches);

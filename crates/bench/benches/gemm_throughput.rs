@@ -14,9 +14,16 @@ fn bench_event_gemm(c: &mut Criterion) {
         let mut rng = Pcg32::seed_from_u64(1);
         let a = rng.randn(&[d, 64], 1.0);
         let b = rng.randn(&[64, d], 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{d}x{d}x{t}")), &(), |bch, _| {
-            bch.iter(|| arr.gemm_tile(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{d}x{d}x{t}")),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    arr.gemm_tile(std::hint::black_box(&a), std::hint::black_box(&b))
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -15,16 +15,20 @@ fn bench_event_mhp(c: &mut Criterion) {
         let x = rng.randn(&[d, 128], 1.0);
         let k = rng.randn(&[d, 128], 1.0);
         let b = rng.randn(&[d, 128], 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{d}x{t}")), &(), |bch, _| {
-            bch.iter(|| {
-                arr.mhp_row_tile(
-                    std::hint::black_box(&x),
-                    std::hint::black_box(&k),
-                    std::hint::black_box(&b),
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{d}x{t}")),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    arr.mhp_row_tile(
+                        std::hint::black_box(&x),
+                        std::hint::black_box(&k),
+                        std::hint::black_box(&b),
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

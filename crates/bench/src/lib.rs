@@ -27,10 +27,19 @@ use std::fmt::Write as _;
 pub fn fig1_report() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig 1 — computations in classic neural network models");
-    let _ = writeln!(out, "(op-count shares; see EXPERIMENTS.md for the accounting model)\n");
+    let _ = writeln!(
+        out,
+        "(op-count shares; see EXPERIMENTS.md for the accounting model)\n"
+    );
     for (title, w) in [
-        ("(a) CNN-based ResNet, CIFAR-10 shape", workloads::resnet50(32)),
-        ("(b) Transformer-based BERT, SST-2 shape", workloads::bert_base(64)),
+        (
+            "(a) CNN-based ResNet, CIFAR-10 shape",
+            workloads::resnet50(32),
+        ),
+        (
+            "(b) Transformer-based BERT, SST-2 shape",
+            workloads::bert_base(64),
+        ),
     ] {
         let c = w.op_counts();
         let _ = writeln!(out, "{title}  [{}]", w.name);
@@ -53,15 +62,26 @@ pub fn fig1_report() -> String {
 /// ONE-SA.
 pub fn table1_report() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table I — resource consumption of the ONE-SA L3 and PE");
-    let _ = writeln!(out, "{:<8}{:<10}{:>7}{:>8}{:>8}{:>6}", "Module", "Design", "BRAM", "LUT", "FF", "DSP");
+    let _ = writeln!(
+        out,
+        "Table I — resource consumption of the ONE-SA L3 and PE"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8}{:<10}{:>7}{:>8}{:>8}{:>6}",
+        "Module", "Design", "BRAM", "LUT", "FF", "DSP"
+    );
     for (module, design, c) in [
         ("L3", "SA", l3_cost(Design::ClassicSa)),
         ("L3", "ONE-SA", l3_cost(Design::OneSa)),
         ("PE", "SA", pe_cost(Design::ClassicSa, 16)),
         ("PE", "ONE-SA", pe_cost(Design::OneSa, 16)),
     ] {
-        let _ = writeln!(out, "{module:<8}{design:<10}{:>7}{:>8}{:>8}{:>6}", c.bram, c.lut, c.ff, c.dsp);
+        let _ = writeln!(
+            out,
+            "{module:<8}{design:<10}{:>7}{:>8}{:>8}{:>6}",
+            c.bram, c.lut, c.ff, c.dsp
+        );
     }
     out
 }
@@ -78,9 +98,7 @@ pub fn table2_report() -> String {
         "Dim", "Design", "BRAM", "LUT", "FF", "DSP"
     );
     for (dim, sa_pub, onesa_pub) in TABLE2_ANCHORS {
-        for (design, published) in
-            [(Design::ClassicSa, sa_pub), (Design::OneSa, onesa_pub)]
-        {
+        for (design, published) in [(Design::ClassicSa, sa_pub), (Design::OneSa, onesa_pub)] {
             let c = model.total(design, dim, 16);
             let ok = c == published;
             let _ = writeln!(
@@ -136,7 +154,11 @@ fn row(task: &str, evaluate: impl Fn(&InferenceMode) -> f32) -> AccuracyRow {
             evaluate(&mode) * 100.0 - original
         })
         .collect();
-    AccuracyRow { task: task.to_string(), original, deltas }
+    AccuracyRow {
+        task: task.to_string(),
+        original,
+        deltas,
+    }
 }
 
 /// Table III: end-to-end inference accuracy of CNN / BERT / GCN models
@@ -144,9 +166,19 @@ fn row(task: &str, evaluate: impl Fn(&InferenceMode) -> f32) -> AccuracyRow {
 pub fn table3_rows(quick: bool) -> Vec<(String, Vec<AccuracyRow>)> {
     let per_class = if quick { 12 } else { 40 };
     let cfg = if quick {
-        TrainConfig { epochs: 8, lr: 5e-3, batch_size: 16, seed: 42 }
+        TrainConfig {
+            epochs: 8,
+            lr: 5e-3,
+            batch_size: 16,
+            seed: 42,
+        }
     } else {
-        TrainConfig { epochs: 16, lr: 3e-3, batch_size: 16, seed: 42 }
+        TrainConfig {
+            epochs: 16,
+            lr: 3e-3,
+            batch_size: 16,
+            seed: 42,
+        }
     };
 
     let mut cnn_rows = Vec::new();
@@ -157,7 +189,12 @@ pub fn table3_rows(quick: bool) -> Vec<(String, Vec<AccuracyRow>)> {
     }
 
     let mut bert_rows = Vec::new();
-    let text_cfg = TrainConfig { epochs: cfg.epochs.min(8), lr: 2e-3, batch_size: 1, seed: 43 };
+    let text_cfg = TrainConfig {
+        epochs: cfg.epochs.min(8),
+        lr: 2e-3,
+        batch_size: 1,
+        seed: 43,
+    };
     for data in TextDataset::table3_suite(13, per_class) {
         let outputs = match data.task {
             onesa_data::text::TextTask::Classification => data.classes,
@@ -169,7 +206,12 @@ pub fn table3_rows(quick: bool) -> Vec<(String, Vec<AccuracyRow>)> {
     }
 
     let mut gcn_rows = Vec::new();
-    let gcn_cfg = TrainConfig { epochs: 10, lr: 1e-2, batch_size: 0, seed: 44 };
+    let gcn_cfg = TrainConfig {
+        epochs: 10,
+        lr: 1e-2,
+        batch_size: 0,
+        seed: 44,
+    };
     for g in GraphDataset::table3_suite(17, if quick { 1 } else { 2 }) {
         let mut model = Gcn::new(gcn_cfg.seed, g.features, 16, g.classes);
         model.fit(&g, &gcn_cfg);
@@ -186,7 +228,10 @@ pub fn table3_rows(quick: bool) -> Vec<(String, Vec<AccuracyRow>)> {
 /// Formats Table III.
 pub fn table3_report(quick: bool) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table III — end-to-end inference accuracy vs CPWL granularity");
+    let _ = writeln!(
+        out,
+        "Table III — end-to-end inference accuracy vs CPWL granularity"
+    );
     let _ = writeln!(
         out,
         "{:<8}{:<16}{:>9}{:>8}{:>8}{:>8}{:>8}{:>8}",
@@ -209,10 +254,20 @@ pub fn table3_report(quick: bool) -> String {
 pub fn table4_report() -> String {
     let engine = OneSa::new(ArrayConfig::new(8, 16));
     let mut out = String::new();
-    let _ = writeln!(out, "Table IV — performance comparison (L ms, S ×, T GOPS, P W, T/P 1/W)");
+    let _ = writeln!(
+        out,
+        "Table IV — performance comparison (L ms, S ×, T GOPS, P W, T/P 1/W)"
+    );
     for w in workloads::table4_workloads() {
-        let cpu_latency = onesa_baselines::cpu_i7_11700().latency_s(&w).expect("cpu runs all");
-        let _ = writeln!(out, "\n── {} ({:.2} GMACs) ──", w.family, w.total_macs() as f64 / 1e9);
+        let cpu_latency = onesa_baselines::cpu_i7_11700()
+            .latency_s(&w)
+            .expect("cpu runs all");
+        let _ = writeln!(
+            out,
+            "\n── {} ({:.2} GMACs) ──",
+            w.family,
+            w.total_macs() as f64 / 1e9
+        );
         let _ = writeln!(
             out,
             "{:<28}{:>9}{:>7}{:>9}{:>8}{:>7}",
@@ -271,7 +326,13 @@ pub fn table5_report() -> String {
     let kb = |bytes: usize| format!("{:.3}KB", bytes as f64 / 1024.0);
     let _ = writeln!(out, "{:<10}{:>10}{:>10}", "L3", kb(b.l3_bytes), 3);
     let _ = writeln!(out, "{:<10}{:>10}{:>10}", "L2", kb(b.l2_bytes), 3 * dim);
-    let _ = writeln!(out, "{:<10}{:>10}{:>10}", "PE out", kb(b.pe_out_bytes), dim * dim);
+    let _ = writeln!(
+        out,
+        "{:<10}{:>10}{:>10}",
+        "PE out",
+        kb(b.pe_out_bytes),
+        dim * dim
+    );
     let _ = writeln!(out, "{:<10}{:>10}{:>10}", "L1", kb(b.l1_bytes), dim * dim);
     let _ = writeln!(
         out,
@@ -288,7 +349,10 @@ pub fn fig8_report() -> String {
     let pe_log4 = [2usize, 4, 8, 16, 32]; // D: 4..1024 PEs
     let macs = [2usize, 4, 8, 16];
     let mut out = String::new();
-    let _ = writeln!(out, "Fig 8 — performance under different types of calculation");
+    let _ = writeln!(
+        out,
+        "Fig 8 — performance under different types of calculation"
+    );
     for (title, nonlinear) in [("(a) linear GOPS", false), ("(b) nonlinear GNFS", true)] {
         let _ = writeln!(out, "\n{title}");
         for &t in &macs {
@@ -310,7 +374,11 @@ pub fn fig8_report() -> String {
                     };
                     line.push_str(&format!("{:>10.2}", v));
                 }
-                let peak = if nonlinear { cfg.peak_gnfs() } else { cfg.peak_gops() };
+                let peak = if nonlinear {
+                    cfg.peak_gnfs()
+                } else {
+                    cfg.peak_gops()
+                };
                 line.push_str(&format!("{:>10.2}", peak));
                 let _ = writeln!(out, "{line}");
             }
@@ -400,9 +468,9 @@ pub fn fig10_points(input_dims: usize, nonlinear: bool) -> Vec<DesignPoint> {
     }
     let snapshot = points.clone();
     for p in &mut points {
-        p.pareto = !snapshot.iter().any(|q| {
-            q.latency_s < p.latency_s && q.power_w < p.power_w
-        });
+        p.pareto = !snapshot
+            .iter()
+            .any(|q| q.latency_s < p.latency_s && q.power_w < p.power_w);
     }
     points
 }
@@ -411,9 +479,10 @@ pub fn fig10_points(input_dims: usize, nonlinear: bool) -> Vec<DesignPoint> {
 pub fn fig10_report() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig 10 — computation latency with power consumption");
-    for (title, nonlinear) in
-        [("(a) linear computation", false), ("(b) nonlinear computation", true)]
-    {
+    for (title, nonlinear) in [
+        ("(a) linear computation", false),
+        ("(b) nonlinear computation", true),
+    ] {
         let _ = writeln!(out, "\n{title}");
         for dims in [512usize, 128, 32] {
             let _ = writeln!(out, " input {dims} dims");
@@ -457,7 +526,9 @@ pub fn headline_ratios() -> Vec<(ModelFamily, f64, f64, f64)> {
             let r = engine.run_workload(w);
             let eff = r.gops_per_watt();
             let ratio = |p: onesa_baselines::Processor| {
-                p.gops_per_watt(w.family).map(|e| eff / e).unwrap_or(f64::NAN)
+                p.gops_per_watt(w.family)
+                    .map(|e| eff / e)
+                    .unwrap_or(f64::NAN)
             };
             (
                 w.family,
@@ -499,8 +570,7 @@ mod tests {
         assert_eq!(pts.len(), 20);
         assert!(pts.iter().any(|p| p.pareto));
         // The paper: high-MAC designs dominate the frontier.
-        let frontier_macs: Vec<usize> =
-            pts.iter().filter(|p| p.pareto).map(|p| p.macs).collect();
+        let frontier_macs: Vec<usize> = pts.iter().filter(|p| p.pareto).map(|p| p.macs).collect();
         assert!(frontier_macs.iter().any(|&m| m >= 16), "{frontier_macs:?}");
     }
 

@@ -25,7 +25,11 @@ impl OneSa {
     pub fn new(cfg: ArrayConfig) -> Self {
         let resources = ArrayResources::calibrated();
         let cost = resources.total(Design::OneSa, cfg.dim, cfg.macs_per_pe);
-        OneSa { cfg, cost, power: PowerModel::virtex7() }
+        OneSa {
+            cfg,
+            cost,
+            power: PowerModel::virtex7(),
+        }
     }
 
     /// The array configuration.
@@ -94,7 +98,9 @@ impl OneSa {
         eps: f32,
     ) -> Result<(Tensor, ExecStats)> {
         let (m, n) = x.shape().as_matrix()?;
-        let out = tables.layernorm_rows(x, gamma, beta, eps).map_err(unwrap_cpwl)?;
+        let out = tables
+            .layernorm_rows(x, gamma, beta, eps)
+            .map_err(unwrap_cpwl)?;
         Ok((out, self.norm_stats(m, n)))
     }
 
@@ -104,7 +110,12 @@ impl OneSa {
     /// steps of the composite lowerings.
     fn mhp_stats(&self, m: usize, n: usize) -> ExecStats {
         let e = (m * n) as u64;
-        ExecStats::new(&self.cfg, analytic::mhp_breakdown(&self.cfg, m, n), 2 * e, 0)
+        ExecStats::new(
+            &self.cfg,
+            analytic::mhp_breakdown(&self.cfg, m, n),
+            2 * e,
+            0,
+        )
     }
 
     /// Softmax lowering cycles: exp (IPF+MHP) + row-sum GEMM +
@@ -126,7 +137,11 @@ impl OneSa {
         let var = analytic::gemm_stats(&self.cfg, m, n, 1);
         let rsqrt = analytic::nonlinear_stats(&self.cfg, m, 1);
         let affine = self.mhp_stats(m, n);
-        mean.merged(&center).merged(&square).merged(&var).merged(&rsqrt).merged(&affine)
+        mean.merged(&center)
+            .merged(&square)
+            .merged(&var)
+            .merged(&rsqrt)
+            .merged(&affine)
     }
 
     /// Stats for one workload phase.
@@ -211,7 +226,10 @@ mod tests {
     #[test]
     fn nonlinear_values_match_table() {
         let engine = OneSa::default();
-        let table = PwlTable::builder(NonlinearFn::Gelu).granularity(0.25).build().unwrap();
+        let table = PwlTable::builder(NonlinearFn::Gelu)
+            .granularity(0.25)
+            .build()
+            .unwrap();
         let x = Pcg32::seed_from_u64(2).randn(&[6, 10], 2.0);
         let (out, s) = engine.nonlinear(&table, &x).unwrap();
         assert_eq!(out, table.eval_tensor(&x).unwrap());
@@ -237,7 +255,12 @@ mod tests {
             assert!(r.latency_ms() > 0.1, "{}: {}", w.name, r.latency_ms());
             assert!(r.gops() > 10.0, "{}: {}", w.name, r.gops());
             assert!(r.gops() <= engine.config().peak_gops());
-            assert!(r.power_w > 0.25 && r.power_w < 10.0, "{}: {} W", w.name, r.power_w);
+            assert!(
+                r.power_w > 0.25 && r.power_w < 10.0,
+                "{}: {} W",
+                w.name,
+                r.power_w
+            );
         }
     }
 

@@ -65,7 +65,11 @@ pub fn split_accelerator_cycles(
             }
         }
     }
-    SplitCycles { gemm_busy, nonlinear_busy, total: gemm_busy + nonlinear_busy }
+    SplitCycles {
+        gemm_busy,
+        nonlinear_busy,
+        total: gemm_busy + nonlinear_busy,
+    }
 }
 
 #[cfg(test)]
@@ -102,9 +106,17 @@ mod tests {
 
     #[test]
     fn idle_fraction_bounds() {
-        let s = SplitCycles { gemm_busy: 60, nonlinear_busy: 40, total: 100 };
+        let s = SplitCycles {
+            gemm_busy: 60,
+            nonlinear_busy: 40,
+            total: 100,
+        };
         assert!((s.idle_fraction() - 0.5).abs() < 1e-12);
-        let z = SplitCycles { gemm_busy: 0, nonlinear_busy: 0, total: 0 };
+        let z = SplitCycles {
+            gemm_busy: 0,
+            nonlinear_busy: 0,
+            total: 0,
+        };
         assert_eq!(z.idle_fraction(), 0.0);
     }
 }

@@ -71,7 +71,13 @@ mod tests {
         let cfg = ArrayConfig::default();
         let stats = ExecStats::new(
             &cfg,
-            CycleBreakdown { skew: 0, compute: 200_000, drain: 0, ipf: 0, dram_stall: 0 },
+            CycleBreakdown {
+                skew: 0,
+                compute: 200_000,
+                drain: 0,
+                ipf: 0,
+                dram_stall: 0,
+            },
             204_800_000,
             0,
         );

@@ -41,7 +41,7 @@ pub fn measure(table: &PwlTable, samples: usize) -> ApproxError {
     ApproxError {
         max_abs,
         mean_abs: (sum_abs / n as f64) as f32,
-        rms: ((sum_sq / n as f64) as f64).sqrt() as f32,
+        rms: (sum_sq / n as f64).sqrt() as f32,
     }
 }
 
@@ -71,7 +71,7 @@ pub fn capped_error(table: &PwlTable, span: f32, samples: usize) -> ApproxError 
     ApproxError {
         max_abs,
         mean_abs: (sum_abs / (2 * n) as f64) as f32,
-        rms: ((sum_sq / (2 * n) as f64) as f64).sqrt() as f32,
+        rms: (sum_sq / (2 * n) as f64).sqrt() as f32,
     }
 }
 
@@ -116,7 +116,10 @@ mod tests {
     fn chord_error_bound_holds_for_gelu() {
         // |f''| of GELU is bounded by ~1.13; chord error ≤ M2 g^2 / 8.
         let g = 0.25f32;
-        let table = PwlTable::builder(NonlinearFn::Gelu).granularity(g).build().unwrap();
+        let table = PwlTable::builder(NonlinearFn::Gelu)
+            .granularity(g)
+            .build()
+            .unwrap();
         let err = measure(&table, 4000);
         let bound = 1.2 * g * g / 8.0;
         assert!(err.max_abs <= bound, "{} > {bound}", err.max_abs);
@@ -124,7 +127,10 @@ mod tests {
 
     #[test]
     fn capped_error_small_for_saturating_functions() {
-        let table = PwlTable::builder(NonlinearFn::Tanh).granularity(0.25).build().unwrap();
+        let table = PwlTable::builder(NonlinearFn::Tanh)
+            .granularity(0.25)
+            .build()
+            .unwrap();
         let e = capped_error(&table, 8.0, 256);
         // tanh saturates; the boundary chord is nearly flat at ±1.
         assert!(e.max_abs < 0.05, "{e:?}");
@@ -132,7 +138,10 @@ mod tests {
 
     #[test]
     fn relu_error_zero() {
-        let table = PwlTable::builder(NonlinearFn::Relu).granularity(0.5).build().unwrap();
+        let table = PwlTable::builder(NonlinearFn::Relu)
+            .granularity(0.5)
+            .build()
+            .unwrap();
         let e = measure(&table, 1000);
         assert!(e.max_abs < 1e-6);
         let ce = capped_error(&table, 4.0, 100);
@@ -141,7 +150,10 @@ mod tests {
 
     #[test]
     fn stats_are_ordered() {
-        let table = PwlTable::builder(NonlinearFn::Exp).granularity(0.5).build().unwrap();
+        let table = PwlTable::builder(NonlinearFn::Exp)
+            .granularity(0.5)
+            .build()
+            .unwrap();
         let e = measure(&table, 1000);
         assert!(e.mean_abs <= e.rms + 1e-9);
         assert!(e.rms <= e.max_abs + 1e-9);

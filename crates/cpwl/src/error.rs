@@ -76,7 +76,10 @@ mod tests {
             CpwlError::InvalidGranularity(-1.0),
             CpwlError::InvalidRange { lo: 1.0, hi: 0.0 },
             CpwlError::NonFiniteSample { x: 0.0 },
-            CpwlError::TooManySegments { requested: 100, cap: 10 },
+            CpwlError::TooManySegments {
+                requested: 100,
+                cap: 10,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -7,7 +7,6 @@
 //! capping extrapolates the identity — exactly the behaviour the paper's
 //! "capped" qualifier relies on).
 
-
 /// A nonlinear scalar function that CPWL can tabulate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
@@ -152,9 +151,8 @@ pub(crate) fn erf(x: f32) -> f32 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
-        * (0.254_829_592
-            + t * (-0.284_496_736
-                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+        * (0.254_829_6
+            + t * (-0.284_496_72 + t * (1.421_413_8 + t * (-1.453_152_1 + t * 1.061_405_4))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -187,9 +185,11 @@ mod tests {
         for x in [-3.0f32, -1.0, 0.0, 0.5, 2.0] {
             let s = NonlinearFn::Sigmoid.eval(x);
             assert!((NonlinearFn::Silu.eval(x) - x * s).abs() < 1e-6);
-            assert!((NonlinearFn::Tanh.eval(x) - (2.0 * NonlinearFn::Sigmoid.eval(2.0 * x) - 1.0))
-                .abs()
-                < 1e-5);
+            assert!(
+                (NonlinearFn::Tanh.eval(x) - (2.0 * NonlinearFn::Sigmoid.eval(2.0 * x) - 1.0))
+                    .abs()
+                    < 1e-5
+            );
         }
     }
 

@@ -31,11 +31,7 @@ pub const POW2_CANDIDATES: [f32; 7] = [2.0, 1.0, 0.5, 0.25, 0.125, 0.0625, 0.031
 /// assert_eq!(g, Some(0.25)); // GELU chord error at 0.25 is ≈ 0.008
 /// # Ok::<(), onesa_cpwl::CpwlError>(())
 /// ```
-pub fn largest_within(
-    func: NonlinearFn,
-    max_err: f32,
-    candidates: &[f32],
-) -> Result<Option<f32>> {
+pub fn largest_within(func: NonlinearFn, max_err: f32, candidates: &[f32]) -> Result<Option<f32>> {
     let mut sorted: Vec<f32> = candidates.to_vec();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("granularities are finite"));
     for g in sorted {
@@ -70,8 +66,12 @@ mod tests {
 
     #[test]
     fn tighter_budget_gives_finer_granularity() {
-        let loose = largest_within(NonlinearFn::Gelu, 0.1, &POW2_CANDIDATES).unwrap().unwrap();
-        let tight = largest_within(NonlinearFn::Gelu, 0.001, &POW2_CANDIDATES).unwrap().unwrap();
+        let loose = largest_within(NonlinearFn::Gelu, 0.1, &POW2_CANDIDATES)
+            .unwrap()
+            .unwrap();
+        let tight = largest_within(NonlinearFn::Gelu, 0.001, &POW2_CANDIDATES)
+            .unwrap()
+            .unwrap();
         assert!(tight < loose, "{tight} !< {loose}");
     }
 

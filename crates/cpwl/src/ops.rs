@@ -51,7 +51,9 @@ impl TableSet {
     pub fn for_granularity(granularity: f32) -> Result<Self> {
         Ok(TableSet {
             granularity,
-            gelu: PwlTable::builder(NonlinearFn::Gelu).granularity(granularity).build()?,
+            gelu: PwlTable::builder(NonlinearFn::Gelu)
+                .granularity(granularity)
+                .build()?,
             exp: PwlTable::builder(NonlinearFn::Exp)
                 .granularity(granularity)
                 .range(-16.0, 0.0)
@@ -66,9 +68,15 @@ impl TableSet {
                 .range(0.0625, 64.0625)
                 .max_segments(32_768)
                 .build()?,
-            tanh: PwlTable::builder(NonlinearFn::Tanh).granularity(granularity).build()?,
-            sigmoid: PwlTable::builder(NonlinearFn::Sigmoid).granularity(granularity).build()?,
-            relu: PwlTable::builder(NonlinearFn::Relu).granularity(granularity).build()?,
+            tanh: PwlTable::builder(NonlinearFn::Tanh)
+                .granularity(granularity)
+                .build()?,
+            sigmoid: PwlTable::builder(NonlinearFn::Sigmoid)
+                .granularity(granularity)
+                .build()?,
+            relu: PwlTable::builder(NonlinearFn::Relu)
+                .granularity(granularity)
+                .build()?,
         })
     }
 
@@ -143,12 +151,12 @@ impl TableSet {
     /// Returns a tensor error if `x` is not a matrix.
     pub fn softmax_rows(&self, x: &Tensor) -> Result<Tensor> {
         let maxes = gemm::row_maxes(x)?;
-        let (m, n) = x.shape().as_matrix()?;
+        let (_, n) = x.shape().as_matrix()?;
         let mut shifted = x.clone();
-        for i in 0..m {
+        for (i, &mx) in maxes.iter().enumerate() {
             let row = &mut shifted.as_mut_slice()[i * n..(i + 1) * n];
             for v in row {
-                *v -= maxes[i];
+                *v -= mx;
             }
         }
         let expd = self.exp.eval_tensor(&shifted)?;
@@ -179,11 +187,13 @@ impl TableSet {
     ) -> Result<Tensor> {
         let (m, n) = x.shape().as_matrix()?;
         if gamma.len() != n || beta.len() != n {
-            return Err(crate::CpwlError::Tensor(onesa_tensor::TensorError::ShapeMismatch {
-                lhs: vec![m, n],
-                rhs: vec![gamma.len(), beta.len()],
-                op: "layernorm_rows",
-            }));
+            return Err(crate::CpwlError::Tensor(
+                onesa_tensor::TensorError::ShapeMismatch {
+                    lhs: vec![m, n],
+                    rhs: vec![gamma.len(), beta.len()],
+                    op: "layernorm_rows",
+                },
+            ));
         }
         let mut out = x.clone();
         for i in 0..m {
@@ -221,16 +231,19 @@ impl TableSet {
     ) -> Result<Tensor> {
         let (m, n) = x.shape().as_matrix()?;
         if mean.len() != n || var.len() != n || gamma.len() != n || beta.len() != n {
-            return Err(crate::CpwlError::Tensor(onesa_tensor::TensorError::ShapeMismatch {
-                lhs: vec![m, n],
-                rhs: vec![mean.len()],
-                op: "batchnorm_rows",
-            }));
+            return Err(crate::CpwlError::Tensor(
+                onesa_tensor::TensorError::ShapeMismatch {
+                    lhs: vec![m, n],
+                    rhs: vec![mean.len()],
+                    op: "batchnorm_rows",
+                },
+            ));
         }
         // Fold stats into (k, b); the rsqrt itself goes through CPWL so a
         // coarse granularity degrades batch-norm too, as in the paper.
-        let k: Vec<f32> =
-            (0..n).map(|j| gamma[j] * self.rsqrt.eval(var[j] + eps)).collect();
+        let k: Vec<f32> = (0..n)
+            .map(|j| gamma[j] * self.rsqrt.eval(var[j] + eps))
+            .collect();
         let b: Vec<f32> = (0..n).map(|j| beta[j] - mean[j] * k[j]).collect();
         let mut out = x.clone();
         for i in 0..m {
@@ -271,19 +284,16 @@ pub fn softmax_rows_exact(x: &Tensor) -> Result<Tensor> {
 /// # Errors
 ///
 /// Returns a tensor error on malformed operands.
-pub fn layernorm_rows_exact(
-    x: &Tensor,
-    gamma: &[f32],
-    beta: &[f32],
-    eps: f32,
-) -> Result<Tensor> {
+pub fn layernorm_rows_exact(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> Result<Tensor> {
     let (m, n) = x.shape().as_matrix()?;
     if gamma.len() != n || beta.len() != n {
-        return Err(crate::CpwlError::Tensor(onesa_tensor::TensorError::ShapeMismatch {
-            lhs: vec![m, n],
-            rhs: vec![gamma.len(), beta.len()],
-            op: "layernorm_rows_exact",
-        }));
+        return Err(crate::CpwlError::Tensor(
+            onesa_tensor::TensorError::ShapeMismatch {
+                lhs: vec![m, n],
+                rhs: vec![gamma.len(), beta.len()],
+                op: "layernorm_rows_exact",
+            },
+        ));
     }
     let mut out = x.clone();
     for i in 0..m {
@@ -379,7 +389,9 @@ mod tests {
     fn shape_validation() {
         let x = Tensor::zeros(&[2, 3]);
         let tables = TableSet::for_granularity(0.25).unwrap();
-        assert!(tables.layernorm_rows(&x, &[1.0; 2], &[0.0; 3], 1e-5).is_err());
+        assert!(tables
+            .layernorm_rows(&x, &[1.0; 2], &[0.0; 3], 1e-5)
+            .is_err());
         assert!(tables
             .batchnorm_rows(&x, &[0.0; 3], &[1.0; 3], &[1.0; 3], &[0.0; 2], 1e-5)
             .is_err());

@@ -267,12 +267,15 @@ impl PwlTableBuilder {
             return Err(CpwlError::InvalidGranularity(g));
         }
         let (lo, hi) = self.range.unwrap_or_else(|| self.func.default_range());
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        if lo >= hi || !lo.is_finite() || !hi.is_finite() {
             return Err(CpwlError::InvalidRange { lo, hi });
         }
         let n = (((hi - lo) / g).round() as usize).max(1);
         if n > self.max_segments {
-            return Err(CpwlError::TooManySegments { requested: n, cap: self.max_segments });
+            return Err(CpwlError::TooManySegments {
+                requested: n,
+                cap: self.max_segments,
+            });
         }
         let mut k = Vec::with_capacity(n);
         let mut b = Vec::with_capacity(n);
@@ -335,13 +338,18 @@ mod tests {
     use super::*;
 
     fn gelu_table(g: f32) -> PwlTable {
-        PwlTable::builder(NonlinearFn::Gelu).granularity(g).build().unwrap()
+        PwlTable::builder(NonlinearFn::Gelu)
+            .granularity(g)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn builder_validates() {
         assert!(matches!(
-            PwlTable::builder(NonlinearFn::Gelu).granularity(0.0).build(),
+            PwlTable::builder(NonlinearFn::Gelu)
+                .granularity(0.0)
+                .build(),
             Err(CpwlError::InvalidGranularity(_))
         ));
         assert!(matches!(
@@ -349,11 +357,16 @@ mod tests {
             Err(CpwlError::InvalidRange { .. })
         ));
         assert!(matches!(
-            PwlTable::builder(NonlinearFn::Gelu).granularity(0.001).max_segments(10).build(),
+            PwlTable::builder(NonlinearFn::Gelu)
+                .granularity(0.001)
+                .max_segments(10)
+                .build(),
             Err(CpwlError::TooManySegments { .. })
         ));
         assert!(matches!(
-            PwlTable::builder(NonlinearFn::Reciprocal).range(-1.0, 1.0).build(),
+            PwlTable::builder(NonlinearFn::Reciprocal)
+                .range(-1.0, 1.0)
+                .build(),
             Err(CpwlError::NonFiniteSample { .. })
         ));
     }
@@ -363,15 +376,27 @@ mod tests {
         let t = gelu_table(0.25);
         assert_eq!(t.n_segments(), 32); // [-4, 4] / 0.25
         assert_eq!(t.range(), (-4.0, 4.0));
-        let t = PwlTable::builder(NonlinearFn::Gelu).granularity(0.1).build().unwrap();
+        let t = PwlTable::builder(NonlinearFn::Gelu)
+            .granularity(0.1)
+            .build()
+            .unwrap();
         assert_eq!(t.n_segments(), 80);
     }
 
     #[test]
     fn pow2_granularity_selects_shift_indexer() {
-        assert!(matches!(gelu_table(0.25).indexer(), SegmentIndexer::Shift { log2_seg: -2 }));
-        assert!(matches!(gelu_table(0.5).indexer(), SegmentIndexer::Shift { log2_seg: -1 }));
-        assert!(matches!(gelu_table(1.0).indexer(), SegmentIndexer::Shift { log2_seg: 0 }));
+        assert!(matches!(
+            gelu_table(0.25).indexer(),
+            SegmentIndexer::Shift { log2_seg: -2 }
+        ));
+        assert!(matches!(
+            gelu_table(0.5).indexer(),
+            SegmentIndexer::Shift { log2_seg: -1 }
+        ));
+        assert!(matches!(
+            gelu_table(1.0).indexer(),
+            SegmentIndexer::Shift { log2_seg: 0 }
+        ));
         assert!(matches!(
             gelu_table(0.1).indexer(),
             SegmentIndexer::Divide { .. }
@@ -417,7 +442,10 @@ mod tests {
             worst_fine = worst_fine.max((fine.eval(x) - exact).abs());
             x += 0.01;
         }
-        assert!(worst_fine < worst_coarse / 4.0, "{worst_fine} vs {worst_coarse}");
+        assert!(
+            worst_fine < worst_coarse / 4.0,
+            "{worst_fine} vs {worst_coarse}"
+        );
     }
 
     #[test]
@@ -470,7 +498,10 @@ mod tests {
     fn relu_is_exact_under_cpwl() {
         // ReLU is piecewise linear with a knee at 0; any power-of-two
         // granularity places a segment boundary at 0, so CPWL is exact.
-        let t = PwlTable::builder(NonlinearFn::Relu).granularity(0.5).build().unwrap();
+        let t = PwlTable::builder(NonlinearFn::Relu)
+            .granularity(0.5)
+            .build()
+            .unwrap();
         for x in [-3.0f32, -0.25, 0.0, 0.25, 3.0] {
             assert_eq!(t.eval(x), x.max(0.0), "x = {x}");
         }

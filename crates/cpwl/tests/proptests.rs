@@ -19,6 +19,9 @@ fn lipschitz_fn() -> impl Strategy<Value = (NonlinearFn, f32)> {
 }
 
 proptest! {
+    // Pinned case count: CI runs are deterministic and reproducible.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Chord interpolation error of a C² function is at most M₂ g² / 8.
     #[test]
     fn chord_error_bound((func, m2) in lipschitz_fn(), g in pow2_granularity(),

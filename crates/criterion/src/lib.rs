@@ -1,0 +1,219 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! This repository builds with **no network access**, so the real
+//! `criterion` cannot be fetched. This crate provides the subset of its
+//! API the four bench harnesses use (`Criterion::bench_function`,
+//! `benchmark_group` / `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!` / `criterion_main!` macros) backed by a simple
+//! wall-clock harness: each bench is warmed up, calibrated to a target
+//! measurement window, and reported as mean time per iteration. There is
+//! no statistical analysis, HTML report, or baseline comparison — the
+//! point is that `cargo bench` runs and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one bench within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the swept parameter alone.
+    pub fn from_parameter<P: Display>(param: P) -> Self {
+        BenchmarkId {
+            param: param.to_string(),
+        }
+    }
+
+    /// An id with a function label and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, param: P) -> Self {
+        BenchmarkId {
+            param: format!("{}/{}", function_name.into(), param),
+        }
+    }
+}
+
+/// Timing loop handed to each bench closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// (iterations, total elapsed) of the measured window.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up and calibrating an iteration count
+    /// that fills the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration: run until ~10% of the window has elapsed,
+        // doubling the batch each time, to estimate per-iter cost.
+        let calib_budget = self.measurement_time / 10;
+        let mut batch: u64 = 1;
+        let mut calibrated = Duration::ZERO;
+        let mut calib_iters: u64 = 0;
+        while calibrated < calib_budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            calibrated += t0.elapsed();
+            calib_iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        let per_iter = calibrated.as_secs_f64() / calib_iters as f64;
+        let target = (self.measurement_time.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(1, 10_000_000);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some((iters, t0.elapsed()));
+    }
+}
+
+/// A named group of related benches.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one bench with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.param);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Run one bench without an input value.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.param);
+        self.criterion.run_one(&label, |b| f(b));
+        self
+    }
+
+    /// End the group (upstream finalizes reports here; we do nothing).
+    pub fn finish(self) {}
+}
+
+/// The bench driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the per-bench measurement window.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Run a named bench.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, |b| f(b));
+        self
+    }
+
+    /// Open a bench group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(&mut self, label: &str, f: F) {
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((iters, elapsed)) => {
+                let per_iter_ns = elapsed.as_secs_f64() * 1e9 / iters as f64;
+                println!(
+                    "{label:<48} time: {} ({iters} iters)",
+                    format_ns(per_iter_ns)
+                );
+            }
+            None => println!("{label:<48} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    /// Upstream's post-run summary hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle bench functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -76,13 +76,14 @@ impl GraphDataset {
         }
 
         // Features: community prototype + noise.
-        let prototypes: Vec<Tensor> =
-            (0..classes).map(|_| rng.randn(&[features], 1.0)).collect();
+        let prototypes: Vec<Tensor> = (0..classes).map(|_| rng.randn(&[features], 1.0)).collect();
         let mut x = Tensor::zeros(&[nodes, features]);
         for i in 0..nodes {
             let noise = rng.randn(&[features], difficulty.noise);
             let row = prototypes[y[i]].add(&noise).expect("same shape");
-            x.row_mut(i).expect("in bounds").copy_from_slice(row.as_slice());
+            x.row_mut(i)
+                .expect("in bounds")
+                .copy_from_slice(row.as_slice());
         }
 
         // Split on a shuffled permutation so the test set covers all
@@ -120,7 +121,14 @@ impl GraphDataset {
         let s = scale.max(1);
         vec![
             GraphDataset::generate("reddit-like", seed, Difficulty::easy(5), 120 * s, 32, 0.20),
-            GraphDataset::generate("cora-like", seed + 1, Difficulty::medium(7), 140 * s, 32, 0.16),
+            GraphDataset::generate(
+                "cora-like",
+                seed + 1,
+                Difficulty::medium(7),
+                140 * s,
+                32,
+                0.16,
+            ),
             GraphDataset::generate(
                 "pubmed-like",
                 seed + 2,

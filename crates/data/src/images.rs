@@ -122,11 +122,20 @@ impl ImageDataset {
                 geo,
                 per_class,
             ),
-            ImageDataset::generate("cifar10-like", seed + 2, Difficulty::hard(10), geo, per_class),
+            ImageDataset::generate(
+                "cifar10-like",
+                seed + 2,
+                Difficulty::hard(10),
+                geo,
+                per_class,
+            ),
             ImageDataset::generate(
                 "cifar100-like",
                 seed + 3,
-                Difficulty { noise: 1.1, classes: 20 },
+                Difficulty {
+                    noise: 1.1,
+                    classes: 20,
+                },
                 geo,
                 per_class,
             ),
@@ -159,7 +168,16 @@ mod tests {
     fn classes_are_separable_at_low_noise() {
         // Nearest-prototype classification on an easy dataset should be
         // nearly perfect — sanity check that labels carry signal.
-        let d = ImageDataset::generate("t", 3, Difficulty { noise: 0.1, classes: 4 }, (1, 8, 8), 8);
+        let d = ImageDataset::generate(
+            "t",
+            3,
+            Difficulty {
+                noise: 0.1,
+                classes: 4,
+            },
+            (1, 8, 8),
+            8,
+        );
         // Recompute class means from train split as stand-in prototypes.
         let mut means = vec![Tensor::zeros(&[1, 8, 8]); 4];
         let mut counts = vec![0usize; 4];
@@ -174,10 +192,20 @@ mod tests {
         for (x, &y) in d.test_x.iter().zip(&d.test_y) {
             let best = (0..4)
                 .min_by(|&a, &b| {
-                    let da: f32 =
-                        x.sub(&means[a]).unwrap().as_slice().iter().map(|v| v * v).sum();
-                    let db: f32 =
-                        x.sub(&means[b]).unwrap().as_slice().iter().map(|v| v * v).sum();
+                    let da: f32 = x
+                        .sub(&means[a])
+                        .unwrap()
+                        .as_slice()
+                        .iter()
+                        .map(|v| v * v)
+                        .sum();
+                    let db: f32 = x
+                        .sub(&means[b])
+                        .unwrap()
+                        .as_slice()
+                        .iter()
+                        .map(|v| v * v)
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

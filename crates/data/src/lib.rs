@@ -35,17 +35,26 @@ pub struct Difficulty {
 impl Difficulty {
     /// Easy task (QMNIST / Reddit / SST-2 tier: near-saturated accuracy).
     pub fn easy(classes: usize) -> Self {
-        Difficulty { noise: 0.35, classes }
+        Difficulty {
+            noise: 0.35,
+            classes,
+        }
     }
 
     /// Medium task (Fashion-MNIST / CORA / QNLI tier).
     pub fn medium(classes: usize) -> Self {
-        Difficulty { noise: 0.7, classes }
+        Difficulty {
+            noise: 0.7,
+            classes,
+        }
     }
 
     /// Hard task (CIFAR / CoLA / Citeseer tier: small margins).
     pub fn hard(classes: usize) -> Self {
-        Difficulty { noise: 1.1, classes }
+        Difficulty {
+            noise: 1.1,
+            classes,
+        }
     }
 }
 

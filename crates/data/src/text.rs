@@ -66,7 +66,11 @@ impl TextDataset {
                     } else {
                         // Class-banded background tokens with leakage.
                         let band = vocab / classes.max(1);
-                        let base = if rng.next_f32() < 0.45 { class * band } else { 0 };
+                        let base = if rng.next_f32() < 0.45 {
+                            class * band
+                        } else {
+                            0
+                        };
                         let width = if base == 0 { vocab - classes } else { band };
                         base + rng.below(width.max(1) as u32) as usize
                     }
@@ -124,8 +128,7 @@ impl TextDataset {
                     }
                 })
                 .collect();
-            let measured =
-                seq.iter().filter(|&&t| t == vocab - 1).count() as f32 / seq_len as f32;
+            let measured = seq.iter().filter(|&&t| t == vocab - 1).count() as f32 / seq_len as f32;
             let label = (measured * 2.0 + rng.normal() * difficulty.noise * 0.05).clamp(0.0, 1.0);
             (seq, label)
         };
@@ -177,7 +180,14 @@ impl TextDataset {
                 seq,
                 per_class,
             ),
-            TextDataset::regression("stsb-like", seed + 2, Difficulty::medium(1), vocab, seq, per_class * 2),
+            TextDataset::regression(
+                "stsb-like",
+                seed + 2,
+                Difficulty::medium(1),
+                vocab,
+                seq,
+                per_class * 2,
+            ),
             TextDataset::classification(
                 "cola-like",
                 seed + 3,

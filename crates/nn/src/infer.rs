@@ -13,15 +13,17 @@ use onesa_tensor::quant::QuantTensor;
 use onesa_tensor::Tensor;
 
 /// How a model evaluates its nonlinear operations at inference time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum InferenceMode {
     /// Reference floating-point arithmetic.
+    #[default]
     Exact,
     /// CPWL tables at one granularity, optionally with INT16 activation
     /// quantization (the paper's configuration).
     Cpwl {
-        /// Shared table set.
-        tables: TableSet,
+        /// Shared table set (boxed: the tables are much larger than the
+        /// `Exact` variant).
+        tables: Box<TableSet>,
         /// Round-trip activations through INT16 at layer boundaries.
         quantize: bool,
     },
@@ -34,7 +36,10 @@ impl InferenceMode {
     ///
     /// Propagates table construction failures.
     pub fn cpwl(granularity: f32) -> Result<Self, CpwlError> {
-        Ok(InferenceMode::Cpwl { tables: TableSet::for_granularity(granularity)?, quantize: true })
+        Ok(InferenceMode::Cpwl {
+            tables: Box::new(TableSet::for_granularity(granularity)?),
+            quantize: true,
+        })
     }
 
     /// CPWL without quantization (isolates the approximation error).
@@ -44,7 +49,7 @@ impl InferenceMode {
     /// Propagates table construction failures.
     pub fn cpwl_unquantized(granularity: f32) -> Result<Self, CpwlError> {
         Ok(InferenceMode::Cpwl {
-            tables: TableSet::for_granularity(granularity)?,
+            tables: Box::new(TableSet::for_granularity(granularity)?),
             quantize: false,
         })
     }
@@ -54,7 +59,11 @@ impl InferenceMode {
         match self {
             InferenceMode::Exact => "exact".to_string(),
             InferenceMode::Cpwl { tables, quantize } => {
-                format!("cpwl(g={}{})", tables.granularity(), if *quantize { ",int16" } else { "" })
+                format!(
+                    "cpwl(g={}{})",
+                    tables.granularity(),
+                    if *quantize { ",int16" } else { "" }
+                )
             }
         }
     }
@@ -62,9 +71,7 @@ impl InferenceMode {
     /// INT16 round trip at a layer boundary (identity when disabled).
     pub fn boundary(&self, x: &Tensor) -> Tensor {
         match self {
-            InferenceMode::Cpwl { quantize: true, .. } => {
-                QuantTensor::quantize(x).dequantize()
-            }
+            InferenceMode::Cpwl { quantize: true, .. } => QuantTensor::quantize(x).dequantize(),
             _ => x.clone(),
         }
     }
@@ -73,9 +80,7 @@ impl InferenceMode {
     pub fn relu(&self, x: &Tensor) -> Tensor {
         match self {
             InferenceMode::Exact => x.map(|v| v.max(0.0)),
-            InferenceMode::Cpwl { tables, .. } => {
-                tables.relu(x).expect("shape preserved")
-            }
+            InferenceMode::Cpwl { tables, .. } => tables.relu(x).expect("shape preserved"),
         }
     }
 
@@ -91,9 +96,7 @@ impl InferenceMode {
     pub fn softmax_rows(&self, x: &Tensor) -> Tensor {
         match self {
             InferenceMode::Exact => ops::softmax_rows_exact(x).expect("matrix"),
-            InferenceMode::Cpwl { tables, .. } => {
-                tables.softmax_rows(x).expect("matrix")
-            }
+            InferenceMode::Cpwl { tables, .. } => tables.softmax_rows(x).expect("matrix"),
         }
     }
 
@@ -103,9 +106,9 @@ impl InferenceMode {
             InferenceMode::Exact => {
                 ops::layernorm_rows_exact(x, gamma, beta, eps).expect("shapes agree")
             }
-            InferenceMode::Cpwl { tables, .. } => {
-                tables.layernorm_rows(x, gamma, beta, eps).expect("shapes agree")
-            }
+            InferenceMode::Cpwl { tables, .. } => tables
+                .layernorm_rows(x, gamma, beta, eps)
+                .expect("shapes agree"),
         }
     }
 
@@ -129,7 +132,9 @@ impl InferenceMode {
                     .eval(v + eps),
             }
         };
-        let k: Vec<f32> = (0..mean.len()).map(|c| gamma[c] * inv_std(var[c])).collect();
+        let k: Vec<f32> = (0..mean.len())
+            .map(|c| gamma[c] * inv_std(var[c]))
+            .collect();
         let b: Vec<f32> = (0..mean.len()).map(|c| beta[c] - mean[c] * k[c]).collect();
         (k, b)
     }
@@ -149,12 +154,6 @@ impl InferenceMode {
     }
 }
 
-impl Default for InferenceMode {
-    fn default() -> Self {
-        InferenceMode::Exact
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,14 +165,13 @@ mod tests {
         let mode = InferenceMode::cpwl_unquantized(0.03125).unwrap();
         let x = Pcg32::seed_from_u64(1).randn(&[4, 16], 1.5);
         let exact = InferenceMode::Exact;
-        assert!(stats::max_abs_diff(
-            mode.gelu(&x).as_slice(),
-            exact.gelu(&x).as_slice()
-        ) < 0.01);
-        assert!(stats::max_abs_diff(
-            mode.softmax_rows(&x).as_slice(),
-            exact.softmax_rows(&x).as_slice()
-        ) < 0.01);
+        assert!(stats::max_abs_diff(mode.gelu(&x).as_slice(), exact.gelu(&x).as_slice()) < 0.01);
+        assert!(
+            stats::max_abs_diff(
+                mode.softmax_rows(&x).as_slice(),
+                exact.softmax_rows(&x).as_slice()
+            ) < 0.01
+        );
     }
 
     #[test]

@@ -316,9 +316,9 @@ impl BatchNorm2d {
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
         for x in xs {
-            for ch in 0..c {
+            for (ch, m) in mean.iter_mut().enumerate() {
                 for &v in &x.as_slice()[ch * h * w..(ch + 1) * h * w] {
-                    mean[ch] += v;
+                    *m += v;
                 }
             }
         }
@@ -412,8 +412,7 @@ impl BatchNorm2d {
                         .zip(&xhat.as_slice()[ch * h * w..(ch + 1) * h * w])
                     {
                         let dxh = *dv * g;
-                        *dv = inv
-                            * (dxh - sum_dxhat[ch] / n - xv * sum_dxhat_xhat[ch] / n);
+                        *dv = inv * (dxh - sum_dxhat[ch] / n - xv * sum_dxhat_xhat[ch] / n);
                     }
                 }
                 dx
@@ -492,7 +491,8 @@ impl LayerNorm {
         let (xhat, inv_stds) = self.cache.take().expect("forward before backward");
         let (m, n) = dy.shape().as_matrix().expect("matrix");
         let mut dx = dy.clone();
-        for i in 0..m {
+        assert_eq!(inv_stds.len(), m, "cached forward batch vs dy rows");
+        for (i, &inv_std) in inv_stds.iter().enumerate() {
             let dyr = &dy.as_slice()[i * n..(i + 1) * n];
             let xr = &xhat.as_slice()[i * n..(i + 1) * n];
             let mut sum_dxhat = 0.0f32;
@@ -507,8 +507,7 @@ impl LayerNorm {
             let row = &mut dx.as_mut_slice()[i * n..(i + 1) * n];
             for (j, v) in row.iter_mut().enumerate() {
                 let dxh = dyr[j] * self.gamma.value.as_slice()[j];
-                *v = inv_stds[i]
-                    * (dxh - sum_dxhat / n as f32 - xr[j] * sum_dxhat_xhat / n as f32);
+                *v = inv_std * (dxh - sum_dxhat / n as f32 - xr[j] * sum_dxhat_xhat / n as f32);
             }
         }
         dx
@@ -674,8 +673,9 @@ impl MultiHeadAttention {
             let kh = Self::head_slice(&k, h, dk);
             let vh = Self::head_slice(&v, h, dk);
             let kt = kh.transpose().expect("matrix");
-            let scores =
-                gemm::matmul(&qh, &kt).expect("shapes agree").scale(1.0 / (dk as f32).sqrt());
+            let scores = gemm::matmul(&qh, &kt)
+                .expect("shapes agree")
+                .scale(1.0 / (dk as f32).sqrt());
             let p = softmax(&scores);
             let ctx = gemm::matmul(&p, &vh).expect("shapes agree");
             Self::head_write(&mut concat, h, dk, &ctx);
@@ -702,9 +702,9 @@ impl MultiHeadAttention {
         let mut dq = Tensor::zeros(&[l, d]);
         let mut dkt = Tensor::zeros(&[l, d]);
         let mut dv = Tensor::zeros(&[l, d]);
-        for h in 0..self.heads {
+        assert_eq!(probs.len(), self.heads, "cached probs vs head count");
+        for (h, p) in probs.iter().enumerate() {
             let dctx = Self::head_slice(&dconcat, h, dk);
-            let p = &probs[h];
             let vh = Self::head_slice(&v, h, dk);
             let qh = Self::head_slice(&q, h, dk);
             let kh = Self::head_slice(&k, h, dk);
@@ -737,7 +737,10 @@ impl MultiHeadAttention {
         let dx_q = self.wq.backward(&dq);
         let dx_k = self.wk.backward(&dkt);
         let dx_v = self.wv.backward(&dv);
-        dx_q.add(&dx_k).expect("same shape").add(&dx_v).expect("same shape")
+        dx_q.add(&dx_k)
+            .expect("same shape")
+            .add(&dx_v)
+            .expect("same shape")
     }
 
     /// Adam step on all projections.
@@ -774,7 +777,8 @@ impl Relu {
     /// Panics if `forward` was not called first.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
         let x = self.cache.take().expect("forward before backward");
-        dy.zip(&x, |d, xv| if xv > 0.0 { d } else { 0.0 }).expect("same shape")
+        dy.zip(&x, |d, xv| if xv > 0.0 { d } else { 0.0 })
+            .expect("same shape")
     }
 }
 
@@ -805,8 +809,7 @@ impl Gelu {
         let x = self.cache.take().expect("forward before backward");
         dy.zip(&x, |d, xv| {
             let phi_cdf = 0.5 * (1.0 + NonlinearFn::Erf.eval(xv / std::f32::consts::SQRT_2));
-            let phi_pdf =
-                (-0.5 * xv * xv).exp() / (2.0 * std::f32::consts::PI).sqrt();
+            let phi_pdf = (-0.5 * xv * xv).exp() / (2.0 * std::f32::consts::PI).sqrt();
             d * (phi_cdf + xv * phi_pdf)
         })
         .expect("same shape")
@@ -817,12 +820,13 @@ impl Gelu {
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     let (m, n) = logits.shape().as_matrix().expect("matrix");
     let probs = onesa_cpwl::ops::softmax_rows_exact(logits).expect("matrix");
+    assert_eq!(labels.len(), m, "one label per logit row");
     let mut loss = 0.0f32;
     let mut dl = probs.clone();
-    for i in 0..m {
-        let p = probs.as_slice()[i * n + labels[i]].max(1e-12);
+    for (i, &label) in labels.iter().enumerate() {
+        let p = probs.as_slice()[i * n + label].max(1e-12);
         loss -= p.ln();
-        dl.as_mut_slice()[i * n + labels[i]] -= 1.0;
+        dl.as_mut_slice()[i * n + label] -= 1.0;
     }
     (loss / m as f32, dl.scale(1.0 / m as f32))
 }
@@ -902,8 +906,10 @@ mod tests {
             Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[1, 2, 2]).unwrap(),
         ];
         let ys = bn.forward_train(&xs);
-        let all: Vec<f32> =
-            ys.iter().flat_map(|t| t.as_slice().iter().copied()).collect();
+        let all: Vec<f32> = ys
+            .iter()
+            .flat_map(|t| t.as_slice().iter().copied())
+            .collect();
         let mean: f32 = all.iter().sum::<f32>() / all.len() as f32;
         let var: f32 = all.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / all.len() as f32;
         assert!(mean.abs() < 1e-5);

@@ -11,8 +11,8 @@ use crate::layers::{
     MultiHeadAttention, Param,
 };
 use crate::train::TrainConfig;
-use onesa_data::{GraphDataset, ImageDataset, TextDataset};
 use onesa_data::text::TextTask;
+use onesa_data::{GraphDataset, ImageDataset, TextDataset};
 use onesa_tensor::im2col::Conv2dGeometry;
 use onesa_tensor::rng::Pcg32;
 use onesa_tensor::{gemm, stats, Tensor};
@@ -21,7 +21,12 @@ fn global_avg_pool(x: &Tensor) -> Vec<f32> {
     let dims = x.dims();
     let (c, h, w) = (dims[0], dims[1], dims[2]);
     (0..c)
-        .map(|ch| x.as_slice()[ch * h * w..(ch + 1) * h * w].iter().sum::<f32>() / (h * w) as f32)
+        .map(|ch| {
+            x.as_slice()[ch * h * w..(ch + 1) * h * w]
+                .iter()
+                .sum::<f32>()
+                / (h * w) as f32
+        })
         .collect()
 }
 
@@ -129,7 +134,10 @@ impl SmallCnn {
         // Pool → logits.
         let mut pooled = Tensor::zeros(&[n, self.channels]);
         for (i, t) in res.iter().enumerate() {
-            pooled.row_mut(i).expect("in bounds").copy_from_slice(&global_avg_pool(t));
+            pooled
+                .row_mut(i)
+                .expect("in bounds")
+                .copy_from_slice(&global_avg_pool(t));
         }
         let logits = self.fc.forward(&pooled);
         let (loss, dlogits) = softmax_cross_entropy(&logits, ys);
@@ -158,8 +166,11 @@ impl SmallCnn {
         for i in (0..n).rev() {
             dr2[i] = self.conv3.backward(&dc_bn[i]);
         }
-        let dr2m: Vec<Tensor> =
-            dr2.iter().zip(&relu2_mask).map(|(d, m)| d.mul(m).expect("same shape")).collect();
+        let dr2m: Vec<Tensor> = dr2
+            .iter()
+            .zip(&relu2_mask)
+            .map(|(d, m)| d.mul(m).expect("same shape"))
+            .collect();
         let db_bn = self.bn2.backward(&dr2m);
         for i in (0..n).rev() {
             let d = self.conv2.backward(&db_bn[i]);
@@ -333,7 +344,9 @@ impl TinyBert {
         let mut rng = Pcg32::seed_from_u64(seed);
         TinyBert {
             emb: Embedding::new(&mut rng, vocab, max_len, d),
-            blocks: (0..layers).map(|_| EncoderBlock::new(&mut rng, d, heads, ff)).collect(),
+            blocks: (0..layers)
+                .map(|_| EncoderBlock::new(&mut rng, d, heads, ff))
+                .collect(),
             head: Linear::new(&mut rng, d, outputs),
             d,
             outputs,
@@ -423,8 +436,11 @@ impl TinyBert {
                 correct as f32 / data.test_y.len().max(1) as f32
             }
             TextTask::Regression => {
-                let preds: Vec<f32> =
-                    data.test_x.iter().map(|seq| self.predict(seq, mode)[0]).collect();
+                let preds: Vec<f32> = data
+                    .test_x
+                    .iter()
+                    .map(|seq| self.predict(seq, mode)[0])
+                    .collect();
                 stats::pearson(&preds, &data.test_y)
             }
         }
@@ -490,7 +506,9 @@ impl Gcn {
             // dh1 = Â dz2 W2ᵀ.
             let w2t = self.w2.value.transpose().expect("matrix");
             let dh1 = gemm::matmul(&adz2, &w2t).expect("shapes agree");
-            let dz1 = dh1.zip(&z1, |d, z| if z > 0.0 { d } else { 0.0 }).expect("same shape");
+            let dz1 = dh1
+                .zip(&z1, |d, z| if z > 0.0 { d } else { 0.0 })
+                .expect("same shape");
             let adz1 = gemm::matmul(&g.a_hat, &dz1).expect("shapes agree");
             let xt = g.x.transpose().expect("matrix");
             self.w1.grad = gemm::matmul(&xt, &adz1).expect("shapes agree");
@@ -543,12 +561,20 @@ mod tests {
         let data = ImageDataset::generate(
             "t",
             1,
-            Difficulty { noise: 0.3, classes: 3 },
+            Difficulty {
+                noise: 0.3,
+                classes: 3,
+            },
             (1, 8, 8),
             12,
         );
         let mut model = SmallCnn::new(7, 1, 3);
-        let cfg = TrainConfig { epochs: 14, lr: 5e-3, batch_size: 12, seed: 7 };
+        let cfg = TrainConfig {
+            epochs: 14,
+            lr: 5e-3,
+            batch_size: 12,
+            seed: 7,
+        };
         let loss = model.fit(&data, &cfg);
         assert!(loss.is_finite());
         let acc = model.evaluate(&data, &InferenceMode::Exact);
@@ -560,12 +586,23 @@ mod tests {
         let data = ImageDataset::generate(
             "t",
             2,
-            Difficulty { noise: 0.3, classes: 3 },
+            Difficulty {
+                noise: 0.3,
+                classes: 3,
+            },
             (1, 8, 8),
             10,
         );
         let mut model = SmallCnn::new(8, 1, 3);
-        model.fit(&data, &TrainConfig { epochs: 5, lr: 5e-3, batch_size: 10, seed: 8 });
+        model.fit(
+            &data,
+            &TrainConfig {
+                epochs: 5,
+                lr: 5e-3,
+                batch_size: 10,
+                seed: 8,
+            },
+        );
         let exact = model.evaluate(&data, &InferenceMode::Exact);
         let fine = model.evaluate(&data, &InferenceMode::cpwl(0.0625).unwrap());
         assert!((exact - fine).abs() < 0.15, "exact {exact} vs cpwl {fine}");
@@ -575,7 +612,12 @@ mod tests {
     fn bert_learns_marker_task() {
         let data = TextDataset::classification("t", 3, Difficulty::easy(2), 32, 12, 24);
         let mut model = TinyBert::new(5, 32, 12, 2, 1);
-        let cfg = TrainConfig { epochs: 6, lr: 2e-3, batch_size: 1, seed: 5 };
+        let cfg = TrainConfig {
+            epochs: 6,
+            lr: 2e-3,
+            batch_size: 1,
+            seed: 5,
+        };
         model.fit(&data, &cfg);
         let acc = model.evaluate(&data, &InferenceMode::Exact);
         assert!(acc > 0.6, "accuracy {acc}");
@@ -585,7 +627,12 @@ mod tests {
     fn gcn_learns_communities() {
         let g = GraphDataset::generate("t", 4, Difficulty::easy(3), 45, 8, 0.3);
         let mut model = Gcn::new(6, 8, 16, 3);
-        let cfg = TrainConfig { epochs: 8, lr: 1e-2, batch_size: 0, seed: 6 };
+        let cfg = TrainConfig {
+            epochs: 8,
+            lr: 1e-2,
+            batch_size: 0,
+            seed: 6,
+        };
         model.fit(&g, &cfg);
         let acc = model.evaluate(&g, &InferenceMode::Exact);
         assert!(acc > 0.8, "accuracy {acc}");
@@ -597,9 +644,20 @@ mod tests {
         // exact; only quantization noise remains).
         let g = GraphDataset::generate("t", 5, Difficulty::easy(3), 45, 8, 0.3);
         let mut model = Gcn::new(9, 8, 16, 3);
-        model.fit(&g, &TrainConfig { epochs: 8, lr: 1e-2, batch_size: 0, seed: 9 });
+        model.fit(
+            &g,
+            &TrainConfig {
+                epochs: 8,
+                lr: 1e-2,
+                batch_size: 0,
+                seed: 9,
+            },
+        );
         let exact = model.evaluate(&g, &InferenceMode::Exact);
         let coarse = model.evaluate(&g, &InferenceMode::cpwl(1.0).unwrap());
-        assert!((exact - coarse).abs() < 0.1, "exact {exact} vs coarse {coarse}");
+        assert!(
+            (exact - coarse).abs() < 0.1,
+            "exact {exact} vs coarse {coarse}"
+        );
     }
 }

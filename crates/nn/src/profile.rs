@@ -116,10 +116,15 @@ mod tests {
         c.add(OpClass::Norm, 215);
         c.add(OpClass::Activation, 46);
         c.add(OpClass::Softmax, 2);
-        let total: f64 = [OpClass::Gemm, OpClass::Norm, OpClass::Activation, OpClass::Softmax]
-            .iter()
-            .map(|&cl| c.share(cl))
-            .sum();
+        let total: f64 = [
+            OpClass::Gemm,
+            OpClass::Norm,
+            OpClass::Activation,
+            OpClass::Softmax,
+        ]
+        .iter()
+        .map(|&cl| c.share(cl))
+        .sum();
         assert!((total - 100.0).abs() < 1e-9);
     }
 

@@ -19,14 +19,24 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 12, lr: 3e-3, batch_size: 16, seed: 42 }
+        TrainConfig {
+            epochs: 12,
+            lr: 3e-3,
+            batch_size: 16,
+            seed: 42,
+        }
     }
 }
 
 impl TrainConfig {
     /// A faster configuration for CI/tests.
     pub fn quick() -> Self {
-        TrainConfig { epochs: 4, lr: 5e-3, batch_size: 16, seed: 42 }
+        TrainConfig {
+            epochs: 4,
+            lr: 5e-3,
+            batch_size: 16,
+            seed: 42,
+        }
     }
 }
 

@@ -115,9 +115,12 @@ impl Workload {
         for p in &self.phases {
             match *p {
                 Phase::Gemm { m, k, n } => c.add(OpClass::Gemm, (m * k * n) as u64),
-                Phase::Pointwise { class, m, n, gelu_like } => {
-                    c.add(class, (m * n) as u64 * ops_per_element(class, gelu_like))
-                }
+                Phase::Pointwise {
+                    class,
+                    m,
+                    n,
+                    gelu_like,
+                } => c.add(class, (m * n) as u64 * ops_per_element(class, gelu_like)),
                 Phase::Softmax { rows, cols } => c.add(
                     OpClass::Softmax,
                     (rows * cols) as u64 * ops_per_element(OpClass::Softmax, false),
@@ -135,10 +138,22 @@ impl Workload {
 fn conv(phases: &mut Vec<Phase>, hw: usize, cin: usize, cout: usize, k: usize, stride: usize) {
     let ohw = hw / stride;
     let m = ohw * ohw;
-    phases.push(Phase::Gemm { m, k: cin * k * k, n: cout });
+    phases.push(Phase::Gemm {
+        m,
+        k: cin * k * k,
+        n: cout,
+    });
     // BN + ReLU after every convolution.
-    phases.push(Phase::Norm { rows: m, cols: cout });
-    phases.push(Phase::Pointwise { class: OpClass::Activation, m, n: cout, gelu_like: false });
+    phases.push(Phase::Norm {
+        rows: m,
+        cols: cout,
+    });
+    phases.push(Phase::Pointwise {
+        class: OpClass::Activation,
+        m,
+        n: cout,
+        gelu_like: false,
+    });
 }
 
 /// ResNet-50 as an im2col GEMM workload.
@@ -156,8 +171,7 @@ pub fn resnet50(input: usize) -> Workload {
         conv(&mut phases, input, 3, 64, 3, 1); // CIFAR stem
         input
     };
-    let stages: [(usize, usize, usize); 4] =
-        [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
+    let stages: [(usize, usize, usize); 4] = [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
     let mut cin = 64;
     for (c, blocks, first_stride) in stages {
         for b in 0..blocks {
@@ -183,9 +197,20 @@ pub fn resnet50(input: usize) -> Workload {
         }
     }
     // Classifier.
-    phases.push(Phase::Gemm { m: 1, k: 2048, n: 1000 });
-    phases.push(Phase::Softmax { rows: 1, cols: 1000 });
-    Workload { name: format!("resnet50-{input}"), family: ModelFamily::Cnn, phases }
+    phases.push(Phase::Gemm {
+        m: 1,
+        k: 2048,
+        n: 1000,
+    });
+    phases.push(Phase::Softmax {
+        rows: 1,
+        cols: 1000,
+    });
+    Workload {
+        name: format!("resnet50-{input}"),
+        family: ModelFamily::Cnn,
+        phases,
+    }
 }
 
 /// BERT-base encoder as a GEMM workload at sequence length `seq`
@@ -201,25 +226,68 @@ pub fn bert_base(seq: usize) -> Workload {
             phases.push(Phase::Gemm { m: seq, k: d, n: d });
         }
         for _h in 0..heads {
-            phases.push(Phase::Gemm { m: seq, k: dk, n: seq }); // Q·Kᵀ
-            phases.push(Phase::Softmax { rows: seq, cols: seq });
-            phases.push(Phase::Gemm { m: seq, k: seq, n: dk }); // P·V
+            phases.push(Phase::Gemm {
+                m: seq,
+                k: dk,
+                n: seq,
+            }); // Q·Kᵀ
+            phases.push(Phase::Softmax {
+                rows: seq,
+                cols: seq,
+            });
+            phases.push(Phase::Gemm {
+                m: seq,
+                k: seq,
+                n: dk,
+            }); // P·V
         }
         phases.push(Phase::Gemm { m: seq, k: d, n: d }); // output proj
-        phases.push(Phase::Pointwise { class: OpClass::Add, m: seq, n: d, gelu_like: false });
+        phases.push(Phase::Pointwise {
+            class: OpClass::Add,
+            m: seq,
+            n: d,
+            gelu_like: false,
+        });
         phases.push(Phase::Norm { rows: seq, cols: d });
-        phases.push(Phase::Gemm { m: seq, k: d, n: ff });
-        phases.push(Phase::Pointwise { class: OpClass::Activation, m: seq, n: ff, gelu_like: true });
-        phases.push(Phase::Gemm { m: seq, k: ff, n: d });
-        phases.push(Phase::Pointwise { class: OpClass::Add, m: seq, n: d, gelu_like: false });
+        phases.push(Phase::Gemm {
+            m: seq,
+            k: d,
+            n: ff,
+        });
+        phases.push(Phase::Pointwise {
+            class: OpClass::Activation,
+            m: seq,
+            n: ff,
+            gelu_like: true,
+        });
+        phases.push(Phase::Gemm {
+            m: seq,
+            k: ff,
+            n: d,
+        });
+        phases.push(Phase::Pointwise {
+            class: OpClass::Add,
+            m: seq,
+            n: d,
+            gelu_like: false,
+        });
         phases.push(Phase::Norm { rows: seq, cols: d });
     }
     // Pooler + classifier head.
     phases.push(Phase::Gemm { m: 1, k: d, n: d });
-    phases.push(Phase::Pointwise { class: OpClass::Activation, m: 1, n: d, gelu_like: true });
+    phases.push(Phase::Pointwise {
+        class: OpClass::Activation,
+        m: 1,
+        n: d,
+        gelu_like: true,
+    });
     phases.push(Phase::Gemm { m: 1, k: d, n: 2 });
     phases.push(Phase::Softmax { rows: 1, cols: 2 });
-    Workload { name: format!("bert-base-seq{seq}"), family: ModelFamily::Transformer, phases }
+    Workload {
+        name: format!("bert-base-seq{seq}"),
+        family: ModelFamily::Transformer,
+        phases,
+    }
 }
 
 /// A Reddit-scale two-layer GCN: the sparse `Â·H` products appear as
@@ -231,14 +299,42 @@ pub fn gcn_reddit_like() -> Workload {
     let classes = 41;
     let degree = 50;
     let phases = vec![
-        Phase::Gemm { m: nodes, k: feats, n: hidden },   // X·W1
-        Phase::Gemm { m: nodes, k: degree, n: hidden },  // Â·(XW1) as SpMM
-        Phase::Pointwise { class: OpClass::Activation, m: nodes, n: hidden, gelu_like: false },
-        Phase::Gemm { m: nodes, k: hidden, n: classes }, // H·W2
-        Phase::Gemm { m: nodes, k: degree, n: classes }, // Â·(HW2)
-        Phase::Softmax { rows: nodes, cols: classes },
+        Phase::Gemm {
+            m: nodes,
+            k: feats,
+            n: hidden,
+        }, // X·W1
+        Phase::Gemm {
+            m: nodes,
+            k: degree,
+            n: hidden,
+        }, // Â·(XW1) as SpMM
+        Phase::Pointwise {
+            class: OpClass::Activation,
+            m: nodes,
+            n: hidden,
+            gelu_like: false,
+        },
+        Phase::Gemm {
+            m: nodes,
+            k: hidden,
+            n: classes,
+        }, // H·W2
+        Phase::Gemm {
+            m: nodes,
+            k: degree,
+            n: classes,
+        }, // Â·(HW2)
+        Phase::Softmax {
+            rows: nodes,
+            cols: classes,
+        },
     ];
-    Workload { name: "gcn-reddit-like".to_string(), family: ModelFamily::Gnn, phases }
+    Workload {
+        name: "gcn-reddit-like".to_string(),
+        family: ModelFamily::Gnn,
+        phases,
+    }
 }
 
 /// The three Table IV workloads, in the paper's column order.

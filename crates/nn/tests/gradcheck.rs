@@ -27,7 +27,10 @@ fn dloss(y: &Tensor) -> Tensor {
 fn check_close(analytic: f32, numeric: f32, what: &str) {
     let denom = analytic.abs().max(numeric.abs()).max(1e-2);
     let rel = (analytic - numeric).abs() / denom;
-    assert!(rel < TOL, "{what}: analytic {analytic} vs numeric {numeric} (rel {rel})");
+    assert!(
+        rel < TOL,
+        "{what}: analytic {analytic} vs numeric {numeric} (rel {rel})"
+    );
 }
 
 #[test]
@@ -48,7 +51,11 @@ fn linear_gradients() {
         layer.w.value.as_mut_slice()[idx] = orig - EPS;
         let lm = loss_of(&layer.infer(&x));
         layer.w.value.as_mut_slice()[idx] = orig;
-        check_close(analytic, (lp - lm) / (2.0 * EPS), &format!("linear w[{idx}]"));
+        check_close(
+            analytic,
+            (lp - lm) / (2.0 * EPS),
+            &format!("linear w[{idx}]"),
+        );
     }
     // Input gradient.
     for idx in [0usize, 5, 11] {
@@ -59,14 +66,24 @@ fn linear_gradients() {
         let mut xm = x.clone();
         xm.as_mut_slice()[idx] -= EPS;
         let lm = loss_of(&layer.infer(&xm));
-        check_close(analytic, (lp - lm) / (2.0 * EPS), &format!("linear x[{idx}]"));
+        check_close(
+            analytic,
+            (lp - lm) / (2.0 * EPS),
+            &format!("linear x[{idx}]"),
+        );
     }
 }
 
 #[test]
 fn conv2d_gradients() {
     let mut rng = Pcg32::seed_from_u64(2);
-    let geo = Conv2dGeometry { in_channels: 2, out_channels: 3, kernel: 3, stride: 1, padding: 1 };
+    let geo = Conv2dGeometry {
+        in_channels: 2,
+        out_channels: 3,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
     let mut layer = Conv2d::new(&mut rng, geo);
     let x = rng.randn(&[2, 5, 5], 1.0);
 
@@ -123,7 +140,11 @@ fn layernorm_gradients() {
         ln.gamma.value.as_mut_slice()[idx] = orig - EPS;
         let lm = eval(&mut ln, &x);
         ln.gamma.value.as_mut_slice()[idx] = orig;
-        check_close(analytic_g, (lp - lm) / (2.0 * EPS), &format!("ln gamma[{idx}]"));
+        check_close(
+            analytic_g,
+            (lp - lm) / (2.0 * EPS),
+            &format!("ln gamma[{idx}]"),
+        );
     }
     for idx in [1usize, 8, 17] {
         let analytic = dx.as_slice()[idx];
@@ -204,7 +225,11 @@ fn activation_gradients() {
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= EPS;
             let lm = loss_of(&fwd(&xm));
-            check_close(analytic, (lp - lm) / (2.0 * EPS), &format!("{name} x[{idx}]"));
+            check_close(
+                analytic,
+                (lp - lm) / (2.0 * EPS),
+                &format!("{name} x[{idx}]"),
+            );
         }
     }
 }
@@ -251,7 +276,11 @@ fn embedding_gradients() {
         emb.table.value.as_mut_slice()[idx] = orig - EPS;
         let lm = loss_of(&emb.infer(&ids));
         emb.table.value.as_mut_slice()[idx] = orig;
-        check_close(analytic, (lp - lm) / (2.0 * EPS), &format!("emb[{row},{col}]"));
+        check_close(
+            analytic,
+            (lp - lm) / (2.0 * EPS),
+            &format!("emb[{row},{col}]"),
+        );
     }
 }
 
@@ -267,6 +296,10 @@ fn cross_entropy_gradient_numeric() {
         let mut lm = logits.clone();
         lm.as_mut_slice()[idx] -= EPS;
         let (loss_m, _) = softmax_cross_entropy(&lm, &labels);
-        check_close(d.as_slice()[idx], (loss_p - loss_m) / (2.0 * EPS), &format!("ce[{idx}]"));
+        check_close(
+            d.as_slice()[idx],
+            (loss_p - loss_m) / (2.0 * EPS),
+            &format!("ce[{idx}]"),
+        );
     }
 }

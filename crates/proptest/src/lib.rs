@@ -1,0 +1,540 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! This repository builds with **no network access**, so the real
+//! `proptest` cannot be fetched. This crate implements the small subset of
+//! its API that the workspace's five property suites actually use —
+//! `proptest!`, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! `prop_oneof!`, `Just`, range and collection strategies, and the
+//! `prop_map`/`prop_flat_map` combinators — with one deliberate
+//! difference: generation is **always deterministic**. Every test function
+//! derives its RNG stream from a fixed global seed plus the test's name,
+//! so a given toolchain sees the identical case sequence on every run,
+//! locally and in CI.
+//!
+//! There is no shrinking and no persisted failure file; a failing case
+//! panics with the case index so it can be replayed by reading the seed
+//! derivation below.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything the test suites import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Strategy constructors over collections (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The deterministic RNG driving every strategy (PCG-32, same algorithm as
+/// `onesa_tensor::rng::Pcg32`, re-implemented here so the stand-in stays
+/// dependency-free).
+pub mod test_runner {
+    /// Fixed global seed; change it only if you intend to regenerate every
+    /// case sequence in the repository.
+    pub const GLOBAL_SEED: u64 = 0x0E5A_2024;
+
+    /// Deterministic PCG-32 stream.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+        inc: u64,
+    }
+
+    impl TestRng {
+        /// Seed a stream from a raw integer.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = TestRng {
+                state: 0,
+                inc: (seed << 1) | 1,
+            };
+            rng.next_u32();
+            rng.state = rng.state.wrapping_add(seed ^ 0x9E37_79B9_7F4A_7C15);
+            rng.next_u32();
+            rng
+        }
+
+        /// The per-test stream: `GLOBAL_SEED` mixed with an FNV-1a hash of
+        /// the test name, so suites stay stable when tests are reordered.
+        pub fn for_test(test_name: &str) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.as_bytes() {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+            Self::seed_from_u64(GLOBAL_SEED ^ hash)
+        }
+
+        /// Next 32 uniform bits.
+        pub fn next_u32(&mut self) -> u32 {
+            let old = self.state;
+            self.state = old
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(self.inc);
+            let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+            let rot = (old >> 59) as u32;
+            xorshifted.rotate_right(rot)
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            f64::from(self.next_u32()) / f64::from(u32::MAX) * (1.0 - f64::EPSILON)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub use test_runner::TestRng;
+
+/// Per-suite configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256, sized for CI latency; every
+    /// suite in this workspace pins its count explicitly anyway.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a case is rejected.
+#[derive(Debug)]
+pub struct Reject;
+
+/// A deterministic value generator. Object-safe: combinator methods are
+/// `Self: Sized` so `Box<dyn Strategy<Value = T>>` works (for
+/// `prop_oneof!`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value from the deterministic stream.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive integer range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full 64-bit domain: `hi - lo + 1` wrapped to zero, so
+                    // every bit pattern is in range.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty float range strategy");
+        let v = (f64::from(self.start)
+            + (f64::from(self.end) - f64::from(self.start)) * rng.next_f64())
+            as f32;
+        // The f64→f32 rounding can land exactly on `end`; keep the
+        // documented half-open contract.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty float range strategy");
+        let v = self.start + (self.end - self.start) * rng.next_f64();
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+/// Length specification for [`collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy returned by [`collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.lo < self.size.hi, "empty vec size range");
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy produced by [`prop_oneof!`]: picks one arm uniformly.
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> fmt::Debug for OneOf<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OneOf({} arms)", self.arms.len())
+    }
+}
+
+impl<T> OneOf<T> {
+    /// Build from boxed arms; used by the `prop_oneof!` expansion.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Box a strategy arm for [`OneOf`].
+pub fn boxed_arm<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Uniformly choose between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed_arm($arm)),+])
+    };
+}
+
+/// Assert inside a property; panics with the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Reject the current case (it is retried with fresh inputs and does not
+/// count toward the accepted-case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::Reject);
+        }
+    };
+}
+
+/// The suite macro: expands each `fn name(bindings) { body }` into a
+/// `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(config = ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(config = ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            let mut case_index: u32 = 0;
+            while accepted < config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let run = ::std::panic::AssertUnwindSafe(
+                    || -> ::core::result::Result<(), $crate::Reject> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+                match ::std::panic::catch_unwind(run) {
+                    Ok(Ok(())) => accepted += 1,
+                    Ok(Err($crate::Reject)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.cases.saturating_mul(16).max(256),
+                            "{}: too many prop_assume! rejections ({} for {} accepted cases)",
+                            stringify!($name), rejected, accepted,
+                        );
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest {}: failing case index {} (seed = GLOBAL_SEED ^ fnv1a({:?}))",
+                            stringify!($name), case_index, stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+                case_index += 1;
+            }
+        }
+        $crate::__proptest_items!(config = ($cfg); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = TestRng::for_test("streams_are_deterministic");
+        let mut b = TestRng::for_test("streams_are_deterministic");
+        let xs: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.next_u32()).collect();
+        assert_eq!(xs, ys);
+        let mut c = TestRng::for_test("a_different_test");
+        assert_ne!(xs[0], c.next_u32());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges_respect_bounds");
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&x));
+            let y = Strategy::generate(&(1usize..=4), &mut rng);
+            assert!((1..=4).contains(&y));
+            let f = Strategy::generate(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn oneof_and_vec_and_maps(choice in prop_oneof![Just(1u32), Just(2), Just(3)],
+                                  v in crate::collection::vec(0u32..10, 1..8),
+                                  pair in (1usize..=4, 1usize..=4)) {
+            prop_assert!((1..=3).contains(&choice));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(pair.0 >= 1 && pair.1 <= 4);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -19,8 +19,16 @@ use crate::modules::{l3_cost, pe_cost, Design, ModuleCost};
 /// Published Table II totals used as calibration anchors and regression
 /// oracles: `(dim, SA cost, ONE-SA cost)` at 16 MACs per PE.
 pub const TABLE2_ANCHORS: [(usize, ModuleCost, ModuleCost); 3] = [
-    (4, ModuleCost::new(470, 67_976, 66_924, 256), ModuleCost::new(472, 68_855, 75_855, 256)),
-    (8, ModuleCost::new(822, 179_247, 179_247, 1024), ModuleCost::new(824, 180_222, 213_042, 1024)),
+    (
+        4,
+        ModuleCost::new(470, 67_976, 66_924, 256),
+        ModuleCost::new(472, 68_855, 75_855, 256),
+    ),
+    (
+        8,
+        ModuleCost::new(822, 179_247, 179_247, 1024),
+        ModuleCost::new(824, 180_222, 213_042, 1024),
+    ),
     (
         16,
         ModuleCost::new(1366, 730_225, 552_539, 4096),
@@ -112,8 +120,16 @@ mod tests {
     fn reproduces_table2_to_the_unit() {
         let model = ArrayResources::calibrated();
         for (dim, sa, onesa) in TABLE2_ANCHORS {
-            assert_eq!(model.total(Design::ClassicSa, dim, 16), sa, "SA {dim}×{dim}");
-            assert_eq!(model.total(Design::OneSa, dim, 16), onesa, "ONE-SA {dim}×{dim}");
+            assert_eq!(
+                model.total(Design::ClassicSa, dim, 16),
+                sa,
+                "SA {dim}×{dim}"
+            );
+            assert_eq!(
+                model.total(Design::OneSa, dim, 16),
+                onesa,
+                "ONE-SA {dim}×{dim}"
+            );
         }
     }
 

@@ -22,7 +22,10 @@ impl Quadratic {
         let (x1, y1) = p1;
         let (x2, y2) = p2;
         let (x3, y3) = p3;
-        assert!(x1 != x2 && x2 != x3 && x1 != x3, "abscissae must be distinct");
+        assert!(
+            x1 != x2 && x2 != x3 && x1 != x3,
+            "abscissae must be distinct"
+        );
         // Divided differences (Newton form), expanded to monomials.
         let d1 = (y2 - y1) / (x2 - x1);
         let d2 = ((y3 - y2) / (x3 - x2) - d1) / (x3 - x1);
@@ -69,9 +72,17 @@ mod tests {
 
     #[test]
     fn eval_count_clamps_and_rounds() {
-        let q = Quadratic { a: -10.0, b: 0.0, c: 0.0 };
+        let q = Quadratic {
+            a: -10.0,
+            b: 0.0,
+            c: 0.0,
+        };
         assert_eq!(q.eval_count(1.0), 0);
-        let q = Quadratic { a: 2.4, b: 0.0, c: 0.0 };
+        let q = Quadratic {
+            a: 2.4,
+            b: 0.0,
+            c: 0.0,
+        };
         assert_eq!(q.eval_count(1.0), 2);
     }
 

@@ -56,7 +56,12 @@ impl Add for ModuleCost {
 impl Mul<u64> for ModuleCost {
     type Output = ModuleCost;
     fn mul(self, n: u64) -> ModuleCost {
-        ModuleCost { bram: self.bram * n, lut: self.lut * n, ff: self.ff * n, dsp: self.dsp * n }
+        ModuleCost {
+            bram: self.bram * n,
+            lut: self.lut * n,
+            ff: self.ff * n,
+            dsp: self.dsp * n,
+        }
     }
 }
 
@@ -135,9 +140,15 @@ mod tests {
         assert_eq!(l3_cost(Design::OneSa), L3_ONESA);
         // The published ratios: 4.87× LUT, ~1.14× FF... (the paper rounds).
         let lut_ratio = L3_ONESA.lut as f64 / L3_SA.lut as f64;
-        assert!((lut_ratio - 5.87).abs() < 0.01, "1 + 4.87 more, ratio {lut_ratio}");
+        assert!(
+            (lut_ratio - 5.87).abs() < 0.01,
+            "1 + 4.87 more, ratio {lut_ratio}"
+        );
         let ff_ratio = L3_ONESA.ff as f64 / L3_SA.ff as f64;
-        assert!((ff_ratio - 2.14).abs() < 0.01, "1 + 1.14 more, ratio {ff_ratio}");
+        assert!(
+            (ff_ratio - 2.14).abs() < 0.01,
+            "1 + 1.14 more, ratio {ff_ratio}"
+        );
     }
 
     #[test]

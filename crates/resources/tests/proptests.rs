@@ -7,6 +7,9 @@ use onesa_resources::{Design, ModuleCost};
 use proptest::prelude::*;
 
 proptest! {
+    // Pinned case count: CI runs are deterministic and reproducible.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// The ONE-SA delta over SA is always +518 FF + 2 LUT per PE and a
     /// fixed L3 delta: no configuration changes BRAM (beyond +2) or DSP.
     #[test]

@@ -28,8 +28,13 @@ pub fn gemm_breakdown(cfg: &ArrayConfig, m: usize, k: usize, n: usize) -> CycleB
     // Drain cycles not hidden behind compute: the steady-state excess on
     // the middle tiles plus the full drain of the last tile.
     let drain = (tiles - 1) * (steady - chunks) + d + fifo;
-    let mut breakdown =
-        CycleBreakdown { skew, compute, drain, ipf: 0, dram_stall: 0 };
+    let mut breakdown = CycleBreakdown {
+        skew,
+        compute,
+        drain,
+        ipf: 0,
+        dram_stall: 0,
+    };
     let dram_model = DramModel::from_config(cfg);
     let traffic = dram::gemm_traffic_elems(cfg, m, k, n);
     breakdown.dram_stall = dram_model.stall_cycles(traffic, breakdown.total());
@@ -177,8 +182,10 @@ mod tests {
     #[test]
     fn dram_staging_slows_nonlinear() {
         let fused = ArrayConfig::default();
-        let mut dram = ArrayConfig::default();
-        dram.staging = ParamStaging::Dram;
+        let dram = ArrayConfig {
+            staging: ParamStaging::Dram,
+            ..ArrayConfig::default()
+        };
         let f = nonlinear_stats(&fused, 128, 128);
         let d = nonlinear_stats(&dram, 128, 128);
         assert!(d.cycles() > f.cycles(), "{} !> {}", d.cycles(), f.cycles());

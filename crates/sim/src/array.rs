@@ -78,7 +78,10 @@ impl SystolicArray {
             });
         }
         if m > d || n > d {
-            return Err(TensorError::IndexOutOfBounds { index: m.max(n), bound: d });
+            return Err(TensorError::IndexOutOfBounds {
+                index: m.max(n),
+                bound: d,
+            });
         }
         self.reconfigure(|_, _| PeMode::Gemm);
         for pe in &mut self.grid {
@@ -97,7 +100,9 @@ impl SystolicArray {
         let chunk_of_b = |col: usize, c: usize| -> Chunk {
             let lo = c * t;
             let hi = ((c + 1) * t).min(k);
-            (lo..hi).map(|p| b.at(&[p, col]).expect("bounds checked")).collect()
+            (lo..hi)
+                .map(|p| b.at(&[p, col]).expect("bounds checked"))
+                .collect()
         };
 
         for cycle in 0..feed_cycles {
@@ -185,7 +190,13 @@ impl SystolicArray {
         if r > d {
             return Err(TensorError::IndexOutOfBounds { index: r, bound: d });
         }
-        self.reconfigure(|i, j| if i == j { PeMode::MhpCompute } else { PeMode::MhpTransmit });
+        self.reconfigure(|i, j| {
+            if i == j {
+                PeMode::MhpCompute
+            } else {
+                PeMode::MhpTransmit
+            }
+        });
 
         let chunks = n.div_ceil(lanes);
         // Last chunk enters row r−1 at cycle `chunks-1`, reaches diagonal
@@ -199,7 +210,10 @@ impl SystolicArray {
         let x_chunk = |row: usize, c: usize| -> PairChunk {
             let lo = c * lanes;
             let hi = ((c + 1) * lanes).min(n);
-            x.row(row).expect("bounds checked")[lo..hi].iter().map(|&v| (v, 1.0)).collect()
+            x.row(row).expect("bounds checked")[lo..hi]
+                .iter()
+                .map(|&v| (v, 1.0))
+                .collect()
         };
         let kb_chunk = |row: usize, c: usize| -> PairChunk {
             let lo = c * lanes;
@@ -236,9 +250,12 @@ impl SystolicArray {
                     } else {
                         kb_wire[(i - 1) * d + j].take()
                     };
-                    let y_in = if i == 0 { None } else { y_wire[(i - 1) * d + j].take() };
-                    let (xe, kbs, ys, done) =
-                        self.grid[i * d + j].step_mhp(x_in, kb_in, y_in);
+                    let y_in = if i == 0 {
+                        None
+                    } else {
+                        y_wire[(i - 1) * d + j].take()
+                    };
+                    let (xe, kbs, ys, done) = self.grid[i * d + j].step_mhp(x_in, kb_in, y_in);
                     x_wire[i * d + j] = xe;
                     kb_wire[i * d + j] = kbs;
                     if i == d - 1 {
@@ -312,7 +329,11 @@ impl SystolicArray {
             }
             r0 += d;
         }
-        Ok(TileRun { output: out, breakdown, macs })
+        Ok(TileRun {
+            output: out,
+            breakdown,
+            macs,
+        })
     }
 
     /// Functionally executes a full MHP by row-tiling through the
@@ -339,7 +360,11 @@ impl SystolicArray {
             macs += run.macs;
             r0 += d;
         }
-        Ok(TileRun { output: out, breakdown, macs })
+        Ok(TileRun {
+            output: out,
+            breakdown,
+            macs,
+        })
     }
 }
 

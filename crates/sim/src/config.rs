@@ -39,10 +39,10 @@ impl BufferSizes {
     /// The paper's Table V sizes (reported for the 8×8, 16-MAC design).
     pub fn paper_default() -> Self {
         BufferSizes {
-            l3_bytes: 287,   // 0.28 KB
-            l2_bytes: 512,   // 0.5 KB
+            l3_bytes: 287,    // 0.28 KB
+            l2_bytes: 512,    // 0.5 KB
             pe_out_bytes: 96, // 0.094 KB
-            l1_bytes: 32,    // 0.031 KB
+            l1_bytes: 32,     // 0.031 KB
         }
     }
 

@@ -19,7 +19,10 @@ pub struct DramModel {
 impl DramModel {
     /// Builds the model from an array configuration.
     pub fn from_config(cfg: &ArrayConfig) -> Self {
-        DramModel { elems_per_cycle: cfg.w_dram.max(1), latency_cycles: 40 }
+        DramModel {
+            elems_per_cycle: cfg.w_dram.max(1),
+            latency_cycles: 40,
+        }
     }
 
     /// Cycles to move `elems` elements (one direction), including the
@@ -34,7 +37,8 @@ impl DramModel {
     /// Stall cycles a schedule must add so that its total runtime covers
     /// the DRAM traffic: `max(0, transfer - overlapped_cycles)`.
     pub fn stall_cycles(&self, traffic_elems: u64, overlapped_cycles: u64) -> u64 {
-        self.transfer_cycles(traffic_elems).saturating_sub(overlapped_cycles)
+        self.transfer_cycles(traffic_elems)
+            .saturating_sub(overlapped_cycles)
     }
 }
 
@@ -68,7 +72,10 @@ mod tests {
 
     #[test]
     fn transfer_includes_latency() {
-        let d = DramModel { elems_per_cycle: 32, latency_cycles: 40 };
+        let d = DramModel {
+            elems_per_cycle: 32,
+            latency_cycles: 40,
+        };
         assert_eq!(d.transfer_cycles(0), 0);
         assert_eq!(d.transfer_cycles(1), 41);
         assert_eq!(d.transfer_cycles(64), 42);
@@ -77,7 +84,10 @@ mod tests {
 
     #[test]
     fn stall_is_saturating() {
-        let d = DramModel { elems_per_cycle: 32, latency_cycles: 0 };
+        let d = DramModel {
+            elems_per_cycle: 32,
+            latency_cycles: 0,
+        };
         assert_eq!(d.stall_cycles(3200, 50), 50);
         assert_eq!(d.stall_cycles(3200, 1000), 0);
     }

@@ -74,7 +74,13 @@ impl<'t> L3Addressing<'t> {
             self.total_lookups += 1;
         }
         let cycles = self.latency + (x.len() as u64).div_ceil(self.lanes as u64);
-        (out, CycleBreakdown { ipf: cycles, ..CycleBreakdown::default() })
+        (
+            out,
+            CycleBreakdown {
+                ipf: cycles,
+                ..CycleBreakdown::default()
+            },
+        )
     }
 }
 
@@ -117,7 +123,10 @@ mod tests {
     use onesa_cpwl::NonlinearFn;
 
     fn table() -> PwlTable {
-        PwlTable::builder(NonlinearFn::Gelu).granularity(0.25).build().unwrap()
+        PwlTable::builder(NonlinearFn::Gelu)
+            .granularity(0.25)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -155,8 +164,14 @@ mod tests {
     fn rearrange_streams() {
         let k = [1.0, 2.0];
         let b = [0.5, -0.5];
-        assert_eq!(DataRearrange::merge_kb(&k, &b), vec![(1.0, 0.5), (2.0, -0.5)]);
-        assert_eq!(DataRearrange::pair_x(&[3.0, 4.0]), vec![(3.0, 1.0), (4.0, 1.0)]);
+        assert_eq!(
+            DataRearrange::merge_kb(&k, &b),
+            vec![(1.0, 0.5), (2.0, -0.5)]
+        );
+        assert_eq!(
+            DataRearrange::pair_x(&[3.0, 4.0]),
+            vec![(3.0, 1.0), (4.0, 1.0)]
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub struct Pe {
 impl Pe {
     /// Creates a PE in the given mode.
     pub fn new(mode: PeMode) -> Self {
-        Pe { mode, ..Pe::default() }
+        Pe {
+            mode,
+            ..Pe::default()
+        }
     }
 
     /// Current mode.
@@ -75,7 +78,12 @@ impl Pe {
 
     /// Reconfigures the PE (flushes all lane registers).
     pub fn set_mode(&mut self, mode: PeMode) {
-        *self = Pe { mode, acc: self.acc, macs: self.macs, ..Pe::default() };
+        *self = Pe {
+            mode,
+            acc: self.acc,
+            macs: self.macs,
+            ..Pe::default()
+        };
     }
 
     /// Accumulator value (the output-stationary `C` element).

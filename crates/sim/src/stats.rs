@@ -67,7 +67,12 @@ pub struct ExecStats {
 impl ExecStats {
     /// Builds stats from a breakdown and op counts under `cfg`'s clock.
     pub fn new(cfg: &ArrayConfig, breakdown: CycleBreakdown, macs: u64, nl: u64) -> Self {
-        ExecStats { breakdown, macs, nonlinear_evals: nl, clock_mhz: cfg.clock_mhz }
+        ExecStats {
+            breakdown,
+            macs,
+            nonlinear_evals: nl,
+            clock_mhz: cfg.clock_mhz,
+        }
     }
 
     /// Total cycles.
@@ -124,7 +129,13 @@ mod tests {
     use super::*;
 
     fn bd(skew: u64, compute: u64, drain: u64) -> CycleBreakdown {
-        CycleBreakdown { skew, compute, drain, ipf: 0, dram_stall: 0 }
+        CycleBreakdown {
+            skew,
+            compute,
+            drain,
+            ipf: 0,
+            dram_stall: 0,
+        }
     }
 
     #[test]

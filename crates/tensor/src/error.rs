@@ -45,7 +45,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { len, expected } => {
-                write!(f, "data length {len} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {len} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { lhs, rhs, op } => {
                 write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
@@ -70,8 +73,15 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs = [
-            TensorError::LengthMismatch { len: 1, expected: 2 },
-            TensorError::ShapeMismatch { lhs: vec![1], rhs: vec![2], op: "add" },
+            TensorError::LengthMismatch {
+                len: 1,
+                expected: 2,
+            },
+            TensorError::ShapeMismatch {
+                lhs: vec![1],
+                rhs: vec![2],
+                op: "add",
+            },
             TensorError::NotAMatrix { rank: 3 },
             TensorError::IndexOutOfBounds { index: 9, bound: 3 },
             TensorError::InvalidArgument("stride must be nonzero"),

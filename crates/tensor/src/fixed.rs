@@ -34,7 +34,10 @@ impl QFormat {
     ///
     /// Panics if `frac_bits > 15` (an `i16` has only 15 magnitude bits).
     pub fn new(frac_bits: u8) -> Self {
-        assert!(frac_bits <= 15, "i16 Q-format supports at most 15 fractional bits");
+        assert!(
+            frac_bits <= 15,
+            "i16 Q-format supports at most 15 fractional bits"
+        );
         QFormat { frac_bits }
     }
 
@@ -87,7 +90,11 @@ impl QFormat {
     pub fn mul(&self, a: i16, b: i16) -> i16 {
         let wide = a as i32 * b as i32;
         let half = 1i32 << (self.frac_bits.max(1) - 1);
-        let rounded = if self.frac_bits == 0 { wide } else { (wide + half) >> self.frac_bits };
+        let rounded = if self.frac_bits == 0 {
+            wide
+        } else {
+            (wide + half) >> self.frac_bits
+        };
         saturate_i32(rounded)
     }
 
@@ -96,7 +103,11 @@ impl QFormat {
     pub fn mac(&self, a: i16, b: i16, c: i16) -> i16 {
         let wide = a as i32 * b as i32;
         let half = 1i32 << (self.frac_bits.max(1) - 1);
-        let prod = if self.frac_bits == 0 { wide } else { (wide + half) >> self.frac_bits };
+        let prod = if self.frac_bits == 0 {
+            wide
+        } else {
+            (wide + half) >> self.frac_bits
+        };
         saturate_i32(prod.saturating_add(c as i32))
     }
 

@@ -137,10 +137,10 @@ pub fn row_scale(x: &Tensor, s: &[f32]) -> Result<Tensor> {
         });
     }
     let mut out = x.clone();
-    for i in 0..m {
+    for (i, &scale) in s.iter().enumerate() {
         let row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
         for v in row {
-            *v *= s[i];
+            *v *= scale;
         }
     }
     Ok(out)
@@ -155,8 +155,8 @@ pub fn row_scale(x: &Tensor, s: &[f32]) -> Result<Tensor> {
 pub fn row_sums(x: &Tensor) -> Result<Vec<f32>> {
     let (m, n) = x.shape().as_matrix()?;
     let mut sums = vec![0.0f32; m];
-    for i in 0..m {
-        sums[i] = x.as_slice()[i * n..(i + 1) * n].iter().sum();
+    for (i, sum) in sums.iter_mut().enumerate() {
+        *sum = x.as_slice()[i * n..(i + 1) * n].iter().sum();
     }
     Ok(sums)
 }
@@ -169,10 +169,10 @@ pub fn row_sums(x: &Tensor) -> Result<Vec<f32>> {
 pub fn row_maxes(x: &Tensor) -> Result<Vec<f32>> {
     let (m, n) = x.shape().as_matrix()?;
     let mut maxes = vec![f32::NEG_INFINITY; m];
-    for i in 0..m {
+    for (i, max) in maxes.iter_mut().enumerate() {
         for &v in &x.as_slice()[i * n..(i + 1) * n] {
-            if v > maxes[i] {
-                maxes[i] = v;
+            if v > *max {
+                *max = v;
             }
         }
     }
@@ -247,12 +247,16 @@ mod tests {
         let m = 5;
         let k = 7;
         let n = 6;
-        let a =
-            Tensor::from_vec((0..m * k).map(|i| (i as f32 * 0.37).sin()).collect(), &[m, k])
-                .unwrap();
-        let b =
-            Tensor::from_vec((0..k * n).map(|i| (i as f32 * 0.53).cos()).collect(), &[k, n])
-                .unwrap();
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect(),
+            &[m, k],
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| (i as f32 * 0.53).cos()).collect(),
+            &[k, n],
+        )
+        .unwrap();
         let direct = matmul(&a, &b).unwrap();
 
         let t = 2;

@@ -37,9 +37,14 @@ impl Conv2dGeometry {
         let ph = h + 2 * self.padding;
         let pw = w + 2 * self.padding;
         if ph < self.kernel || pw < self.kernel {
-            return Err(TensorError::InvalidArgument("kernel larger than padded input"));
+            return Err(TensorError::InvalidArgument(
+                "kernel larger than padded input",
+            ));
         }
-        Ok(((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1))
+        Ok((
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        ))
     }
 
     /// Rows of the im2col matrix (= patch volume `Cin·k·k`).
@@ -159,8 +164,7 @@ pub fn conv2d_direct(input: &Tensor, weight: &Tensor, geo: &Conv2dGeometry) -> R
                                 continue;
                             }
                             let iv = input.as_slice()[ch * h * w + iy as usize * w + ix as usize];
-                            let wv = weight.as_slice()
-                                [oc * c * k * k + ch * k * k + ky * k + kx];
+                            let wv = weight.as_slice()[oc * c * k * k + ch * k * k + ky * k + kx];
                             acc += iv * wv;
                         }
                     }
@@ -178,7 +182,13 @@ mod tests {
     use crate::gemm;
 
     fn geo(cin: usize, cout: usize, k: usize, stride: usize, pad: usize) -> Conv2dGeometry {
-        Conv2dGeometry { in_channels: cin, out_channels: cout, kernel: k, stride, padding: pad }
+        Conv2dGeometry {
+            in_channels: cin,
+            out_channels: cout,
+            kernel: k,
+            stride,
+            padding: pad,
+        }
     }
 
     #[test]
@@ -210,12 +220,16 @@ mod tests {
         let h = 6;
         let w = 7;
         let input = Tensor::from_vec(
-            (0..3 * h * w).map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.1).collect(),
+            (0..3 * h * w)
+                .map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.1)
+                .collect(),
             &[3, h, w],
         )
         .unwrap();
         let weight = Tensor::from_vec(
-            (0..5 * 3 * 9).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.05).collect(),
+            (0..5 * 3 * 9)
+                .map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.05)
+                .collect(),
             &[5, 3 * 9],
         )
         .unwrap();

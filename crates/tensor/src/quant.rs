@@ -38,7 +38,11 @@ impl QuantTensor {
     /// to `i16::MAX`. An all-zero tensor gets scale `1.0`.
     pub fn quantize(t: &Tensor) -> Self {
         let max_abs = t.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / i16::MAX as f32 };
+        let scale = if max_abs == 0.0 {
+            1.0
+        } else {
+            max_abs / i16::MAX as f32
+        };
         Self::quantize_with_scale(t, scale)
     }
 
@@ -58,7 +62,11 @@ impl QuantTensor {
                 }
             })
             .collect();
-        QuantTensor { dims: t.dims().to_vec(), data, scale }
+        QuantTensor {
+            dims: t.dims().to_vec(),
+            data,
+            scale,
+        }
     }
 
     /// Reconstructs the float tensor `scale * q`.
@@ -101,7 +109,9 @@ impl QuantTensor {
 /// Returns shape errors as in [`crate::gemm::matmul`].
 pub fn quant_matmul(a: &QuantTensor, b: &QuantTensor) -> Result<Tensor> {
     if a.dims.len() != 2 || b.dims.len() != 2 {
-        return Err(TensorError::NotAMatrix { rank: a.dims.len().max(b.dims.len()) });
+        return Err(TensorError::NotAMatrix {
+            rank: a.dims.len().max(b.dims.len()),
+        });
     }
     let (m, k) = (a.dims[0], a.dims[1]);
     let (k2, n) = (b.dims[0], b.dims[1]);
@@ -147,7 +157,10 @@ pub fn round_trip_error(t: &Tensor) -> QuantError {
         sq += (e as f64) * (e as f64);
     }
     let n = t.len().max(1);
-    QuantError { max_abs, rms: ((sq / n as f64) as f32).sqrt() }
+    QuantError {
+        max_abs,
+        rms: ((sq / n as f64) as f32).sqrt(),
+    }
 }
 
 #[cfg(test)]
@@ -184,10 +197,10 @@ mod tests {
 
     #[test]
     fn quant_matmul_close_to_float() {
-        let a = Tensor::from_vec((0..12).map(|i| (i as f32 * 0.21).cos()).collect(), &[3, 4])
-            .unwrap();
-        let b = Tensor::from_vec((0..20).map(|i| (i as f32 * 0.37).sin()).collect(), &[4, 5])
-            .unwrap();
+        let a =
+            Tensor::from_vec((0..12).map(|i| (i as f32 * 0.21).cos()).collect(), &[3, 4]).unwrap();
+        let b =
+            Tensor::from_vec((0..20).map(|i| (i as f32 * 0.37).sin()).collect(), &[4, 5]).unwrap();
         let exact = gemm::matmul(&a, &b).unwrap();
         let qa = QuantTensor::quantize(&a);
         let qb = QuantTensor::quantize(&b);

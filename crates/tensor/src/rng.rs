@@ -30,7 +30,10 @@ const PCG_DEFAULT_INC: u64 = 1_442_695_040_888_963_407;
 impl Pcg32 {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        let mut rng = Pcg32 { state: 0, inc: PCG_DEFAULT_INC | 1 };
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: PCG_DEFAULT_INC | 1,
+        };
         let _ = rng.next_u32();
         rng.state = rng.state.wrapping_add(seed);
         let _ = rng.next_u32();
@@ -40,7 +43,10 @@ impl Pcg32 {
     /// Creates a generator with an independent stream id, for decorrelated
     /// parallel streams.
     pub fn seed_with_stream(seed: u64, stream: u64) -> Self {
-        let mut rng = Pcg32 { state: 0, inc: (stream << 1) | 1 };
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
         let _ = rng.next_u32();
         rng.state = rng.state.wrapping_add(seed);
         let _ = rng.next_u32();

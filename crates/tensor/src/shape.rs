@@ -23,7 +23,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of dimensions.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The number of dimensions.
@@ -67,7 +69,10 @@ impl Shape {
         let strides = self.strides();
         for (i, (&ix, &dim)) in index.iter().zip(self.dims.iter()).enumerate() {
             if ix >= dim {
-                return Err(TensorError::IndexOutOfBounds { index: ix, bound: dim });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: ix,
+                    bound: dim,
+                });
             }
             off += ix * strides[i];
         }
@@ -83,7 +88,9 @@ impl Shape {
         if self.dims.len() == 2 {
             Ok((self.dims[0], self.dims[1]))
         } else {
-            Err(TensorError::NotAMatrix { rank: self.dims.len() })
+            Err(TensorError::NotAMatrix {
+                rank: self.dims.len(),
+            })
         }
     }
 }

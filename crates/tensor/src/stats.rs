@@ -6,7 +6,9 @@ use crate::Tensor;
 /// Maximum absolute elementwise difference between two equally-sized
 /// slices (`0` when either slice is empty).
 pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+    a.iter()
+        .zip(b)
+        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
 }
 
 /// Root-mean-square elementwise difference (`0` when empty).
@@ -14,8 +16,11 @@ pub fn rms_diff(a: &[f32], b: &[f32]) -> f32 {
     if a.is_empty() {
         return 0.0;
     }
-    let sq: f64 =
-        a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64) * ((x - y) as f64)).sum();
+    let sq: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64) * ((x - y) as f64))
+        .sum();
     ((sq / a.len() as f64) as f32).sqrt()
 }
 
@@ -52,9 +57,9 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
     let (rows, cols) = (dims[0], dims[1]);
     let n = rows.min(labels.len());
     let mut correct = 0usize;
-    for r in 0..n {
+    for (r, &label) in labels.iter().take(n).enumerate() {
         let row = &logits.as_slice()[r * cols..(r + 1) * cols];
-        if argmax(row) == Some(labels[r]) {
+        if argmax(row) == Some(label) {
             correct += 1;
         }
     }
@@ -133,8 +138,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_correct_rows() {
-        let logits =
-            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
         assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
         assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
     }

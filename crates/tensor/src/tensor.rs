@@ -33,7 +33,10 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if data.len() != shape.volume() {
-            return Err(TensorError::LengthMismatch { len: data.len(), expected: shape.volume() });
+            return Err(TensorError::LengthMismatch {
+                len: data.len(),
+                expected: shape.volume(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -42,7 +45,10 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let volume = shape.volume();
-        Tensor { shape, data: vec![0.0; volume] }
+        Tensor {
+            shape,
+            data: vec![0.0; volume],
+        }
     }
 
     /// Creates a tensor of ones.
@@ -54,7 +60,10 @@ impl Tensor {
     pub fn filled(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let volume = shape.volume();
-        Tensor { shape, data: vec![value; volume] }
+        Tensor {
+            shape,
+            data: vec![value; volume],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -134,12 +143,18 @@ impl Tensor {
                 expected: shape.volume(),
             });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Returns a new tensor with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -162,8 +177,16 @@ impl Tensor {
                 op: "zip",
             });
         }
-        let data = self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Elementwise addition.
@@ -247,7 +270,10 @@ impl Tensor {
     pub fn row(&self, r: usize) -> Result<&[f32]> {
         let (rows, cols) = self.shape.as_matrix()?;
         if r >= rows {
-            return Err(TensorError::IndexOutOfBounds { index: r, bound: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                index: r,
+                bound: rows,
+            });
         }
         Ok(&self.data[r * cols..(r + 1) * cols])
     }
@@ -260,7 +286,10 @@ impl Tensor {
     pub fn row_mut(&mut self, r: usize) -> Result<&mut [f32]> {
         let (rows, cols) = self.shape.as_matrix()?;
         if r >= rows {
-            return Err(TensorError::IndexOutOfBounds { index: r, bound: rows });
+            return Err(TensorError::IndexOutOfBounds {
+                index: r,
+                bound: rows,
+            });
         }
         Ok(&mut self.data[r * cols..(r + 1) * cols])
     }
@@ -329,7 +358,12 @@ impl Default for Tensor {
 
 impl std::fmt::Display for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Tensor{} {:?}", self.shape, &self.data[..self.data.len().min(8)])?;
+        write!(
+            f,
+            "Tensor{} {:?}",
+            self.shape,
+            &self.data[..self.data.len().min(8)]
+        )?;
         if self.data.len() > 8 {
             write!(f, "…")?;
         }

@@ -19,7 +19,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training a 2-block encoder on a synthetic SST-2-like task…");
     let data = TextDataset::classification("sst2-like", 11, Difficulty::easy(2), 64, 16, 32);
     let mut model = TinyBert::new(42, data.vocab, data.seq_len, 2, 2);
-    let loss = model.fit(&data, &TrainConfig { epochs: 6, lr: 2e-3, batch_size: 1, seed: 42 });
+    let loss = model.fit(
+        &data,
+        &TrainConfig {
+            epochs: 6,
+            lr: 2e-3,
+            batch_size: 1,
+            seed: 42,
+        },
+    );
     println!("final training loss: {loss:.4}");
 
     let exact = model.evaluate(&data, &InferenceMode::Exact);

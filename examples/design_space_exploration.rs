@@ -14,7 +14,11 @@ use onesa_sim::ArrayConfig;
 
 fn main() {
     let w = workloads::bert_base(64);
-    println!("workload: {} ({:.2} GMACs)\n", w.name, w.total_macs() as f64 / 1e9);
+    println!(
+        "workload: {} ({:.2} GMACs)\n",
+        w.name,
+        w.total_macs() as f64 / 1e9
+    );
     println!(
         "{:<8}{:<6}{:>12}{:>10}{:>10}{:>12}{:>9}",
         "PEs", "MACs", "latency ms", "GOPS", "power W", "GOPS/W", "pareto"
@@ -25,7 +29,14 @@ fn main() {
         for macs in [4usize, 8, 16, 32] {
             let engine = OneSa::new(ArrayConfig::new(dim, macs));
             let r = engine.run_workload(&w);
-            rows.push((dim * dim, macs, r.latency_ms(), r.gops(), r.power_w, r.gops_per_watt()));
+            rows.push((
+                dim * dim,
+                macs,
+                r.latency_ms(),
+                r.gops(),
+                r.power_w,
+                r.gops_per_watt(),
+            ));
         }
     }
     let pareto: Vec<bool> = rows

@@ -19,8 +19,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training a 2-layer GCN on a synthetic CORA-like graph…");
     let g = GraphDataset::generate("cora-like", 21, Difficulty::medium(7), 210, 32, 0.16);
     let mut model = Gcn::new(42, g.features, 16, g.classes);
-    let loss = model.fit(&g, &TrainConfig { epochs: 10, lr: 1e-2, batch_size: 0, seed: 42 });
-    println!("final training loss: {loss:.4} ({} nodes, {} classes)", g.nodes, g.classes);
+    let loss = model.fit(
+        &g,
+        &TrainConfig {
+            epochs: 10,
+            lr: 1e-2,
+            batch_size: 0,
+            seed: 42,
+        },
+    );
+    println!(
+        "final training loss: {loss:.4} ({} nodes, {} classes)",
+        g.nodes, g.classes
+    );
 
     let exact = model.evaluate(&g, &InferenceMode::Exact);
     println!("\n{:<22}{:>10}", "backend", "accuracy");

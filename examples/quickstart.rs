@@ -22,7 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("FPGA cost: {:?}", engine.cost());
 
     // 1. Capped piecewise linearization of GELU at granularity 0.25.
-    let table = PwlTable::builder(NonlinearFn::Gelu).granularity(0.25).build()?;
+    let table = PwlTable::builder(NonlinearFn::Gelu)
+        .granularity(0.25)
+        .build()?;
     println!(
         "\nGELU table: {} segments over {:?}, {} bytes preloaded into L3",
         table.n_segments(),

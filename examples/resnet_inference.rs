@@ -19,7 +19,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training a residual CNN on a synthetic CIFAR-10-like task…");
     let data = ImageDataset::generate("cifar10-like", 5, Difficulty::hard(10), (1, 12, 12), 24);
     let mut model = SmallCnn::new(42, 1, 10);
-    let loss = model.fit(&data, &TrainConfig { epochs: 12, lr: 4e-3, batch_size: 16, seed: 42 });
+    let loss = model.fit(
+        &data,
+        &TrainConfig {
+            epochs: 12,
+            lr: 4e-3,
+            batch_size: 16,
+            seed: 42,
+        },
+    );
     println!("final training loss: {loss:.4}");
 
     let exact = model.evaluate(&data, &InferenceMode::Exact);

@@ -11,10 +11,17 @@ use onesa_nn::InferenceMode;
 
 #[test]
 fn cnn_degrades_gracefully_and_monotonically_in_trend() {
-    let data =
-        ImageDataset::generate("cifar10-like", 31, Difficulty::hard(6), (1, 12, 12), 16);
+    let data = ImageDataset::generate("cifar10-like", 31, Difficulty::hard(6), (1, 12, 12), 16);
     let mut model = SmallCnn::new(42, 1, 6);
-    model.fit(&data, &TrainConfig { epochs: 12, lr: 4e-3, batch_size: 16, seed: 42 });
+    model.fit(
+        &data,
+        &TrainConfig {
+            epochs: 12,
+            lr: 4e-3,
+            batch_size: 16,
+            seed: 42,
+        },
+    );
     let exact = model.evaluate(&data, &InferenceMode::Exact);
     assert!(exact > 0.55, "baseline too weak: {exact}");
 
@@ -30,7 +37,15 @@ fn cnn_degrades_gracefully_and_monotonically_in_trend() {
 fn bert_cpwl_tracks_exact_on_easy_task() {
     let data = TextDataset::classification("sst2-like", 33, Difficulty::easy(2), 64, 12, 16);
     let mut model = TinyBert::new(42, 64, 12, 2, 1);
-    model.fit(&data, &TrainConfig { epochs: 5, lr: 2e-3, batch_size: 1, seed: 42 });
+    model.fit(
+        &data,
+        &TrainConfig {
+            epochs: 5,
+            lr: 2e-3,
+            batch_size: 1,
+            seed: 42,
+        },
+    );
     let exact = model.evaluate(&data, &InferenceMode::Exact);
     assert!(exact > 0.6, "baseline too weak: {exact}");
     let fine = model.evaluate(&data, &InferenceMode::cpwl(0.25).unwrap());
@@ -42,7 +57,15 @@ fn gcn_is_granularity_insensitive() {
     // Paper Table III: GCN rows barely move across granularities.
     let g = GraphDataset::generate("pubmed-like", 35, Difficulty::medium(3), 90, 16, 0.2);
     let mut model = Gcn::new(42, 16, 16, 3);
-    model.fit(&g, &TrainConfig { epochs: 10, lr: 1e-2, batch_size: 0, seed: 42 });
+    model.fit(
+        &g,
+        &TrainConfig {
+            epochs: 10,
+            lr: 1e-2,
+            batch_size: 0,
+            seed: 42,
+        },
+    );
     let exact = model.evaluate(&g, &InferenceMode::Exact);
     assert!(exact > 0.7, "baseline too weak: {exact}");
     for gran in [0.1f32, 0.5, 1.0] {
@@ -60,7 +83,15 @@ fn quantization_alone_is_nearly_lossless() {
     // meaningfully change predictions on its own.
     let data = ImageDataset::generate("qmnist-like", 37, Difficulty::easy(4), (1, 12, 12), 12);
     let mut model = SmallCnn::new(7, 1, 4);
-    model.fit(&data, &TrainConfig { epochs: 10, lr: 4e-3, batch_size: 16, seed: 7 });
+    model.fit(
+        &data,
+        &TrainConfig {
+            epochs: 10,
+            lr: 4e-3,
+            batch_size: 16,
+            seed: 7,
+        },
+    );
     let exact = model.evaluate(&data, &InferenceMode::Exact);
     let quant_fine = model.evaluate(&data, &InferenceMode::cpwl(0.03125).unwrap());
     assert!((exact - quant_fine).abs() < 0.05, "{exact} vs {quant_fine}");

@@ -4,8 +4,8 @@
 
 use onesa_core::OneSa;
 use onesa_cpwl::{NonlinearFn, PwlTable};
-use onesa_nn::workloads::{ModelFamily, Phase, Workload};
 use onesa_nn::profile::OpClass;
+use onesa_nn::workloads::{ModelFamily, Phase, Workload};
 use onesa_sim::array::SystolicArray;
 use onesa_sim::fifo::Fifo;
 use onesa_sim::{analytic, ArrayConfig};
@@ -60,7 +60,12 @@ fn unit_gemm_and_unit_nonlinear_phases() {
         family: ModelFamily::Cnn,
         phases: vec![
             Phase::Gemm { m: 1, k: 1, n: 1 },
-            Phase::Pointwise { class: OpClass::Activation, m: 1, n: 1, gelu_like: false },
+            Phase::Pointwise {
+                class: OpClass::Activation,
+                m: 1,
+                n: 1,
+                gelu_like: false,
+            },
             Phase::Softmax { rows: 1, cols: 1 },
             Phase::Norm { rows: 1, cols: 1 },
         ],
@@ -74,7 +79,11 @@ fn unit_gemm_and_unit_nonlinear_phases() {
 #[test]
 fn empty_workload_report_is_zero() {
     let engine = OneSa::default();
-    let w = Workload { name: "empty".to_string(), family: ModelFamily::Gnn, phases: vec![] };
+    let w = Workload {
+        name: "empty".to_string(),
+        family: ModelFamily::Gnn,
+        phases: vec![],
+    };
     let r = engine.run_workload(&w);
     assert_eq!(r.stats.cycles(), 0);
     assert_eq!(r.gops(), 0.0);
@@ -133,7 +142,10 @@ fn macs_wider_than_k_waste_no_correctness() {
 fn capped_inputs_dominate_gracefully() {
     // A tensor entirely outside the table range: every lookup caps, and
     // the result is the boundary chords' extrapolation, not garbage.
-    let t = PwlTable::builder(NonlinearFn::Sigmoid).granularity(0.5).build().unwrap();
+    let t = PwlTable::builder(NonlinearFn::Sigmoid)
+        .granularity(0.5)
+        .build()
+        .unwrap();
     let x = Tensor::filled(&[4, 4], 1000.0);
     let y = t.eval_tensor(&x).unwrap();
     for &v in y.as_slice() {
@@ -141,5 +153,8 @@ fn capped_inputs_dominate_gracefully() {
         assert!((v - 1.0).abs() < 0.6, "sigmoid cap wildly off: {v}");
     }
     let ipf = t.ipf(&x);
-    assert!(ipf.segments.iter().all(|&s| s as usize == t.n_segments() - 1));
+    assert!(ipf
+        .segments
+        .iter()
+        .all(|&s| s as usize == t.n_segments() - 1));
 }

@@ -29,7 +29,9 @@ fn engine_layernorm_equals_lowered_reference() {
     let x = Pcg32::seed_from_u64(2).randn(&[8, 32], 1.5);
     let gamma = vec![1.0f32; 32];
     let beta = vec![0.0f32; 32];
-    let (y, _) = engine.layernorm_rows(&tables, &x, &gamma, &beta, 1e-5).unwrap();
+    let (y, _) = engine
+        .layernorm_rows(&tables, &x, &gamma, &beta, 1e-5)
+        .unwrap();
     let reference = tables.layernorm_rows(&x, &gamma, &beta, 1e-5).unwrap();
     assert_eq!(y, reference);
 }
@@ -50,7 +52,10 @@ fn table4_shape_holds() {
     use onesa_nn::workloads::ModelFamily::{Cnn, Transformer};
 
     let cpu_eff = cpu.gops_per_watt(Cnn).unwrap();
-    assert!(resnet.gops_per_watt() / cpu_eff > 5.0, "CPU ratio too small");
+    assert!(
+        resnet.gops_per_watt() / cpu_eff > 5.0,
+        "CPU ratio too small"
+    );
     assert!(resnet.gops_per_watt() > soc.gops_per_watt(Cnn).unwrap());
     assert!(resnet.gops() < gpu.gops_for(Cnn).unwrap());
 

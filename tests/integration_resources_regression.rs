@@ -10,8 +10,14 @@ use onesa_resources::Design;
 fn table1_exact() {
     assert_eq!(l3_cost(Design::ClassicSa), ModuleCost::new(0, 174, 566, 0));
     assert_eq!(l3_cost(Design::OneSa), ModuleCost::new(2, 1021, 1209, 0));
-    assert_eq!(pe_cost(Design::ClassicSa, 16), ModuleCost::new(1, 824, 1862, 16));
-    assert_eq!(pe_cost(Design::OneSa, 16), ModuleCost::new(1, 826, 2380, 16));
+    assert_eq!(
+        pe_cost(Design::ClassicSa, 16),
+        ModuleCost::new(1, 824, 1862, 16)
+    );
+    assert_eq!(
+        pe_cost(Design::OneSa, 16),
+        ModuleCost::new(1, 826, 2380, 16)
+    );
 }
 
 #[test]

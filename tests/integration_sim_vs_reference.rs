@@ -6,7 +6,7 @@ use onesa_sim::array::SystolicArray;
 use onesa_sim::ipf::L3Addressing;
 use onesa_sim::{analytic, ArrayConfig};
 use onesa_tensor::rng::Pcg32;
-use onesa_tensor::{gemm, stats, Tensor};
+use onesa_tensor::{gemm, stats};
 
 #[test]
 fn event_gemm_equals_reference_across_configs() {
@@ -30,7 +30,10 @@ fn full_nonlinear_pipeline_through_array_hardware_path() {
     // streams, MHP on the diagonal PEs — end-to-end against the scalar
     // table evaluation.
     let cfg = ArrayConfig::new(4, 8);
-    let table = PwlTable::builder(NonlinearFn::Gelu).granularity(0.25).build().unwrap();
+    let table = PwlTable::builder(NonlinearFn::Gelu)
+        .granularity(0.25)
+        .build()
+        .unwrap();
     let x = Pcg32::seed_from_u64(2).randn(&[11, 7], 2.0);
 
     let mut addressing = L3Addressing::new(&cfg, &table);
@@ -69,7 +72,10 @@ fn analytic_matches_event_sim_on_tile_grid() {
 fn quantized_table_path_close_to_float_path() {
     // The INT16 shift-addressed path the hardware executes stays within
     // quantization resolution of the float CPWL path.
-    let table = PwlTable::builder(NonlinearFn::Sigmoid).granularity(0.25).build().unwrap();
+    let table = PwlTable::builder(NonlinearFn::Sigmoid)
+        .granularity(0.25)
+        .build()
+        .unwrap();
     let q = table.qformat();
     let mut worst = 0.0f32;
     let mut x = -10.0f32;
@@ -98,7 +104,10 @@ fn mode_switch_gemm_then_mhp_then_gemm() {
     let bias = rng.randn(&[4, 8], 1.0);
     let m = arr.mhp_row_tile(&x, &k, &bias).unwrap();
     let g2 = arr.gemm_tile(&a, &b).unwrap();
-    assert_eq!(g1.output, g2.output, "GEMM results must be identical before/after MHP");
+    assert_eq!(
+        g1.output, g2.output,
+        "GEMM results must be identical before/after MHP"
+    );
     let mhp_ref = gemm::mhp(&x, &k, &bias).unwrap();
     assert!(stats::max_abs_diff(m.output.as_slice(), mhp_ref.as_slice()) < 1e-5);
 }
