@@ -14,6 +14,17 @@
 //! The fixed-function accelerators only support their network family;
 //! [`Processor::latency_s`] returns `None` elsewhere, which *is* the
 //! flexibility contrast the paper draws.
+//!
+//! # Example
+//!
+//! ```
+//! use onesa_baselines::{cpu_i7_11700, table4_baselines};
+//!
+//! let cpu = cpu_i7_11700();
+//! assert!(cpu.power_w > 0.0 && cpu.cnn_gops.is_some());
+//! // Table IV compares seven baseline devices.
+//! assert_eq!(table4_baselines().len(), 7);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

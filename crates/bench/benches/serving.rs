@@ -1,0 +1,72 @@
+//! Serving-layer benches: host GEMM throughput under each [`Parallelism`]
+//! policy, and end-to-end [`BatchEngine`] runs over a mixed request queue.
+//!
+//! Run with `cargo bench -p onesa-bench --bench serving`. The JSON perf
+//! baseline at the repository root (`BENCH_gemm_parallel.json`) is
+//! produced by the `gemm_parallel` bin, not by this bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onesa_core::{BatchEngine, OneSa, Parallelism, Request};
+use onesa_cpwl::NonlinearFn;
+use onesa_sim::ArrayConfig;
+use onesa_tensor::parallel;
+use onesa_tensor::rng::Pcg32;
+
+fn parallel_matmul(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(1);
+    let a = rng.randn(&[256, 256], 1.0);
+    let b = rng.randn(&[256, 256], 1.0);
+    let mut group = c.benchmark_group("parallel_matmul_256");
+    for (label, par) in [
+        ("seq", Parallelism::Sequential),
+        ("threads4", Parallelism::Threads(4)),
+        ("auto", Parallelism::Auto),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &par, |bench, &par| {
+            bench.iter(|| parallel::matmul(&a, &b, par).expect("square matmul"));
+        });
+    }
+    group.finish();
+}
+
+fn parallel_mhp(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(2);
+    let x = rng.randn(&[512, 512], 1.0);
+    let k = rng.randn(&[512, 512], 1.0);
+    let b = rng.randn(&[512, 512], 1.0);
+    let mut group = c.benchmark_group("parallel_mhp_512");
+    for (label, par) in [
+        ("seq", Parallelism::Sequential),
+        ("auto", Parallelism::Auto),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &par, |bench, &par| {
+            bench.iter(|| parallel::mhp(&x, &k, &b, par).expect("same shapes"));
+        });
+    }
+    group.finish();
+}
+
+fn batch_serving(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(3);
+    let w1 = rng.randn(&[128, 64], 1.0);
+    let w2 = rng.randn(&[128, 32], 1.0);
+    let gemm_inputs: Vec<_> = (0..12).map(|i| rng.randn(&[8 + i, 128], 1.0)).collect();
+    let nl_inputs: Vec<_> = (0..4).map(|i| rng.randn(&[16 + 8 * i, 32], 1.5)).collect();
+    c.bench_function("batch_engine_16req", |bench| {
+        bench.iter(|| {
+            let engine = OneSa::with_parallelism(ArrayConfig::new(8, 16), Parallelism::Auto);
+            let mut serving = BatchEngine::new(engine, 0.25).expect("valid granularity");
+            for (i, a) in gemm_inputs.iter().enumerate() {
+                let w = if i % 3 == 0 { &w2 } else { &w1 };
+                serving.submit(Request::gemm(a.clone(), w.clone()));
+            }
+            for x in &nl_inputs {
+                serving.submit(Request::nonlinear(NonlinearFn::Gelu, x.clone()));
+            }
+            serving.run().expect("well-formed queue")
+        });
+    });
+}
+
+criterion_group!(serving, parallel_matmul, parallel_mhp, batch_serving);
+criterion_main!(serving);

@@ -1,0 +1,51 @@
+//! Emits the `BENCH_gemm_parallel.json` perf baseline: sequential versus
+//! threaded host GEMM throughput at three sizes.
+//!
+//! ```sh
+//! cargo run --release -q -p onesa-bench --bin gemm_parallel > BENCH_gemm_parallel.json
+//! ```
+//!
+//! The committed copy at the repository root records the trajectory later
+//! performance PRs must beat. Wall-clock numbers are machine-dependent;
+//! the `speedup_threads4` ratios are the stable quantity.
+
+use onesa_bench::time_best;
+use onesa_tensor::parallel::{self, Parallelism};
+use onesa_tensor::rng::Pcg32;
+
+fn main() {
+    let mut rng = Pcg32::seed_from_u64(2024);
+    let sizes = [128usize, 256, 512];
+    println!("{{");
+    println!("  \"bench\": \"gemm_parallel\",");
+    println!("  \"kernel\": \"onesa_tensor::parallel::matmul\",");
+    println!("  \"host_workers\": {},", Parallelism::Auto.worker_count());
+    println!("  \"sizes\": [");
+    for (idx, &d) in sizes.iter().enumerate() {
+        let a = rng.randn(&[d, d], 1.0);
+        let b = rng.randn(&[d, d], 1.0);
+        let gflop = 2.0 * (d * d * d) as f64 / 1e9;
+        let (_, seq) = time_best(5, || {
+            parallel::matmul(&a, &b, Parallelism::Sequential).expect("square matmul")
+        });
+        let (_, thr) = time_best(5, || {
+            parallel::matmul(&a, &b, Parallelism::Threads(4)).expect("square matmul")
+        });
+        println!("    {{");
+        println!("      \"m\": {d}, \"k\": {d}, \"n\": {d},");
+        println!(
+            "      \"seq_ms\": {:.3}, \"seq_gflops\": {:.2},",
+            seq * 1e3,
+            gflop / seq
+        );
+        println!(
+            "      \"threads4_ms\": {:.3}, \"threads4_gflops\": {:.2},",
+            thr * 1e3,
+            gflop / thr
+        );
+        println!("      \"speedup_threads4\": {:.2}", seq / thr);
+        println!("    }}{}", if idx + 1 < sizes.len() { "," } else { "" });
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -1,9 +1,19 @@
 //! Report generators for every table and figure of the ONE-SA paper.
 //!
 //! Each `*_report` function regenerates one artefact of the evaluation
-//! section as formatted text; the `src/bin/*` binaries are thin wrappers
+//! section (§V, Figs 1/8/9/10, Tables I–V) as formatted text; the
+//! `src/bin/*` binaries are thin wrappers
 //! (`cargo run -p onesa-bench --release --bin table4`). The Criterion
-//! benches under `benches/` measure the simulator itself.
+//! benches under `benches/` measure the simulator and the serving layer,
+//! and the `gemm_parallel` bin emits the committed
+//! `BENCH_gemm_parallel.json` perf baseline.
+//!
+//! # Example
+//!
+//! ```
+//! let report = onesa_bench::table1_report();
+//! assert!(report.contains("Table I"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +32,25 @@ use onesa_resources::power::PowerModel;
 use onesa_resources::Design;
 use onesa_sim::{analytic, ArrayConfig, BufferSizes};
 use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best wall-seconds over `reps` calls of `f` (after one discarded
+/// warm-up call), returning the last result alongside the timing.
+///
+/// Best-of rather than mean-of: on a shared/noisy host the minimum is
+/// the stable estimator of the code's true speed, which is why both the
+/// `gemm_parallel` baseline bin and the `serving_throughput` example
+/// report it.
+pub fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut out = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (out, best)
+}
 
 /// Fig 1: op-class breakdown of a CIFAR-10 ResNet and a BERT encoder.
 pub fn fig1_report() -> String {

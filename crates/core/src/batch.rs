@@ -1,0 +1,517 @@
+//! Batched serving on top of the [`OneSa`] engine.
+//!
+//! A deployed accelerator rarely sees one request at a time. The
+//! [`BatchEngine`] accepts a queue of independent inference requests —
+//! GEMMs against (typically shared) weight matrices and pointwise
+//! nonlinear evaluations — and serves the whole queue at once:
+//!
+//! 1. **Coalescing.** GEMM requests that multiply against the *same*
+//!    right-hand matrix are stacked row-wise into one tall GEMM (this is
+//!    classic serving-time batching: many activations, one weight load).
+//!    Nonlinear requests using the same function are concatenated into a
+//!    single Matrix Hadamard Product pass, amortizing Intermediate
+//!    Parameter Fetching.
+//! 2. **Execution.** Each coalesced batch runs through the engine's
+//!    parallel backend ([`onesa_tensor::parallel`]), which spreads row
+//!    panels across worker threads.
+//! 3. **Accounting.** Every request gets back its own output tensor and
+//!    an [`ExecStats`] for its shape; the whole run is summarized in a
+//!    [`ServingReport`] with aggregate throughput and latency
+//!    percentiles, including the cycles the array saves by batching
+//!    (fewer wavefront fills, drains and IPF passes).
+//!
+//! Coalescing is transparent: each request's rows/elements go through
+//! exactly the same floating-point op sequence as a solo run, so outputs
+//! are bit-identical to serving the queue one request at a time.
+//!
+//! # Example
+//!
+//! ```
+//! use onesa_core::{BatchEngine, OneSa, Request};
+//! use onesa_cpwl::NonlinearFn;
+//! use onesa_sim::ArrayConfig;
+//! use onesa_tensor::rng::Pcg32;
+//!
+//! let mut rng = Pcg32::seed_from_u64(1);
+//! let weights = rng.randn(&[16, 8], 1.0);
+//! let mut serving = BatchEngine::new(OneSa::new(ArrayConfig::new(8, 16)), 0.25)?;
+//! for _ in 0..3 {
+//!     serving.submit(Request::gemm(rng.randn(&[4, 16], 1.0), weights.clone()));
+//! }
+//! serving.submit(Request::nonlinear(NonlinearFn::Gelu, rng.randn(&[4, 8], 1.0)));
+//! let run = serving.run()?;
+//! assert_eq!(run.outcomes.len(), 4);
+//! assert!(run.report.batching_speedup() > 1.0); // 3 GEMMs shared one pass
+//! # Ok::<(), onesa_tensor::TensorError>(())
+//! ```
+
+use crate::engine::OneSa;
+use onesa_cpwl::ops::TableSet;
+use onesa_cpwl::NonlinearFn;
+use onesa_sim::{analytic, ExecStats};
+use onesa_tensor::parallel;
+use onesa_tensor::{Result, Tensor, TensorError};
+use std::fmt;
+use std::time::Instant;
+
+/// Identifier handed back by [`BatchEngine::submit`].
+pub type RequestId = usize;
+
+/// One inference request in the serving queue.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// `A · B` — `b` is typically a weight matrix shared across requests.
+    Gemm {
+        /// Left operand (`M × K` activations).
+        a: Tensor,
+        /// Right operand (`K × N` weights).
+        b: Tensor,
+    },
+    /// A pointwise nonlinear evaluation through the CPWL tables.
+    Nonlinear {
+        /// Which function to evaluate.
+        func: NonlinearFn,
+        /// Input activations (any shape).
+        x: Tensor,
+    },
+}
+
+impl Request {
+    /// Convenience constructor for a GEMM request.
+    pub fn gemm(a: Tensor, b: Tensor) -> Self {
+        Request::Gemm { a, b }
+    }
+
+    /// Convenience constructor for a nonlinear request.
+    pub fn nonlinear(func: NonlinearFn, x: Tensor) -> Self {
+        Request::Nonlinear { func, x }
+    }
+}
+
+/// Per-request result of a serving run.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The id [`BatchEngine::submit`] returned.
+    pub id: RequestId,
+    /// The request's output tensor (bit-identical to a solo run).
+    pub output: Tensor,
+    /// Simulated array stats for this request's own shape.
+    pub stats: ExecStats,
+}
+
+/// Aggregate statistics of one [`BatchEngine::run`].
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Number of requests served.
+    pub requests: usize,
+    /// Host wall-clock seconds for the whole run (coalescing + kernels).
+    pub wall_seconds: f64,
+    /// Simulated array seconds with batching (coalesced schedules).
+    pub batched_seconds: f64,
+    /// Simulated array seconds had each request run alone.
+    pub unbatched_seconds: f64,
+    /// Total multiply-accumulates across all requests.
+    pub total_macs: u64,
+    /// Total nonlinear evaluations across all requests.
+    pub total_nonlinear_evals: u64,
+    /// Per-request simulated latencies (seconds), in submission order.
+    pub latencies: Vec<f64>,
+}
+
+impl ServingReport {
+    /// Requests per second against host wall-clock time.
+    pub fn wall_rps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Sustained GOPS of the simulated array over the batched schedule.
+    pub fn batched_gops(&self) -> f64 {
+        if self.batched_seconds > 0.0 {
+            self.total_macs as f64 / self.batched_seconds / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// How much array time coalescing saved (`unbatched / batched`).
+    pub fn batching_speedup(&self) -> f64 {
+        if self.batched_seconds > 0.0 {
+            self.unbatched_seconds / self.batched_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// Simulated per-request latency percentile (`q` in `0..=100`),
+    /// nearest-rank over the served queue.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+}
+
+impl fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {} requests in {:.3} ms wall ({:.0} req/s)",
+            self.requests,
+            self.wall_seconds * 1e3,
+            self.wall_rps()
+        )?;
+        writeln!(
+            f,
+            "array: {:.3} ms batched vs {:.3} ms unbatched ({:.2}x from coalescing), {:.1} GOPS",
+            self.batched_seconds * 1e3,
+            self.unbatched_seconds * 1e3,
+            self.batching_speedup(),
+            self.batched_gops()
+        )?;
+        write!(
+            f,
+            "latency p50/p95/p99: {:.1} / {:.1} / {:.1} us",
+            self.latency_percentile(50.0) * 1e6,
+            self.latency_percentile(95.0) * 1e6,
+            self.latency_percentile(99.0) * 1e6
+        )
+    }
+}
+
+/// Everything a serving run produces.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// Per-request outputs and stats, in submission order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Aggregate throughput/latency summary.
+    pub report: ServingReport,
+}
+
+/// A request queue in front of a [`OneSa`] engine.
+///
+/// See the [module docs](self) for the serving model.
+#[derive(Debug, Clone)]
+pub struct BatchEngine {
+    engine: OneSa,
+    tables: TableSet,
+    queue: Vec<Request>,
+}
+
+impl BatchEngine {
+    /// Wraps an engine, building the CPWL table set every nonlinear
+    /// request evaluates through at `granularity`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction failures as
+    /// [`TensorError::InvalidArgument`].
+    pub fn new(engine: OneSa, granularity: f32) -> Result<Self> {
+        let tables = TableSet::for_granularity(granularity)
+            .map_err(|_| TensorError::InvalidArgument("invalid CPWL granularity"))?;
+        Ok(BatchEngine {
+            engine,
+            tables,
+            queue: Vec::new(),
+        })
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &OneSa {
+        &self.engine
+    }
+
+    /// Number of requests waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a request, returning its id (its submission index).
+    pub fn submit(&mut self, request: Request) -> RequestId {
+        self.queue.push(request);
+        self.queue.len() - 1
+    }
+
+    /// Serves the whole queue: coalesces compatible requests, executes
+    /// each batch through the parallel backend and drains the queue.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from malformed requests (non-matrix GEMM operands,
+    /// mismatched inner dimensions). On error the queue is left intact —
+    /// no request is lost; remove or fix the offending request and call
+    /// `run` again.
+    pub fn run(&mut self) -> Result<BatchRun> {
+        // Validate every request before draining the queue, so one
+        // malformed request cannot discard the others.
+        for req in &self.queue {
+            if let Request::Gemm { a, b } = req {
+                let (_, ka) = a.shape().as_matrix()?;
+                let (kb, _) = b.shape().as_matrix()?;
+                if ka != kb {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: a.dims().to_vec(),
+                        rhs: b.dims().to_vec(),
+                        op: "BatchEngine::run",
+                    });
+                }
+            }
+        }
+        let queue = std::mem::take(&mut self.queue);
+        let start = Instant::now();
+        let cfg = self.engine.config().clone();
+
+        let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; queue.len()];
+        let mut batched = ExecStats::new(&cfg, Default::default(), 0, 0);
+
+        // ---- coalesce GEMMs by right-hand matrix, nonlinears by function ----
+        let mut gemm_groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        let mut nl_groups: Vec<(NonlinearFn, Vec<usize>)> = Vec::new();
+        for (id, req) in queue.iter().enumerate() {
+            match req {
+                Request::Gemm { b, .. } => {
+                    let key = weight_fingerprint(b);
+                    match gemm_groups
+                        .iter_mut()
+                        .find(|(k, ids)| *k == key && same_weights(b, group_b(&queue, ids)))
+                    {
+                        Some((_, ids)) => ids.push(id),
+                        None => gemm_groups.push((key, vec![id])),
+                    }
+                }
+                Request::Nonlinear { func, .. } => {
+                    match nl_groups.iter_mut().find(|(f, _)| f == func) {
+                        Some((_, ids)) => ids.push(id),
+                        None => nl_groups.push((*func, vec![id])),
+                    }
+                }
+            }
+        }
+
+        // ---- execute GEMM groups: stack A rows, one matmul per group ----
+        for (_, ids) in &gemm_groups {
+            let b = group_b(&queue, ids);
+            let (k, n) = b.shape().as_matrix()?;
+            let mut stacked = Vec::new();
+            let mut row_counts = Vec::with_capacity(ids.len());
+            for &id in ids {
+                let Request::Gemm { a, .. } = &queue[id] else {
+                    unreachable!("gemm group holds gemm ids")
+                };
+                stacked.extend_from_slice(a.as_slice());
+                row_counts.push(a.dims()[0]);
+            }
+            let total_m: usize = row_counts.iter().sum();
+            let tall = Tensor::from_vec(stacked, &[total_m, k])?;
+            let product = parallel::matmul(&tall, b, self.engine.parallelism())?;
+            batched = batched.merged(&analytic::gemm_stats(&cfg, total_m, k, n));
+            let mut row0 = 0;
+            for (&id, &m) in ids.iter().zip(&row_counts) {
+                let rows = product.as_slice()[row0 * n..(row0 + m) * n].to_vec();
+                row0 += m;
+                outcomes[id] = Some(RequestOutcome {
+                    id,
+                    output: Tensor::from_vec(rows, &[m, n])?,
+                    stats: analytic::gemm_stats(&cfg, m, k, n),
+                });
+            }
+        }
+
+        // ---- execute nonlinear groups: concatenate, one MHP pass each ----
+        for (func, ids) in &nl_groups {
+            let table = self
+                .tables
+                .table(*func)
+                .ok_or(TensorError::InvalidArgument("function not in table set"))?;
+            let mut flat = Vec::new();
+            for &id in ids {
+                let Request::Nonlinear { x, .. } = &queue[id] else {
+                    unreachable!("nonlinear group holds nonlinear ids")
+                };
+                flat.extend_from_slice(x.as_slice());
+            }
+            let total = flat.len();
+            let joined = Tensor::from_vec(flat, &[1, total])?;
+            // The paper's three steps, with the MHP routed through the
+            // parallel backend (bit-identical to `PwlTable::eval_tensor`,
+            // which is IPF + the sequential reference MHP).
+            let ipf = table.ipf(&joined);
+            let evaluated = parallel::mhp(&joined, &ipf.k, &ipf.b, self.engine.parallelism())?;
+            batched = batched.merged(&analytic::nonlinear_stats(&cfg, 1, total));
+            let mut off = 0;
+            for &id in ids {
+                let Request::Nonlinear { x, .. } = &queue[id] else {
+                    unreachable!("nonlinear group holds nonlinear ids")
+                };
+                let vals = evaluated.as_slice()[off..off + x.len()].to_vec();
+                off += x.len();
+                let (m, n) = matrix_or_row(x);
+                outcomes[id] = Some(RequestOutcome {
+                    id,
+                    output: Tensor::from_vec(vals, x.dims())?,
+                    stats: analytic::nonlinear_stats(&cfg, m, n),
+                });
+            }
+        }
+
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let outcomes: Vec<RequestOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every queued request was served"))
+            .collect();
+        let unbatched = outcomes
+            .iter()
+            .fold(ExecStats::new(&cfg, Default::default(), 0, 0), |acc, o| {
+                acc.merged(&o.stats)
+            });
+        let report = ServingReport {
+            requests: outcomes.len(),
+            wall_seconds,
+            batched_seconds: batched.seconds(),
+            unbatched_seconds: unbatched.seconds(),
+            total_macs: unbatched.macs,
+            total_nonlinear_evals: unbatched.nonlinear_evals,
+            latencies: outcomes.iter().map(|o| o.stats.seconds()).collect(),
+        };
+        Ok(BatchRun { outcomes, report })
+    }
+}
+
+/// Cheap content hash (FNV-1a over the bit patterns) used to bucket
+/// weight matrices before the exact equality check.
+fn weight_fingerprint(b: &Tensor) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in b.dims() {
+        h = (h ^ *d as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for v in b.as_slice() {
+        h = (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The right-hand matrix of the first request in a GEMM group.
+fn group_b<'q>(queue: &'q [Request], ids: &[usize]) -> &'q Tensor {
+    let Request::Gemm { b, .. } = &queue[ids[0]] else {
+        unreachable!("gemm group holds gemm ids")
+    };
+    b
+}
+
+fn same_weights(x: &Tensor, y: &Tensor) -> bool {
+    x.dims() == y.dims()
+        && x.as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
+fn matrix_or_row(x: &Tensor) -> (usize, usize) {
+    match x.shape().as_matrix() {
+        Ok((m, n)) => (m, n),
+        Err(_) => (1, x.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesa_sim::ArrayConfig;
+    use onesa_tensor::gemm;
+    use onesa_tensor::parallel::Parallelism;
+    use onesa_tensor::rng::Pcg32;
+
+    fn engine() -> OneSa {
+        OneSa::with_parallelism(ArrayConfig::new(8, 16), Parallelism::Threads(2))
+    }
+
+    #[test]
+    fn coalesced_gemms_match_solo_runs() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let w = rng.randn(&[12, 10], 1.0);
+        let other = rng.randn(&[12, 10], 1.0);
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        let inputs: Vec<Tensor> = (0..4).map(|_| rng.randn(&[5, 12], 1.0)).collect();
+        for a in &inputs {
+            serving.submit(Request::gemm(a.clone(), w.clone()));
+        }
+        serving.submit(Request::gemm(inputs[0].clone(), other.clone()));
+        assert_eq!(serving.pending(), 5);
+        let run = serving.run().unwrap();
+        assert_eq!(serving.pending(), 0);
+        for (i, a) in inputs.iter().enumerate() {
+            assert_eq!(run.outcomes[i].output, gemm::matmul(a, &w).unwrap());
+        }
+        assert_eq!(
+            run.outcomes[4].output,
+            gemm::matmul(&inputs[0], &other).unwrap()
+        );
+        // Four requests shared one weight load: the batched schedule must
+        // beat five solo schedules.
+        assert!(run.report.batching_speedup() > 1.0);
+    }
+
+    #[test]
+    fn coalesced_nonlinears_match_solo_runs() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        let xs: Vec<Tensor> = (0..3).map(|i| rng.randn(&[2 + i, 7], 1.5)).collect();
+        for x in &xs {
+            serving.submit(Request::nonlinear(NonlinearFn::Gelu, x.clone()));
+        }
+        let tables = TableSet::for_granularity(0.25).unwrap();
+        let run = serving.run().unwrap();
+        for (o, x) in run.outcomes.iter().zip(&xs) {
+            assert_eq!(o.output, tables.gelu(x).unwrap());
+            assert_eq!(o.output.dims(), x.dims());
+        }
+        assert_eq!(
+            run.report.total_nonlinear_evals,
+            xs.iter().map(|x| x.len() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn report_percentiles_and_throughput() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let w = rng.randn(&[16, 16], 1.0);
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        for m in [2usize, 4, 8, 64] {
+            serving.submit(Request::gemm(rng.randn(&[m, 16], 1.0), w.clone()));
+        }
+        let run = serving.run().unwrap();
+        let r = &run.report;
+        assert_eq!(r.requests, 4);
+        assert!(r.wall_seconds > 0.0);
+        assert!(r.wall_rps() > 0.0);
+        let p50 = r.latency_percentile(50.0);
+        let p99 = r.latency_percentile(99.0);
+        assert!(p50 > 0.0 && p99 >= p50);
+        // The 64-row request dominates the tail.
+        assert!((p99 - r.latencies[3]).abs() < 1e-12);
+        assert!(!format!("{r}").is_empty());
+    }
+
+    #[test]
+    fn mismatched_gemm_is_rejected_and_queue_preserved() {
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        serving.submit(Request::gemm(
+            Tensor::zeros(&[2, 3]),
+            Tensor::zeros(&[3, 5]),
+        ));
+        serving.submit(Request::gemm(
+            Tensor::zeros(&[2, 3]),
+            Tensor::zeros(&[4, 5]),
+        ));
+        assert!(serving.run().is_err());
+        // The valid request was not lost with the bad one.
+        assert_eq!(serving.pending(), 2);
+    }
+}

@@ -8,7 +8,8 @@ use onesa_resources::array::ArrayResources;
 use onesa_resources::power::PowerModel;
 use onesa_resources::{Design, ModuleCost};
 use onesa_sim::{analytic, ArrayConfig, ExecStats};
-use onesa_tensor::{gemm, Result, Tensor};
+use onesa_tensor::parallel::{self, Parallelism};
+use onesa_tensor::{Result, Tensor};
 
 /// One ONE-SA instance: a configured array plus its cost and power
 /// models.
@@ -17,24 +18,44 @@ pub struct OneSa {
     cfg: ArrayConfig,
     cost: ModuleCost,
     power: PowerModel,
+    par: Parallelism,
 }
 
 impl OneSa {
     /// Builds the engine for an array configuration, deriving the FPGA
-    /// cost from the calibrated resource model.
+    /// cost from the calibrated resource model. Kernels run sequentially;
+    /// use [`OneSa::with_parallelism`] for the multi-threaded backend.
     pub fn new(cfg: ArrayConfig) -> Self {
+        OneSa::with_parallelism(cfg, Parallelism::Sequential)
+    }
+
+    /// Builds the engine with an explicit host-execution policy. All
+    /// policies produce bit-identical tensors (see
+    /// [`onesa_tensor::parallel`]); only wall-clock speed changes.
+    pub fn with_parallelism(cfg: ArrayConfig, par: Parallelism) -> Self {
         let resources = ArrayResources::calibrated();
         let cost = resources.total(Design::OneSa, cfg.dim, cfg.macs_per_pe);
         OneSa {
             cfg,
             cost,
             power: PowerModel::virtex7(),
+            par,
         }
     }
 
     /// The array configuration.
     pub fn config(&self) -> &ArrayConfig {
         &self.cfg
+    }
+
+    /// The host-execution policy used for kernel evaluation.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Changes the host-execution policy in place.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     /// FPGA resource cost of this design point.
@@ -57,7 +78,7 @@ impl OneSa {
     pub fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<(Tensor, ExecStats)> {
         let (m, k) = a.shape().as_matrix()?;
         let (_, n) = b.shape().as_matrix()?;
-        let out = gemm::matmul(a, b)?;
+        let out = parallel::matmul(a, b, self.par)?;
         Ok((out, analytic::gemm_stats(&self.cfg, m, k, n)))
     }
 
@@ -208,6 +229,7 @@ mod tests {
     use super::*;
     use onesa_cpwl::NonlinearFn;
     use onesa_nn::workloads;
+    use onesa_tensor::gemm;
     use onesa_tensor::rng::Pcg32;
     use onesa_tensor::stats;
 
@@ -221,6 +243,22 @@ mod tests {
         assert_eq!(out, gemm::matmul(&a, &b).unwrap());
         assert_eq!(s.macs, 20 * 12 * 9);
         assert!(s.cycles() > 0);
+    }
+
+    #[test]
+    fn threaded_engine_is_bit_identical_to_sequential() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let a = rng.randn(&[33, 21], 1.0);
+        let b = rng.randn(&[21, 27], 1.0);
+        let seq = OneSa::default();
+        let par = OneSa::with_parallelism(ArrayConfig::default(), Parallelism::Threads(4));
+        assert_eq!(par.parallelism(), Parallelism::Threads(4));
+        let (sout, sstats) = seq.gemm(&a, &b).unwrap();
+        let (pout, pstats) = par.gemm(&a, &b).unwrap();
+        assert_eq!(sout, pout);
+        // Simulated array cycles are a property of the workload, not of
+        // the host execution policy.
+        assert_eq!(sstats, pstats);
     }
 
     #[test]

@@ -31,7 +31,11 @@ mod engine;
 mod flex;
 mod report;
 
+pub mod batch;
+
+pub use batch::{BatchEngine, BatchRun, Request, RequestId, RequestOutcome, ServingReport};
 pub use engine::OneSa;
 pub use flex::split_accelerator_cycles;
 pub use onesa_nn::workloads::Workload;
+pub use onesa_tensor::parallel::Parallelism;
 pub use report::ExecutionReport;

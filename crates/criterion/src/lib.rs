@@ -2,13 +2,39 @@
 //!
 //! This repository builds with **no network access**, so the real
 //! `criterion` cannot be fetched. This crate provides the subset of its
-//! API the four bench harnesses use (`Criterion::bench_function`,
-//! `benchmark_group` / `bench_with_input`, `BenchmarkId`, the
-//! `criterion_group!` / `criterion_main!` macros) backed by a simple
+//! API the workspace's bench harnesses use (`Criterion::bench_function`,
+//! `benchmark_group` / `bench_with_input`, `BenchmarkId`, `black_box`,
+//! the `criterion_group!` / `criterion_main!` macros) backed by a simple
 //! wall-clock harness: each bench is warmed up, calibrated to a target
-//! measurement window, and reported as mean time per iteration. There is
-//! no statistical analysis, HTML report, or baseline comparison — the
-//! point is that `cargo bench` runs and prints comparable numbers.
+//! measurement window, and reported as mean time per iteration.
+//!
+//! # Implemented subset and determinism
+//!
+//! There is no statistical analysis, HTML report, outlier rejection or
+//! baseline comparison — the point is that `cargo bench` runs everywhere
+//! and prints comparable numbers. The *harness logic* is deterministic
+//! (fixed warm-up fraction, fixed iteration clamps); the measured times
+//! are of course machine- and load-dependent, which is why committed
+//! baselines (e.g. `BENCH_gemm_parallel.json`) record ratios rather than
+//! absolute times as their stable quantity.
+//!
+//! # ⚠️ Do not `cargo add criterion`
+//!
+//! The workspace resolves `criterion` to this path crate (see the root
+//! `Cargo.toml`); the crates.io crate would need network access the
+//! build environment does not have. The bench sources are written
+//! against the upstream API surface, so if network access ever
+//! materializes the swap is a one-line workspace change.
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::Criterion;
+//! use std::time::Duration;
+//!
+//! let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+//! c.bench_function("add", |b| b.iter(|| 1 + 1));
+//! ```
 
 #![forbid(unsafe_code)]
 

@@ -10,6 +10,20 @@
 //! (see DESIGN.md §2, substitutions).
 //!
 //! All generators are deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use onesa_data::{Difficulty, ImageDataset};
+//!
+//! // 2 classes × 8 training samples per class, 1×8×8 images.
+//! let data = ImageDataset::generate("demo", 7, Difficulty::easy(2), (1, 8, 8), 8);
+//! assert_eq!(data.train_x.len(), 16);
+//! assert_eq!(data.train_x[0].dims(), &[1, 8, 8]);
+//! // Same seed ⇒ same bytes, every time.
+//! let again = ImageDataset::generate("demo", 7, Difficulty::easy(2), (1, 8, 8), 8);
+//! assert_eq!(data.train_x[0], again.train_x[0]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -17,6 +17,25 @@
 //!   compute;
 //! * [`profile`] / [`workloads`] — op-class accounting and the real
 //!   ResNet-50 / BERT-base / GCN layer shapes behind Fig 1 and Table IV.
+//!
+//! Batched inference for the serving layer goes through
+//! [`infer::infer_batch`], which fans per-sample inference across worker
+//! threads with results bit-identical to a sequential loop.
+//!
+//! # Example
+//!
+//! ```
+//! use onesa_nn::InferenceMode;
+//! use onesa_tensor::Tensor;
+//!
+//! // Exact vs CPWL inference of the same activation tensor.
+//! let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[1, 3])?;
+//! let exact = InferenceMode::Exact.relu(&x);
+//! let cpwl = InferenceMode::cpwl(0.25).expect("valid granularity").relu(&x);
+//! assert_eq!(exact.as_slice(), &[0.0, 0.5, 2.0]);
+//! assert_eq!(exact, cpwl); // ReLU is piecewise linear: CPWL is exact
+//! # Ok::<(), onesa_tensor::TensorError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

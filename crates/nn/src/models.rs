@@ -14,6 +14,7 @@ use crate::train::TrainConfig;
 use onesa_data::text::TextTask;
 use onesa_data::{GraphDataset, ImageDataset, TextDataset};
 use onesa_tensor::im2col::Conv2dGeometry;
+use onesa_tensor::parallel::Parallelism;
 use onesa_tensor::rng::Pcg32;
 use onesa_tensor::{gemm, stats, Tensor};
 
@@ -234,6 +235,19 @@ impl SmallCnn {
         self.fc.infer(&pm).into_vec()
     }
 
+    /// Logits for a batch of samples, fanned out across worker threads
+    /// via [`infer::infer_batch`](crate::infer::infer_batch); results are
+    /// in input order and bit-identical to per-sample [`SmallCnn::logits`]
+    /// calls.
+    pub fn logits_batch(
+        &self,
+        xs: &[Tensor],
+        mode: &InferenceMode,
+        par: Parallelism,
+    ) -> Vec<Vec<f32>> {
+        crate::infer::infer_batch(par, xs, |x| self.logits(x, mode))
+    }
+
     /// Test-set accuracy under an inference mode.
     pub fn evaluate(&self, data: &ImageDataset, mode: &InferenceMode) -> f32 {
         let mut correct = 0usize;
@@ -419,6 +433,19 @@ impl TinyBert {
             }
         }
         self.head.infer(&mode.boundary(&pooled)).into_vec()
+    }
+
+    /// Head outputs for a batch of sequences, fanned out across worker
+    /// threads via [`infer::infer_batch`](crate::infer::infer_batch);
+    /// results are in input order and bit-identical to per-sequence
+    /// [`TinyBert::predict`] calls.
+    pub fn predict_batch(
+        &self,
+        seqs: &[Vec<usize>],
+        mode: &InferenceMode,
+        par: Parallelism,
+    ) -> Vec<Vec<f32>> {
+        crate::infer::infer_batch(par, seqs, |seq| self.predict(seq, mode))
     }
 
     /// Task metric on the test split: accuracy for classification,

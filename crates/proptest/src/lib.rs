@@ -14,6 +14,52 @@
 //! There is no shrinking and no persisted failure file; a failing case
 //! panics with the case index so it can be replayed by reading the seed
 //! derivation below.
+//!
+//! # Implemented subset
+//!
+//! Exactly what the workspace's property suites consume — nothing more:
+//! the `proptest!` macro with `#![proptest_config(...)]` /
+//! `ProptestConfig::with_cases`, the assertion macros (`prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`), `prop_oneof!`,
+//! `Just`, numeric range strategies, `proptest::collection::vec`, and the
+//! `prop_map` / `prop_flat_map` combinators. Shrinking, failure
+//! persistence, `Arbitrary`, regex string strategies and the runner
+//! configuration surface of the real crate are **not** implemented.
+//!
+//! # Determinism guarantees
+//!
+//! * One global seed ([`test_runner::GLOBAL_SEED`]) governs the whole
+//!   workspace.
+//! * Each `proptest!` test function derives an independent PCG-32 stream
+//!   from `GLOBAL_SEED ⊕ hash(test name)`, so adding or reordering tests
+//!   never perturbs another test's case sequence.
+//! * A given toolchain therefore sees the identical case sequence on
+//!   every run, locally and in CI — a property regression is always
+//!   reproducible with `cargo test <test_name>`.
+//!
+//! # ⚠️ Do not `cargo add proptest`
+//!
+//! This workspace resolves `proptest` to this path crate (see the root
+//! `Cargo.toml`). Adding the crates.io crate would require network access
+//! the build environment does not have, and would replace deterministic
+//! generation with time-seeded generation, breaking CI reproducibility.
+//! If real network access ever materializes, the suites are
+//! API-compatible with upstream by construction — swap the workspace
+//! dependency, don't edit the tests.
+//!
+//! # Example
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     fn addition_commutes(a in -100i32..100, b in -100i32..100) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes(); // the macro emits a plain fn; the suites add #[test]
+//! ```
 
 #![forbid(unsafe_code)]
 

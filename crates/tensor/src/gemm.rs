@@ -44,6 +44,11 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// existing contents (`C += A · B`), which mirrors how a tiled systolic
 /// schedule accumulates partial products across K-tiles.
 ///
+/// Each accumulation step is one **fused multiply-add**
+/// ([`f32::mul_add`]) — the same single-rounding operation a hardware MAC
+/// unit performs, and the contract the parallel backend
+/// ([`crate::parallel`]) reproduces bit-for-bit.
+///
 /// # Errors
 ///
 /// Shape errors as in [`matmul`]; additionally the output must be `M×N`.
@@ -71,7 +76,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
             let brow = &bv[p * n..(p + 1) * n];
             let orow = &mut ov[i * n..(i + 1) * n];
             for (o, &bpj) in orow.iter_mut().zip(brow.iter()) {
-                *o += aip * bpj;
+                *o = aip.mul_add(bpj, *o);
             }
         }
     }

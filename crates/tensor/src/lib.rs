@@ -11,6 +11,8 @@
 //!   evaluation precision.
 //! * [`fixed`] — Q-format fixed-point scalar arithmetic used by the
 //!   shift-based segment addressing of the L3 buffer.
+//! * [`parallel`] — the cache-blocked, multi-threaded execution backend
+//!   behind the serving layer (bit-identical to the reference kernels).
 //! * [`rng`] — a small deterministic PRNG (PCG-32) so every experiment in
 //!   the repository is reproducible without external crates.
 //!
@@ -36,6 +38,7 @@ mod tensor;
 pub mod fixed;
 pub mod gemm;
 pub mod im2col;
+pub mod parallel;
 pub mod quant;
 pub mod rng;
 pub mod stats;
