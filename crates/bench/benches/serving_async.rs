@@ -1,0 +1,68 @@
+//! Asynchronous sharded-serving benches: full [`ServeEngine`] lifetimes
+//! (start → pre-load → drain → finish) at one and four shards.
+//!
+//! Run with `cargo bench -p onesa-bench --bench serving_async`. The JSON
+//! perf baseline at the repository root (`BENCH_serving_async.json`) is
+//! produced by the `serving_async` bin, not by this bench.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onesa_core::serve::{AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, Ticket};
+use onesa_core::{Parallelism, Request};
+use onesa_cpwl::NonlinearFn;
+use onesa_sim::ArrayConfig;
+use onesa_tensor::rng::Pcg32;
+
+fn mix() -> Vec<Request> {
+    let mut rng = Pcg32::seed_from_u64(9);
+    let w1 = rng.randn(&[128, 64], 1.0);
+    let w2 = rng.randn(&[128, 32], 1.0);
+    let mut requests = Vec::new();
+    for i in 0..12 {
+        let w = if i % 3 == 0 { &w2 } else { &w1 };
+        requests.push(Request::gemm(rng.randn(&[8 + i, 128], 1.0), w.clone()));
+    }
+    for i in 0..4 {
+        requests.push(Request::nonlinear(
+            NonlinearFn::Gelu,
+            rng.randn(&[16 + 8 * i, 32], 1.5),
+        ));
+    }
+    requests
+}
+
+fn serve_pool(c: &mut Criterion) {
+    let requests = mix();
+    let mut group = c.benchmark_group("serve_engine_16req");
+    for shards in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |bench, &shards| {
+                bench.iter(|| {
+                    let pool = ServeEngine::start(
+                        ServeConfig::uniform(
+                            shards,
+                            ArrayConfig::new(8, 16),
+                            Parallelism::Threads(1),
+                        )
+                        .with_admission(AdmissionPolicy::Fifo { window: 32 })
+                        .with_routing(RoutePolicy::LeastLoaded),
+                    )
+                    .expect("valid pool config");
+                    let tickets: Vec<Ticket> = requests
+                        .iter()
+                        .map(|r| pool.submit(r.clone()).expect("queue open"))
+                        .collect();
+                    for t in tickets {
+                        t.wait().expect("request served");
+                    }
+                    pool.finish().expect("pool drains cleanly")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(serving_async, serve_pool);
+criterion_main!(serving_async);

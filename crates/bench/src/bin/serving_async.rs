@@ -1,0 +1,136 @@
+//! Emits the `BENCH_serving_async.json` perf baseline: the sharded
+//! asynchronous serving layer (`onesa_core::serve::ServeEngine`) over a
+//! fixed mixed request queue at 1, 2 and 4 shards.
+//!
+//! ```sh
+//! cargo run --release -q -p onesa-bench --bin serving_async > BENCH_serving_async.json
+//! ```
+//!
+//! The committed copy at the repository root records the trajectory later
+//! serving PRs must beat. Two families of numbers:
+//!
+//! * `modeled_*` — requests per simulated-array-second of the pool's
+//!   makespan (busiest shard). Deterministic on every host: this is the
+//!   stable quantity, and `modeled_speedup_vs_1shard` at 4 shards is the
+//!   headline (sharding must stay ≥1.5×; it lands near 3×).
+//! * `wall_*` — host wall-clock. Shard workers are real OS threads, so
+//!   these follow the build host's core count (≈1× on a 1-core host) and
+//!   are recorded for context only.
+
+use onesa_bench::time_best;
+use onesa_core::serve::{AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, Ticket};
+use onesa_core::{Parallelism, Request, ServeSummary};
+use onesa_cpwl::NonlinearFn;
+use onesa_sim::ArrayConfig;
+use onesa_tensor::rng::Pcg32;
+use std::time::Instant;
+
+/// Same serving mix as `examples/sharded_serving.rs`: 36 GEMMs over
+/// three shared weights plus 12 nonlinears over two functions.
+fn build_mix() -> Vec<Request> {
+    let mut rng = Pcg32::seed_from_u64(2026);
+    let w1 = rng.randn(&[256, 128], 1.0);
+    let w2 = rng.randn(&[256, 64], 1.0);
+    let w3 = rng.randn(&[256, 96], 1.0);
+    let mut requests = Vec::new();
+    for i in 0..36 {
+        let rows = 16 + (i % 5) * 16;
+        let w = [&w1, &w2, &w3][i % 3];
+        requests.push(Request::gemm(rng.randn(&[rows, 256], 1.0), w.clone()));
+    }
+    for i in 0..12 {
+        let func = if i % 2 == 0 {
+            NonlinearFn::Gelu
+        } else {
+            NonlinearFn::Sigmoid
+        };
+        requests.push(Request::nonlinear(
+            func,
+            rng.randn(&[32 + (i % 4) * 16, 64], 1.5),
+        ));
+    }
+    requests
+}
+
+/// One full pool lifetime: pre-load paused, open the gate, wait every
+/// ticket, finish. Returns the summary and the resume→finish wall time.
+fn serve_once(shards: usize, requests: &[Request]) -> (ServeSummary, f64) {
+    let pool = ServeEngine::start(
+        ServeConfig::uniform(shards, ArrayConfig::new(8, 16), Parallelism::Threads(1))
+            .with_admission(AdmissionPolicy::Fifo { window: 64 })
+            .with_routing(RoutePolicy::LeastLoaded)
+            .start_paused(),
+    )
+    .expect("valid pool config");
+    let tickets: Vec<Ticket> = requests
+        .iter()
+        .map(|r| pool.submit(r.clone()).expect("queue open"))
+        .collect();
+    let t0 = Instant::now();
+    pool.resume();
+    for t in tickets {
+        t.wait().expect("request served");
+    }
+    let summary = pool.finish().expect("pool drains cleanly");
+    (summary, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let requests = build_mix();
+    let n = requests.len();
+    let configs = [1usize, 2, 4];
+    let runs: Vec<(ServeSummary, f64)> = configs
+        .iter()
+        .map(|&shards| {
+            // Best-of-5 on wall time; the modeled numbers are identical
+            // across repetitions (pre-loaded queue = one deterministic
+            // window).
+            time_best(5, || serve_once(shards, &requests)).0
+        })
+        .collect();
+    let (wall_1, makespan_1) = (runs[0].1, runs[0].0.report.batched_seconds);
+
+    println!("{{");
+    println!("  \"bench\": \"serving_async\",");
+    println!("  \"layer\": \"onesa_core::serve::ServeEngine\",");
+    println!("  \"host_workers\": {},", Parallelism::Auto.worker_count());
+    println!("  \"array\": \"8x8 PEs x 16 MACs per shard\",");
+    println!("  \"admission\": \"fifo(window=64)\",");
+    println!("  \"routing\": \"least_loaded\",");
+    println!(
+        "  \"mix\": {{ \"requests\": {n}, \"gemm\": 36, \"shared_weights\": 3, \
+         \"nonlinear\": 12, \"functions\": 2 }},"
+    );
+    println!("  \"configs\": [");
+    for (idx, (&shards, (summary, wall))) in configs.iter().zip(&runs).enumerate() {
+        let makespan = summary.report.batched_seconds;
+        println!("    {{");
+        println!("      \"shards\": {shards},");
+        println!(
+            "      \"wall_ms\": {:.3}, \"wall_rps\": {:.0}, \"wall_speedup_vs_1shard\": {:.2},",
+            wall * 1e3,
+            n as f64 / wall,
+            wall_1 / wall
+        );
+        println!(
+            "      \"array_makespan_ms\": {:.4}, \"modeled_rps\": {:.0}, \
+             \"modeled_speedup_vs_1shard\": {:.2},",
+            makespan * 1e3,
+            n as f64 / makespan,
+            makespan_1 / makespan
+        );
+        println!(
+            "      \"batching_speedup\": {:.2}, \"gemm_groups\": {}, \"windows\": {}",
+            summary.modeled_speedup(),
+            summary.report.gemm_groups,
+            summary.windows
+        );
+        println!("    }}{}", if idx + 1 < configs.len() { "," } else { "" });
+    }
+    println!("  ],");
+    println!(
+        "  \"stable_quantity\": \"modeled_* (simulated-array makespan); wall_* follows the \
+         host's core count\""
+    );
+    println!("}}");
+}

@@ -24,6 +24,10 @@
 //! exactly the same floating-point op sequence as a solo run, so outputs
 //! are bit-identical to serving the queue one request at a time.
 //!
+//! For asynchronous admission (submitting while a batch executes) and
+//! sharding a queue across several simulated arrays, see
+//! [`crate::serve`], which runs one `BatchEngine` per shard.
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +46,54 @@
 //! let run = serving.run()?;
 //! assert_eq!(run.outcomes.len(), 4);
 //! assert!(run.report.batching_speedup() > 1.0); // 3 GEMMs shared one pass
+//! # Ok::<(), onesa_tensor::TensorError>(())
+//! ```
+//!
+//! # A worked coalescing example
+//!
+//! Row stacking and concatenation are literal: the engine executes the
+//! stacked operands as one kernel call and slices each request's share
+//! back out. The doctest below spells the transformation out by hand and
+//! checks it against the engine, for both coalescing rules.
+//!
+//! ```
+//! use onesa_core::{BatchEngine, OneSa, Request};
+//! use onesa_cpwl::ops::TableSet;
+//! use onesa_cpwl::NonlinearFn;
+//! use onesa_sim::ArrayConfig;
+//! use onesa_tensor::{gemm, rng::Pcg32, Tensor};
+//!
+//! let mut rng = Pcg32::seed_from_u64(7);
+//! let w = rng.randn(&[6, 4], 1.0);             // shared [K=6, N=4] weights
+//! let a0 = rng.randn(&[2, 6], 1.0);            // request 0: 2 activation rows
+//! let a1 = rng.randn(&[3, 6], 1.0);            // request 1: 3 activation rows
+//!
+//! // Shared-weight row stacking: the engine runs ONE [5, 6] x [6, 4]
+//! // GEMM instead of a [2, 6] and a [3, 6] one...
+//! let mut stacked = a0.as_slice().to_vec();
+//! stacked.extend_from_slice(a1.as_slice());
+//! let tall = Tensor::from_vec(stacked, &[5, 6])?;
+//! let product = gemm::matmul(&tall, &w)?;
+//!
+//! // ...and each request gets its own rows back, bit-identical to solo.
+//! let mut serving = BatchEngine::new(OneSa::new(ArrayConfig::new(8, 16)), 0.25)?;
+//! serving.submit(Request::gemm(a0.clone(), w.clone()));
+//! serving.submit(Request::gemm(a1.clone(), w.clone()));
+//! // Same-function concatenation: both GELU requests share one IPF + MHP
+//! // pass over their concatenated elements.
+//! let x0 = rng.randn(&[1, 3], 1.0);
+//! let x1 = rng.randn(&[2, 2], 1.0);
+//! serving.submit(Request::nonlinear(NonlinearFn::Gelu, x0.clone()));
+//! serving.submit(Request::nonlinear(NonlinearFn::Gelu, x1.clone()));
+//!
+//! let run = serving.run()?;
+//! assert_eq!(run.report.gemm_groups, 1);        // 2 GEMMs -> 1 kernel call
+//! assert_eq!(run.report.nonlinear_groups, 1);   // 2 GELUs -> 1 IPF + MHP
+//! assert_eq!(run.outcomes[0].output.as_slice(), &product.as_slice()[..8]);
+//! assert_eq!(run.outcomes[1].output.as_slice(), &product.as_slice()[8..]);
+//! let tables = TableSet::for_granularity(0.25).unwrap();
+//! assert_eq!(run.outcomes[2].output, tables.gelu(&x0).unwrap());
+//! assert_eq!(run.outcomes[3].output, tables.gelu(&x1).unwrap());
 //! # Ok::<(), onesa_tensor::TensorError>(())
 //! ```
 
@@ -86,6 +138,42 @@ impl Request {
     pub fn nonlinear(func: NonlinearFn, x: Tensor) -> Self {
         Request::Nonlinear { func, x }
     }
+
+    /// Modeled array work for this request, in MAC-equivalents: `M·K·N`
+    /// for a GEMM, one per element for a nonlinear evaluation (the MHP
+    /// `y = x⊙k + b` is exactly one MAC per element). Size-capped
+    /// admission windows and least-loaded routing in [`crate::serve`]
+    /// weigh requests by this number. Returns 0 for operands that are not
+    /// matrices (such requests are rejected at execution time).
+    pub fn modeled_macs(&self) -> u64 {
+        match self {
+            Request::Gemm { a, b } => match (a.shape().as_matrix(), b.shape().as_matrix()) {
+                (Ok((m, k)), Ok((_, n))) => (m * k * n) as u64,
+                _ => 0,
+            },
+            Request::Nonlinear { x, .. } => x.len() as u64,
+        }
+    }
+
+    /// The coalescing key [`crate::serve`]'s weight-affinity router uses:
+    /// GEMMs that can share a weight load hash identically, nonlinears
+    /// hash by function. (Distinct weights may collide — the router only
+    /// needs "equal keys usually coalesce", the engine still checks exact
+    /// equality before stacking.)
+    pub fn affinity_key(&self) -> u64 {
+        match self {
+            Request::Gemm { b, .. } => weight_fingerprint(b),
+            Request::Nonlinear { func, .. } => {
+                // FNV-1a over the debug form: stable within a build, and
+                // parameterized variants (Elu/LeakyRelu) hash by value.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for byte in format!("{func:?}").bytes() {
+                    h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h
+            }
+        }
+    }
 }
 
 /// Per-request result of a serving run.
@@ -99,22 +187,49 @@ pub struct RequestOutcome {
     pub stats: ExecStats,
 }
 
-/// Aggregate statistics of one [`BatchEngine::run`].
+/// Aggregate statistics of one [`BatchEngine::run`] (or, aggregated
+/// across shards, of one [`crate::serve::ServeEngine`] lifetime).
 #[derive(Debug, Clone)]
 pub struct ServingReport {
-    /// Number of requests served.
+    /// Number of requests served. Zero is legal (an empty queue produces
+    /// an empty report, and every derived metric stays finite).
     pub requests: usize,
-    /// Host wall-clock seconds for the whole run (coalescing + kernels).
+    /// Host wall-clock seconds for the whole run — queue coalescing plus
+    /// kernel execution on the host backend. Machine-dependent; the
+    /// simulated-seconds fields below are the deterministic quantities.
     pub wall_seconds: f64,
-    /// Simulated array seconds with batching (coalesced schedules).
+    /// Simulated array seconds for the schedule actually executed: the
+    /// coalesced batches, at the array's configured clock. For a sharded
+    /// run this is the *makespan* — the busiest shard's total, since the
+    /// simulated arrays run concurrently.
     pub batched_seconds: f64,
-    /// Simulated array seconds had each request run alone.
+    /// Simulated array seconds had each request run alone, back to back,
+    /// on a single array (the sum of [`RequestOutcome::stats`] times).
+    /// The numerator of [`ServingReport::batching_speedup`].
     pub unbatched_seconds: f64,
-    /// Total multiply-accumulates across all requests.
+    /// Total multiply-accumulates across all requests (each MAC is one
+    /// paper "operation": a multiply plus an add).
     pub total_macs: u64,
-    /// Total nonlinear evaluations across all requests.
+    /// Total CPWL nonlinear evaluations across all requests (0 for a
+    /// GEMM-only queue).
     pub total_nonlinear_evals: u64,
-    /// Per-request simulated latencies (seconds), in submission order.
+    /// Number of coalesced GEMM kernel calls: requests sharing a weight
+    /// matrix count once. For one [`BatchEngine::run`] this equals the
+    /// number of distinct weight matrices in the queue; reports
+    /// aggregated across shards/windows by [`crate::serve`] sum the
+    /// groups of every shard-batch, so a weight served by several
+    /// shards (or in several windows) counts once per kernel call, not
+    /// once overall.
+    pub gemm_groups: usize,
+    /// Number of coalesced IPF + MHP passes: nonlinear requests sharing a
+    /// function count once (per run, with the same aggregation caveat as
+    /// [`ServingReport::gemm_groups`]).
+    pub nonlinear_groups: usize,
+    /// Per-request simulated latencies in seconds, indexed by submission
+    /// order (entry `i` belongs to the request [`BatchEngine::submit`]
+    /// returned id `i` for; serve-aggregated reports order by ticket id
+    /// over the successfully served requests, omitting rejected ones).
+    /// Input to [`ServingReport::latency_percentile`].
     pub latencies: Vec<f64>,
 }
 
@@ -233,10 +348,53 @@ impl BatchEngine {
         self.queue.len()
     }
 
+    /// The CPWL granularity the engine's table set was built at.
+    pub fn granularity(&self) -> f32 {
+        self.tables.granularity()
+    }
+
     /// Enqueues a request, returning its id (its submission index).
     pub fn submit(&mut self, request: Request) -> RequestId {
         self.queue.push(request);
         self.queue.len() - 1
+    }
+
+    /// Drops every pending request, returning how many were discarded.
+    /// The serving layer uses this to recover a shard after rejecting a
+    /// malformed batch without replaying its queue.
+    pub fn clear(&mut self) -> usize {
+        let n = self.queue.len();
+        self.queue.clear();
+        n
+    }
+
+    /// Checks that a request can execute on this engine without touching
+    /// the queue: GEMM operands must be matrices with matching inner
+    /// dimensions, and a nonlinear request's function must be in the
+    /// engine's table set.
+    ///
+    /// # Errors
+    ///
+    /// The same errors [`BatchEngine::run`] would report for the request.
+    pub fn validate(&self, request: &Request) -> Result<()> {
+        match request {
+            Request::Gemm { a, b } => {
+                let (_, ka) = a.shape().as_matrix()?;
+                let (kb, _) = b.shape().as_matrix()?;
+                if ka != kb {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: a.dims().to_vec(),
+                        rhs: b.dims().to_vec(),
+                        op: "BatchEngine::run",
+                    });
+                }
+                Ok(())
+            }
+            Request::Nonlinear { func, .. } => match self.tables.table(*func) {
+                Some(_) => Ok(()),
+                None => Err(TensorError::InvalidArgument("function not in table set")),
+            },
+        }
     }
 
     /// Serves the whole queue: coalesces compatible requests, executes
@@ -252,17 +410,7 @@ impl BatchEngine {
         // Validate every request before draining the queue, so one
         // malformed request cannot discard the others.
         for req in &self.queue {
-            if let Request::Gemm { a, b } = req {
-                let (_, ka) = a.shape().as_matrix()?;
-                let (kb, _) = b.shape().as_matrix()?;
-                if ka != kb {
-                    return Err(TensorError::ShapeMismatch {
-                        lhs: a.dims().to_vec(),
-                        rhs: b.dims().to_vec(),
-                        op: "BatchEngine::run",
-                    });
-                }
-            }
+            self.validate(req)?;
         }
         let queue = std::mem::take(&mut self.queue);
         let start = Instant::now();
@@ -378,6 +526,8 @@ impl BatchEngine {
             unbatched_seconds: unbatched.seconds(),
             total_macs: unbatched.macs,
             total_nonlinear_evals: unbatched.nonlinear_evals,
+            gemm_groups: gemm_groups.len(),
+            nonlinear_groups: nl_groups.len(),
             latencies: outcomes.iter().map(|o| o.stats.seconds()).collect(),
         };
         Ok(BatchRun { outcomes, report })
@@ -497,6 +647,134 @@ mod tests {
         // The 64-row request dominates the tail.
         assert!((p99 - r.latencies[3]).abs() < 1e-12);
         assert!(!format!("{r}").is_empty());
+    }
+
+    #[test]
+    fn empty_queue_report_is_sane() {
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        let run = serving.run().unwrap();
+        let r = &run.report;
+        assert!(run.outcomes.is_empty());
+        assert_eq!(r.requests, 0);
+        assert_eq!((r.gemm_groups, r.nonlinear_groups), (0, 0));
+        // Every derived metric must stay finite on the empty report — no
+        // NaN, no divide-by-zero.
+        assert_eq!(r.batching_speedup(), 1.0);
+        assert_eq!(r.batched_gops(), 0.0);
+        assert_eq!(r.latency_percentile(50.0), 0.0);
+        assert_eq!(r.latency_percentile(99.0), 0.0);
+        assert!(r.wall_rps().is_finite());
+        assert!(!format!("{r}").contains("NaN"));
+    }
+
+    #[test]
+    fn single_request_batch_has_unit_speedup() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        let a = rng.randn(&[5, 12], 1.0);
+        let w = rng.randn(&[12, 7], 1.0);
+        serving.submit(Request::gemm(a.clone(), w.clone()));
+        let run = serving.run().unwrap();
+        let r = &run.report;
+        // A batch of one coalesces with nothing: the batched schedule IS
+        // the solo schedule.
+        assert_eq!(r.requests, 1);
+        assert_eq!(r.gemm_groups, 1);
+        assert!((r.batching_speedup() - 1.0).abs() < 1e-12);
+        assert_eq!(r.latencies.len(), 1);
+        assert!((r.latency_percentile(50.0) - r.latencies[0]).abs() < 1e-18);
+        assert_eq!(run.outcomes[0].output, gemm::matmul(&a, &w).unwrap());
+    }
+
+    #[test]
+    fn fully_uncoalescable_gemm_queue_has_unit_speedup() {
+        let mut rng = Pcg32::seed_from_u64(12);
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        // Three GEMMs with three distinct weight matrices: no two
+        // requests coalesce, so each "group" is one solo schedule and
+        // batched == unbatched exactly.
+        for _ in 0..3 {
+            serving.submit(Request::gemm(
+                rng.randn(&[4, 8], 1.0),
+                rng.randn(&[8, 6], 1.0),
+            ));
+        }
+        let run = serving.run().unwrap();
+        let r = &run.report;
+        assert_eq!(r.requests, 3);
+        assert_eq!((r.gemm_groups, r.nonlinear_groups), (3, 0));
+        assert!((r.batching_speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_uncoalescable_mixed_queue_report_is_sane() {
+        let mut rng = Pcg32::seed_from_u64(12);
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        // Distinct weights and distinct functions: nothing coalesces.
+        // (A singleton nonlinear "group" still runs as its concatenated
+        // [1, len] row pass, whose skew/drain differ slightly from the
+        // request's own [m, n] shape — so speedup is near, not exactly,
+        // 1.0 here; the GEMM-only test above pins the exact case.)
+        for _ in 0..3 {
+            serving.submit(Request::gemm(
+                rng.randn(&[4, 8], 1.0),
+                rng.randn(&[8, 6], 1.0),
+            ));
+        }
+        serving.submit(Request::nonlinear(
+            NonlinearFn::Gelu,
+            rng.randn(&[3, 5], 1.0),
+        ));
+        serving.submit(Request::nonlinear(
+            NonlinearFn::Tanh,
+            rng.randn(&[2, 5], 1.0),
+        ));
+        let run = serving.run().unwrap();
+        let r = &run.report;
+        assert_eq!(r.requests, 5);
+        assert_eq!((r.gemm_groups, r.nonlinear_groups), (3, 2));
+        let speedup = r.batching_speedup();
+        assert!(speedup.is_finite() && speedup > 0.5 && speedup < 2.0);
+        let p50 = r.latency_percentile(50.0);
+        let p95 = r.latency_percentile(95.0);
+        assert!(p50.is_finite() && p95.is_finite() && p95 >= p50 && p50 > 0.0);
+        assert!(r.wall_rps().is_finite() && r.batched_gops().is_finite());
+        assert!(!format!("{r}").contains("NaN"));
+    }
+
+    #[test]
+    fn modeled_macs_and_affinity_keys() {
+        let mut rng = Pcg32::seed_from_u64(13);
+        let w = rng.randn(&[8, 6], 1.0);
+        let g = Request::gemm(rng.randn(&[4, 8], 1.0), w.clone());
+        assert_eq!(g.modeled_macs(), 4 * 8 * 6);
+        let nl = Request::nonlinear(NonlinearFn::Gelu, rng.randn(&[3, 5], 1.0));
+        assert_eq!(nl.modeled_macs(), 15);
+        // Shared weights agree on the affinity key; same function too.
+        let g2 = Request::gemm(rng.randn(&[9, 8], 1.0), w.clone());
+        assert_eq!(g.affinity_key(), g2.affinity_key());
+        let nl2 = Request::nonlinear(NonlinearFn::Gelu, rng.randn(&[1, 2], 1.0));
+        assert_eq!(nl.affinity_key(), nl2.affinity_key());
+        assert_ne!(
+            Request::nonlinear(NonlinearFn::Tanh, rng.randn(&[1, 2], 1.0)).affinity_key(),
+            nl.affinity_key()
+        );
+    }
+
+    #[test]
+    fn validate_and_clear() {
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        assert_eq!(serving.granularity(), 0.25);
+        let good = Request::gemm(Tensor::zeros(&[2, 3]), Tensor::zeros(&[3, 5]));
+        let bad = Request::gemm(Tensor::zeros(&[2, 3]), Tensor::zeros(&[4, 5]));
+        assert!(serving.validate(&good).is_ok());
+        assert!(serving.validate(&bad).is_err());
+        serving.submit(good);
+        serving.submit(bad);
+        assert_eq!(serving.clear(), 2);
+        assert_eq!(serving.pending(), 0);
+        // After clearing, the engine serves an empty run cleanly.
+        assert_eq!(serving.run().unwrap().report.requests, 0);
     }
 
     #[test]

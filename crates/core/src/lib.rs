@@ -32,6 +32,7 @@ mod flex;
 mod report;
 
 pub mod batch;
+pub mod serve;
 
 pub use batch::{BatchEngine, BatchRun, Request, RequestId, RequestOutcome, ServingReport};
 pub use engine::OneSa;
@@ -39,3 +40,7 @@ pub use flex::split_accelerator_cycles;
 pub use onesa_nn::workloads::Workload;
 pub use onesa_tensor::parallel::Parallelism;
 pub use report::ExecutionReport;
+pub use serve::{
+    AdmissionPolicy, RoutePolicy, ServeClient, ServeConfig, ServeEngine, ServeError, ServeSummary,
+    ServedOutcome, ShardSpec, ShardStats, Ticket, TicketId, TrySubmitError,
+};

@@ -1,0 +1,1260 @@
+//! Asynchronous request admission and multi-array sharded serving.
+//!
+//! [`BatchEngine`] serves a queue it already holds;
+//! this module puts a *live* front door on top of it. A [`ServeEngine`]
+//! owns a bounded multi-producer submission queue that keeps **accepting
+//! requests while batches execute**, an admission thread that closes
+//! batching windows under a configurable [`AdmissionPolicy`], and a
+//! shard pool of `N` worker shards — each one a `(OneSa, BatchEngine,
+//! Parallelism)` triple standing in for one simulated systolic array —
+//! fed through a pluggable [`RoutePolicy`]. This is the scale-out rung
+//! the ROADMAP names after PR 2's synchronous batching: one workload,
+//! many arrays, in the spirit of FlexSA's sub-array partitioning and
+//! ArrayFlex's per-workload reconfiguration.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//!  client threads                admission thread              shard workers
+//!  ──────────────                ────────────────              ─────────────
+//!  submit(Request) ──► bounded MPSC queue ──► batching window ──► router
+//!        │            (backpressure: send     (FIFO / EDF /       │
+//!        ▼             blocks when full)       size-capped)       ▼
+//!     Ticket                                              per-shard channel
+//!        │                                                        │
+//!        │                                                 BatchEngine::run
+//!        │                                                 (coalesce + exec)
+//!        ▼                                                        │
+//!  Ticket::wait ◄───────────── per-request reply channel ◄────────┘
+//!
+//!  finish() ──► drains the queue, joins every worker, aggregates the
+//!               shards into a ServingReport + per-shard ShardStats
+//! ```
+//!
+//! # Guarantees
+//!
+//! * **Bit-identicality.** Outputs are bit-identical to running every
+//!   request alone on one sequential array, for every shard count,
+//!   admission policy and routing policy — coalescing never changes a
+//!   request's floating-point op sequence (see [`crate::batch`]), and
+//!   sharding only changes *which* engine runs it.
+//! * **Per-ticket ordering.** Ticket ids are assigned in submission
+//!   order and every [`ServedOutcome`] carries the id of the request it
+//!   answers; a window is dispatched in submission order unless the
+//!   deadline policy deliberately reorders it (observable through
+//!   [`ServedOutcome::dispatch_seq`]).
+//! * **Backpressure.** The submission queue is bounded:
+//!   [`ServeClient::submit`] blocks and [`ServeClient::try_submit`]
+//!   returns the request back once `queue_capacity` requests are
+//!   waiting, so producers can never outrun the pool unboundedly. The
+//!   per-shard channels are bounded too, which stalls admission (not
+//!   the clients) when one shard falls behind.
+//!
+//! # Example
+//!
+//! ```
+//! use onesa_core::serve::{ServeConfig, ServeEngine};
+//! use onesa_core::{Parallelism, Request};
+//! use onesa_sim::ArrayConfig;
+//! use onesa_tensor::{gemm, rng::Pcg32};
+//!
+//! let mut rng = Pcg32::seed_from_u64(5);
+//! let w = rng.randn(&[16, 8], 1.0);
+//! let pool = ServeEngine::start(ServeConfig::uniform(
+//!     2,
+//!     ArrayConfig::new(8, 16),
+//!     Parallelism::Sequential,
+//! ))?;
+//! let a = rng.randn(&[4, 16], 1.0);
+//! let ticket = pool.submit(Request::gemm(a.clone(), w.clone())).unwrap();
+//! let served = ticket.wait().unwrap();
+//! assert_eq!(served.output, gemm::matmul(&a, &w)?);
+//! let summary = pool.finish().unwrap();
+//! assert_eq!(summary.report.requests, 1);
+//! # Ok::<(), onesa_tensor::TensorError>(())
+//! ```
+
+use crate::batch::{BatchEngine, Request, ServingReport};
+use crate::engine::OneSa;
+use onesa_sim::{ArrayConfig, ExecStats};
+use onesa_tensor::parallel::Parallelism;
+use onesa_tensor::{Tensor, TensorError};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TryRecvError, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Globally unique, monotonically increasing id of a submitted request.
+pub type TicketId = u64;
+
+/// How many dispatched-but-unfinished batches one shard's channel holds
+/// before admission stalls on it (bounded backpressure between the
+/// admitter and a slow shard).
+const SHARD_CHANNEL_DEPTH: usize = 2;
+
+/// How the admission thread closes a batching window.
+///
+/// A window opens when the first waiting request is picked up and is
+/// filled greedily from whatever else has already arrived — admission
+/// never waits for stragglers, so a lightly loaded pool degenerates to
+/// request-at-a-time serving and a busy one to large coalesced batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Dispatch in arrival order; close the window after `window`
+    /// requests (`0` is treated as `1`).
+    Fifo {
+        /// Maximum requests per window.
+        window: usize,
+    },
+    /// Like [`AdmissionPolicy::Fifo`], but the admitted window is
+    /// dispatched earliest-deadline-first. Requests without a deadline
+    /// sort last; ties keep arrival order (the sort is stable). The
+    /// deadline is a priority key — nothing is dropped on a miss.
+    Deadline {
+        /// Maximum requests per window.
+        window: usize,
+    },
+    /// Close the window once its accumulated modeled work
+    /// ([`Request::modeled_macs`]) reaches `max_macs`, so one window
+    /// never holds more array work than a target batch budget.
+    SizeCapped {
+        /// Modeled-MAC budget per window.
+        max_macs: u64,
+    },
+}
+
+impl Default for AdmissionPolicy {
+    /// FIFO with a 64-request window.
+    fn default() -> Self {
+        AdmissionPolicy::Fifo { window: 64 }
+    }
+}
+
+/// How an admitted request picks its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// Strict rotation over the shards.
+    #[default]
+    RoundRobin,
+    /// The shard with the least outstanding modeled work (queued plus
+    /// executing, in [`Request::modeled_macs`] units; ties pick the
+    /// lowest shard index).
+    LeastLoaded,
+    /// Requests with equal [`Request::affinity_key`]s — GEMMs against
+    /// the same weight matrix, nonlinears of the same function — land on
+    /// the same shard, so sharding does not break [`crate::batch`]'s
+    /// coalescing (shared weights still load once *per shard that sees
+    /// them*, and with affinity routing that is one shard).
+    WeightAffinity,
+}
+
+/// One simulated array in the pool: an [`ArrayConfig`] plus the host
+/// execution policy its kernels run under.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// The simulated array this shard stands in for.
+    pub config: ArrayConfig,
+    /// Host backend policy for this shard's kernels.
+    pub parallelism: Parallelism,
+}
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The shard pool; must be non-empty. Shards may be heterogeneous.
+    pub shards: Vec<ShardSpec>,
+    /// CPWL granularity for every shard's table set.
+    pub granularity: f32,
+    /// Bound of the submission queue (`0` is treated as `1`):
+    /// submissions beyond it block (or fail, for
+    /// [`ServeClient::try_submit`]) until admission catches up.
+    pub queue_capacity: usize,
+    /// Window-closing policy of the admission thread.
+    pub admission: AdmissionPolicy,
+    /// Shard-selection policy.
+    pub routing: RoutePolicy,
+    /// Start with the admission gate closed: submissions queue up (to
+    /// `queue_capacity`) but nothing dispatches until
+    /// [`ServeEngine::resume`]. Deterministic tests and benches use this
+    /// to pre-load a queue and open the gate in one motion.
+    pub paused: bool,
+}
+
+impl ServeConfig {
+    /// A homogeneous pool: `shards` identical arrays, paper-default 0.25
+    /// CPWL granularity, a 256-request queue, FIFO windows of 64 and
+    /// round-robin routing.
+    pub fn uniform(shards: usize, config: ArrayConfig, parallelism: Parallelism) -> Self {
+        ServeConfig {
+            shards: (0..shards.max(1))
+                .map(|_| ShardSpec {
+                    config: config.clone(),
+                    parallelism,
+                })
+                .collect(),
+            granularity: 0.25,
+            queue_capacity: 256,
+            admission: AdmissionPolicy::default(),
+            routing: RoutePolicy::default(),
+            paused: false,
+        }
+    }
+
+    /// Replaces the admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Replaces the routing policy.
+    pub fn with_routing(mut self, routing: RoutePolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Replaces the submission-queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Starts the engine with the admission gate closed (see
+    /// [`ServeConfig::paused`]).
+    pub fn start_paused(mut self) -> Self {
+        self.paused = true;
+        self
+    }
+}
+
+/// Errors of the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The engine was finished (or dropped): the submission queue no
+    /// longer accepts requests.
+    QueueClosed,
+    /// The request failed validation or execution on its shard.
+    Exec(TensorError),
+    /// A worker thread disappeared without answering (it panicked, or —
+    /// for a submission racing with `finish()` — the engine tore down
+    /// before the reply could be produced).
+    WorkerLost,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueClosed => write!(f, "serve queue is closed"),
+            ServeError::Exec(e) => write!(f, "request failed on its shard: {e}"),
+            ServeError::WorkerLost => write!(f, "serve worker lost before replying"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Non-blocking submission failure; both variants hand the request back
+/// so the caller can retry, redirect or drop it deliberately.
+#[derive(Debug)]
+pub enum TrySubmitError {
+    /// The bounded queue is at capacity (backpressure).
+    Full(Request),
+    /// The engine is finished.
+    Closed(Request),
+}
+
+impl fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySubmitError::Full(_) => write!(f, "serve queue is full"),
+            TrySubmitError::Closed(_) => write!(f, "serve queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for TrySubmitError {}
+
+/// What one request gets back from the pool.
+#[derive(Debug, Clone)]
+pub struct ServedOutcome {
+    /// The ticket this outcome answers.
+    pub ticket: TicketId,
+    /// Index of the shard that executed the request.
+    pub shard: usize,
+    /// Global dispatch position: the order in which the admitter handed
+    /// requests to shards. Equals submission order under FIFO; the
+    /// deadline policy may reorder within a window.
+    pub dispatch_seq: u64,
+    /// The request's output, bit-identical to a solo sequential run.
+    pub output: Tensor,
+    /// Simulated array stats for the request's own shape (what a solo
+    /// run would have cost).
+    pub stats: ExecStats,
+    /// Host seconds between submission and the start of the executing
+    /// batch (admission + routing + shard queueing delay).
+    pub queue_seconds: f64,
+}
+
+/// Handle to one in-flight request (from [`ServeClient::submit`]).
+///
+/// Results are buffered: waiting after [`ServeEngine::finish`] still
+/// returns the outcome.
+#[derive(Debug)]
+pub struct Ticket {
+    id: TicketId,
+    rx: Receiver<Result<ServedOutcome, ServeError>>,
+}
+
+impl Ticket {
+    /// The id assigned at submission (monotonic across the engine).
+    pub fn id(&self) -> TicketId {
+        self.id
+    }
+
+    /// Blocks until the request's outcome arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Exec`] if the request failed on its shard,
+    /// [`ServeError::WorkerLost`] if the pool died before answering.
+    pub fn wait(self) -> Result<ServedOutcome, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::WorkerLost)?
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<ServedOutcome, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(ServeError::WorkerLost)),
+        }
+    }
+}
+
+/// Everything a shard did over one engine lifetime.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index (position in [`ServeConfig::shards`]).
+    pub shard: usize,
+    /// Requests this shard served.
+    pub requests: usize,
+    /// Dispatched batches this shard executed.
+    pub batches: usize,
+    /// Coalesced GEMM kernel calls across those batches.
+    pub gemm_groups: usize,
+    /// Coalesced IPF + MHP passes across those batches.
+    pub nonlinear_groups: usize,
+    /// Multiply-accumulates this shard performed.
+    pub macs: u64,
+    /// Simulated array seconds this shard's batched schedules took. The
+    /// maximum across shards is the pool's makespan.
+    pub array_seconds: f64,
+    /// Host seconds this shard's worker spent executing batches.
+    pub busy_seconds: f64,
+    /// `busy_seconds` over the engine's wall lifetime: the fraction of
+    /// time this shard's worker was doing work rather than waiting.
+    pub occupancy: f64,
+    /// Most batches ever observed waiting in this shard's channel at
+    /// once (peak queue depth behind the router): at most the channel
+    /// bound plus the one batch the admitter may be blocked handing
+    /// over.
+    pub peak_queue_depth: usize,
+}
+
+/// Aggregate result of one [`ServeEngine`] lifetime.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Pool-wide totals in the same shape synchronous batching reports:
+    /// `batched_seconds` is the **makespan** (busiest shard — the
+    /// simulated arrays run concurrently), `unbatched_seconds` the cost
+    /// of serving every request alone on a single array, and
+    /// `latencies` are ordered by ticket id over the *successfully
+    /// served* requests (rejected requests produce no latency entry, so
+    /// after a failure entry `i` no longer equals ticket `i`). The
+    /// group counts are summed across shard-batches — see
+    /// [`ServingReport::gemm_groups`].
+    pub report: ServingReport,
+    /// Per-shard occupancy, throughput and queue statistics.
+    pub shards: Vec<ShardStats>,
+    /// Batching windows the admission thread closed.
+    pub windows: usize,
+    /// Most requests ever observed waiting in the submission queue at
+    /// once. Single-producer submission keeps this at most
+    /// [`ServeConfig::queue_capacity`]; concurrent producers blocked in
+    /// `submit` can momentarily be counted on top of a full queue.
+    pub peak_queue_depth: usize,
+}
+
+impl ServeSummary {
+    /// Modeled serving speedup of the pool over one array serving the
+    /// queue request-at-a-time: `unbatched / makespan`. Combines the
+    /// coalescing win (shared weight loads, shared IPF) with the
+    /// sharding win (arrays in parallel); deterministic, unlike host
+    /// wall-clock. Returns 1.0 for an empty run.
+    pub fn modeled_speedup(&self) -> f64 {
+        self.report.batching_speedup()
+    }
+}
+
+impl fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {} requests over {} shards in {} windows: {:.3} ms wall ({:.0} req/s)",
+            self.report.requests,
+            self.shards.len(),
+            self.windows,
+            self.report.wall_seconds * 1e3,
+            self.report.wall_rps()
+        )?;
+        writeln!(
+            f,
+            "array makespan {:.3} ms vs {:.3} ms solo-on-one-array ({:.2}x modeled), peak queue {}",
+            self.report.batched_seconds * 1e3,
+            self.report.unbatched_seconds * 1e3,
+            self.modeled_speedup(),
+            self.peak_queue_depth
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {}: {:>4} req in {:>3} batches ({} gemm + {} nl groups), \
+                 {:.3} ms array, occupancy {:.0}%, peak depth {}",
+                s.shard,
+                s.requests,
+                s.batches,
+                s.gemm_groups,
+                s.nonlinear_groups,
+                s.array_seconds * 1e3,
+                s.occupancy * 100.0,
+                s.peak_queue_depth
+            )?;
+        }
+        write!(
+            f,
+            "latency p50/p95/p99: {:.1} / {:.1} / {:.1} us",
+            self.report.latency_percentile(50.0) * 1e6,
+            self.report.latency_percentile(95.0) * 1e6,
+            self.report.latency_percentile(99.0) * 1e6
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// internal plumbing
+// ---------------------------------------------------------------------
+
+/// What clients push into the submission queue.
+enum Msg {
+    Work(Submission),
+    /// Sent by `finish`: dispatch the backlog, then stop. Lets the
+    /// engine shut down without waiting for every cloned client to drop.
+    Drain,
+}
+
+struct Submission {
+    ticket: TicketId,
+    deadline: Option<u64>,
+    submitted_at: Instant,
+    request: Request,
+    reply: Sender<Result<ServedOutcome, ServeError>>,
+}
+
+struct WorkItem {
+    ticket: TicketId,
+    dispatch_seq: u64,
+    submitted_at: Instant,
+    request: Request,
+    reply: Sender<Result<ServedOutcome, ServeError>>,
+}
+
+type ShardBatch = Vec<WorkItem>;
+
+/// Current/peak gauge for a bounded queue.
+#[derive(Debug, Default)]
+struct DepthGauge {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl DepthGauge {
+    fn inc(&self) {
+        let now = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    /// Raises the count without touching the peak; callers record the
+    /// peak themselves once the enqueue is known to have succeeded (a
+    /// rejected `try_submit` must not register as observed depth).
+    fn inc_tentative(&self) {
+        self.current.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn record_peak(&self) {
+        self.peak
+            .fetch_max(self.current.load(Ordering::SeqCst), Ordering::SeqCst);
+    }
+
+    fn dec(&self) {
+        self.current.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn current(&self) -> usize {
+        self.current.load(Ordering::SeqCst)
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::SeqCst)
+    }
+}
+
+/// The pause gate in front of the admission loop.
+#[derive(Debug)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(open: bool) -> Self {
+        Gate {
+            open: Mutex::new(open),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        let mut open = self.open.lock().expect("gate lock");
+        *open = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().expect("gate lock");
+        while !*open {
+            open = self.cv.wait(open).expect("gate lock");
+        }
+    }
+}
+
+/// Cloneable submission handle; every clone shares the same bounded
+/// queue and ticket sequence, so any number of producer threads can feed
+/// one pool.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    tx: SyncSender<Msg>,
+    next: Arc<AtomicU64>,
+    depth: Arc<DepthGauge>,
+}
+
+impl ServeClient {
+    fn make(&self, request: Request, deadline: Option<u64>) -> (Submission, Ticket) {
+        let id = self.next.fetch_add(1, Ordering::SeqCst);
+        let (reply, rx) = mpsc::channel();
+        (
+            Submission {
+                ticket: id,
+                deadline,
+                submitted_at: Instant::now(),
+                request,
+                reply,
+            },
+            Ticket { id, rx },
+        )
+    }
+
+    /// Submits a request, blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueClosed`] after [`ServeEngine::finish`].
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        self.submit_inner(request, None)
+    }
+
+    /// Submits with a deadline priority key (smaller = more urgent; any
+    /// unit, typically µs since an epoch the caller picks). Only the
+    /// [`AdmissionPolicy::Deadline`] policy reads it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueClosed`] after [`ServeEngine::finish`].
+    pub fn submit_with_deadline(
+        &self,
+        request: Request,
+        deadline: u64,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_inner(request, Some(deadline))
+    }
+
+    fn submit_inner(&self, request: Request, deadline: Option<u64>) -> Result<Ticket, ServeError> {
+        let (sub, ticket) = self.make(request, deadline);
+        self.depth.inc_tentative();
+        match self.tx.send(Msg::Work(sub)) {
+            Ok(()) => {
+                self.depth.record_peak();
+                Ok(ticket)
+            }
+            Err(_) => {
+                self.depth.dec();
+                Err(ServeError::QueueClosed)
+            }
+        }
+    }
+
+    /// Non-blocking submit: fails fast with the request handed back when
+    /// the queue is full (backpressure signal) or closed.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::Full`] at capacity, [`TrySubmitError::Closed`]
+    /// after [`ServeEngine::finish`]; both return the request.
+    pub fn try_submit(&self, request: Request) -> Result<Ticket, TrySubmitError> {
+        let (sub, ticket) = self.make(request, None);
+        self.depth.inc_tentative();
+        match self.tx.try_send(Msg::Work(sub)) {
+            Ok(()) => {
+                self.depth.record_peak();
+                Ok(ticket)
+            }
+            Err(TrySendError::Full(Msg::Work(sub))) => {
+                self.depth.dec();
+                Err(TrySubmitError::Full(sub.request))
+            }
+            Err(TrySendError::Disconnected(Msg::Work(sub))) => {
+                self.depth.dec();
+                Err(TrySubmitError::Closed(sub.request))
+            }
+            Err(_) => unreachable!("clients only send Work messages"),
+        }
+    }
+
+    /// Requests currently waiting in the submission queue.
+    pub fn queued(&self) -> usize {
+        self.depth.current()
+    }
+}
+
+// ---------------------------------------------------------------------
+// the engine
+// ---------------------------------------------------------------------
+
+/// Per-request accounting a shard sends back at shutdown (the outcome
+/// itself went to the ticket).
+struct ReqRecord {
+    ticket: TicketId,
+    seconds: f64,
+    macs: u64,
+    nonlinear_evals: u64,
+}
+
+struct ShardOut {
+    stats: ShardStats,
+    records: Vec<ReqRecord>,
+}
+
+/// The asynchronous sharded serving engine. See the [module docs](self).
+#[derive(Debug)]
+pub struct ServeEngine {
+    client: ServeClient,
+    gate: Arc<Gate>,
+    started: Instant,
+    n_shards: usize,
+    admitter: Option<JoinHandle<usize>>,
+    workers: Vec<JoinHandle<ShardOut>>,
+}
+
+impl ServeEngine {
+    /// Builds every shard's engine, spawns the admission thread and one
+    /// worker per shard, and (unless [`ServeConfig::paused`]) opens the
+    /// admission gate.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::InvalidArgument`] for an empty shard list or a
+    /// granularity the CPWL table builder rejects.
+    pub fn start(cfg: ServeConfig) -> Result<ServeEngine, TensorError> {
+        if cfg.shards.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "serve pool needs at least one shard",
+            ));
+        }
+        let engines: Vec<BatchEngine> = cfg
+            .shards
+            .iter()
+            .map(|spec| {
+                BatchEngine::new(
+                    OneSa::with_parallelism(spec.config.clone(), spec.parallelism),
+                    cfg.granularity,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let n = engines.len();
+
+        let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.queue_capacity.max(1));
+        let gate = Arc::new(Gate::new(!cfg.paused));
+        let queue_depth = Arc::new(DepthGauge::default());
+        let loads: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let shard_depths: Vec<Arc<DepthGauge>> =
+            (0..n).map(|_| Arc::new(DepthGauge::default())).collect();
+
+        let mut shard_txs = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for (i, engine) in engines.into_iter().enumerate() {
+            let (btx, brx) = mpsc::sync_channel::<ShardBatch>(SHARD_CHANNEL_DEPTH);
+            shard_txs.push(btx);
+            let load = Arc::clone(&loads[i]);
+            let depth = Arc::clone(&shard_depths[i]);
+            let handle = thread::Builder::new()
+                .name(format!("onesa-shard-{i}"))
+                .spawn(move || shard_loop(i, brx, engine, load, depth))
+                .expect("spawn shard worker");
+            workers.push(handle);
+        }
+
+        let admitter = {
+            let ctx = AdmitterCtx {
+                rx,
+                shard_txs,
+                shard_depths,
+                loads,
+                admission: cfg.admission,
+                routing: cfg.routing,
+                gate: Arc::clone(&gate),
+                queue_depth: Arc::clone(&queue_depth),
+            };
+            thread::Builder::new()
+                .name("onesa-admitter".to_string())
+                .spawn(move || admitter_loop(ctx))
+                .expect("spawn admission thread")
+        };
+
+        Ok(ServeEngine {
+            client: ServeClient {
+                tx,
+                next: Arc::new(AtomicU64::new(0)),
+                depth: queue_depth,
+            },
+            gate,
+            started: Instant::now(),
+            n_shards: n,
+            admitter: Some(admitter),
+            workers,
+        })
+    }
+
+    /// Number of shards in the pool.
+    pub fn shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// A cloneable submission handle for producer threads.
+    pub fn client(&self) -> ServeClient {
+        self.client.clone()
+    }
+
+    /// Opens the admission gate of a [`ServeConfig::paused`] engine
+    /// (idempotent).
+    pub fn resume(&self) {
+        self.gate.open();
+    }
+
+    /// See [`ServeClient::submit`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::submit`].
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        self.client.submit(request)
+    }
+
+    /// See [`ServeClient::submit_with_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::submit_with_deadline`].
+    pub fn submit_with_deadline(
+        &self,
+        request: Request,
+        deadline: u64,
+    ) -> Result<Ticket, ServeError> {
+        self.client.submit_with_deadline(request, deadline)
+    }
+
+    /// See [`ServeClient::try_submit`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::try_submit`].
+    pub fn try_submit(&self, request: Request) -> Result<Ticket, TrySubmitError> {
+        self.client.try_submit(request)
+    }
+
+    /// Requests currently waiting in the submission queue.
+    pub fn pending(&self) -> usize {
+        self.client.queued()
+    }
+
+    /// Routes a batch of pooled feature vectors through the pool as
+    /// shared-weight classifier GEMMs and adds `bias`, exactly the final
+    /// layer of `onesa_nn`'s models: sample `i`'s row is bit-identical
+    /// to `Linear::infer` on feature `i`. Under
+    /// [`RoutePolicy::WeightAffinity`] every sample lands on one shard
+    /// and coalesces into a single kernel call. This is how
+    /// `onesa_nn::models::{SmallCnn, TinyBert}` batch inference routes
+    /// through the pool (see their `pooled_features` / `classifier`
+    /// accessors and `examples/sharded_serving.rs`).
+    ///
+    /// The engine must be running (not paused): this method submits the
+    /// whole batch and then waits for it.
+    ///
+    /// Each sample is a separate serving request, which is the point of
+    /// the demonstration — the pool, not the caller, does the
+    /// coalescing. That also means `weights` is cloned per sample; for
+    /// very large batches against a big classifier, pre-stack the
+    /// features into one `[B, channels]` [`Request::gemm`] instead (the
+    /// row-stacking is exactly what the engine would do).
+    ///
+    /// # Errors
+    ///
+    /// Submission and execution errors as in [`ServeClient::submit`] and
+    /// [`Ticket::wait`].
+    pub fn classify_batch(
+        &self,
+        features: &[Tensor],
+        weights: &Tensor,
+        bias: &[f32],
+    ) -> Result<Vec<Vec<f32>>, ServeError> {
+        let tickets: Vec<Ticket> = features
+            .iter()
+            .map(|f| self.submit(Request::gemm(f.clone(), weights.clone())))
+            .collect::<Result<_, _>>()?;
+        tickets
+            .into_iter()
+            .map(|t| {
+                let served = t.wait()?;
+                let mut row = served.output.into_vec();
+                for (v, b) in row.iter_mut().zip(bias) {
+                    *v += *b;
+                }
+                Ok(row)
+            })
+            .collect()
+    }
+
+    /// Closes the queue, dispatches the backlog, joins every worker and
+    /// aggregates the run. Unwaited tickets stay valid — their outcomes
+    /// are buffered. A paused gate is opened first, so a pre-loaded
+    /// engine can be finished directly.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerLost`] if a worker thread panicked.
+    pub fn finish(mut self) -> Result<ServeSummary, ServeError> {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> Result<ServeSummary, ServeError> {
+        let admitter = self.admitter.take().ok_or(ServeError::QueueClosed)?;
+        self.gate.open();
+        // Ask the admitter to dispatch whatever is queued and stop; if it
+        // is already gone the join below reports it.
+        let _ = self.client.tx.send(Msg::Drain);
+        let windows = admitter.join().map_err(|_| ServeError::WorkerLost)?;
+        let mut outs: Vec<ShardOut> = Vec::with_capacity(self.workers.len());
+        for handle in self.workers.drain(..) {
+            outs.push(handle.join().map_err(|_| ServeError::WorkerLost)?);
+        }
+        let wall_seconds = self.started.elapsed().as_secs_f64();
+
+        let mut records: Vec<ReqRecord> = Vec::new();
+        let mut shards: Vec<ShardStats> = Vec::with_capacity(outs.len());
+        for mut out in outs {
+            records.append(&mut out.records);
+            out.stats.occupancy = if wall_seconds > 0.0 {
+                out.stats.busy_seconds / wall_seconds
+            } else {
+                0.0
+            };
+            shards.push(out.stats);
+        }
+        records.sort_by_key(|r| r.ticket);
+
+        let report = ServingReport {
+            requests: records.len(),
+            wall_seconds,
+            batched_seconds: shards.iter().map(|s| s.array_seconds).fold(0.0, f64::max),
+            unbatched_seconds: records.iter().map(|r| r.seconds).sum(),
+            total_macs: records.iter().map(|r| r.macs).sum(),
+            total_nonlinear_evals: records.iter().map(|r| r.nonlinear_evals).sum(),
+            gemm_groups: shards.iter().map(|s| s.gemm_groups).sum(),
+            nonlinear_groups: shards.iter().map(|s| s.nonlinear_groups).sum(),
+            latencies: records.iter().map(|r| r.seconds).collect(),
+        };
+        Ok(ServeSummary {
+            report,
+            shards,
+            windows,
+            peak_queue_depth: self.client.depth.peak(),
+        })
+    }
+}
+
+impl Drop for ServeEngine {
+    /// Tears the pool down if [`ServeEngine::finish`] was never called;
+    /// in-flight tickets resolve, the summary is discarded.
+    fn drop(&mut self) {
+        if self.admitter.is_some() {
+            let _ = self.shutdown();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// worker threads
+// ---------------------------------------------------------------------
+
+struct AdmitterCtx {
+    rx: Receiver<Msg>,
+    shard_txs: Vec<SyncSender<ShardBatch>>,
+    shard_depths: Vec<Arc<DepthGauge>>,
+    loads: Vec<Arc<AtomicU64>>,
+    admission: AdmissionPolicy,
+    routing: RoutePolicy,
+    gate: Arc<Gate>,
+    queue_depth: Arc<DepthGauge>,
+}
+
+/// Returns the number of windows dispatched.
+fn admitter_loop(ctx: AdmitterCtx) -> usize {
+    ctx.gate.wait_open();
+    let mut windows = 0usize;
+    let mut rr = 0usize;
+    let mut dispatch_seq = 0u64;
+    let mut draining = false;
+    loop {
+        // Window head: block for it normally; after a Drain marker only
+        // the backlog is served.
+        let head = if draining {
+            match ctx.rx.try_recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        } else {
+            match ctx.rx.recv() {
+                Ok(m) => m,
+                Err(_) => break, // every client dropped
+            }
+        };
+        let head = match head {
+            Msg::Work(sub) => sub,
+            Msg::Drain => {
+                draining = true;
+                continue;
+            }
+        };
+        ctx.queue_depth.dec();
+        let mut work = head.request.modeled_macs();
+        let mut window = vec![head];
+        // Fill greedily from what has already arrived — never wait for
+        // stragglers (they catch the next window).
+        while !window_full(ctx.admission, window.len(), work) {
+            match ctx.rx.try_recv() {
+                Ok(Msg::Work(sub)) => {
+                    ctx.queue_depth.dec();
+                    work += sub.request.modeled_macs();
+                    window.push(sub);
+                }
+                Ok(Msg::Drain) => draining = true,
+                Err(_) => break,
+            }
+        }
+        windows += 1;
+        if matches!(ctx.admission, AdmissionPolicy::Deadline { .. }) {
+            // Stable: equal deadlines (and the no-deadline tail) keep
+            // arrival order.
+            window.sort_by_key(|s| s.deadline.unwrap_or(u64::MAX));
+        }
+
+        let n = ctx.shard_txs.len();
+        let mut per_shard: Vec<ShardBatch> = (0..n).map(|_| Vec::new()).collect();
+        for sub in window {
+            let shard = match ctx.routing {
+                RoutePolicy::RoundRobin => {
+                    let s = rr % n;
+                    rr += 1;
+                    s
+                }
+                RoutePolicy::LeastLoaded => ctx
+                    .loads
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, l)| (l.load(Ordering::Relaxed), *i))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0),
+                RoutePolicy::WeightAffinity => (sub.request.affinity_key() % n as u64) as usize,
+            };
+            ctx.loads[shard].fetch_add(sub.request.modeled_macs(), Ordering::Relaxed);
+            per_shard[shard].push(WorkItem {
+                ticket: sub.ticket,
+                dispatch_seq,
+                submitted_at: sub.submitted_at,
+                request: sub.request,
+                reply: sub.reply,
+            });
+            dispatch_seq += 1;
+        }
+        for (i, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                ctx.shard_depths[i].inc();
+                // A full shard channel blocks admission here — bounded
+                // backpressure toward the submission queue.
+                let _ = ctx.shard_txs[i].send(batch);
+            }
+        }
+    }
+    // A submit() racing with finish() can slip a request into the
+    // channel buffer after the drain pass above decided to stop. Reject
+    // such stragglers explicitly so their tickets resolve as QueueClosed
+    // rather than a silent drop.
+    while let Ok(msg) = ctx.rx.try_recv() {
+        if let Msg::Work(sub) = msg {
+            ctx.queue_depth.dec();
+            let _ = sub.reply.send(Err(ServeError::QueueClosed));
+        }
+    }
+    windows
+}
+
+fn window_full(policy: AdmissionPolicy, len: usize, work: u64) -> bool {
+    match policy {
+        AdmissionPolicy::Fifo { window } | AdmissionPolicy::Deadline { window } => {
+            len >= window.max(1)
+        }
+        AdmissionPolicy::SizeCapped { max_macs } => work >= max_macs.max(1),
+    }
+}
+
+fn shard_loop(
+    shard: usize,
+    rx: Receiver<ShardBatch>,
+    mut engine: BatchEngine,
+    load: Arc<AtomicU64>,
+    depth: Arc<DepthGauge>,
+) -> ShardOut {
+    struct PendingReply {
+        ticket: TicketId,
+        dispatch_seq: u64,
+        queue_seconds: f64,
+        reply: Sender<Result<ServedOutcome, ServeError>>,
+    }
+
+    let mut out = ShardOut {
+        stats: ShardStats {
+            shard,
+            requests: 0,
+            batches: 0,
+            gemm_groups: 0,
+            nonlinear_groups: 0,
+            macs: 0,
+            array_seconds: 0.0,
+            busy_seconds: 0.0,
+            occupancy: 0.0,
+            peak_queue_depth: 0,
+        },
+        records: Vec::new(),
+    };
+    while let Ok(batch) = rx.recv() {
+        depth.dec();
+        let batch_macs: u64 = batch.iter().map(|w| w.request.modeled_macs()).sum();
+        let t0 = Instant::now();
+        let mut pending: Vec<PendingReply> = Vec::with_capacity(batch.len());
+        for item in batch {
+            match engine.validate(&item.request) {
+                Ok(()) => {
+                    // Malformed requests were already rejected, so this
+                    // queue executes in one clean run.
+                    pending.push(PendingReply {
+                        ticket: item.ticket,
+                        dispatch_seq: item.dispatch_seq,
+                        queue_seconds: item.submitted_at.elapsed().as_secs_f64(),
+                        reply: item.reply,
+                    });
+                    engine.submit(item.request);
+                }
+                Err(e) => {
+                    let _ = item.reply.send(Err(ServeError::Exec(e)));
+                }
+            }
+        }
+        match engine.run() {
+            Ok(run) => {
+                out.stats.batches += 1;
+                out.stats.requests += run.report.requests;
+                out.stats.gemm_groups += run.report.gemm_groups;
+                out.stats.nonlinear_groups += run.report.nonlinear_groups;
+                out.stats.macs += run.report.total_macs;
+                out.stats.array_seconds += run.report.batched_seconds;
+                for (p, outcome) in pending.into_iter().zip(run.outcomes) {
+                    out.records.push(ReqRecord {
+                        ticket: p.ticket,
+                        seconds: outcome.stats.seconds(),
+                        macs: outcome.stats.macs,
+                        nonlinear_evals: outcome.stats.nonlinear_evals,
+                    });
+                    let _ = p.reply.send(Ok(ServedOutcome {
+                        ticket: p.ticket,
+                        shard,
+                        dispatch_seq: p.dispatch_seq,
+                        output: outcome.output,
+                        stats: outcome.stats,
+                        queue_seconds: p.queue_seconds,
+                    }));
+                }
+            }
+            Err(e) => {
+                // Pre-validation should make this unreachable; recover
+                // anyway: fail the batch, leave the shard serviceable.
+                engine.clear();
+                for p in pending {
+                    let _ = p.reply.send(Err(ServeError::Exec(e.clone())));
+                }
+            }
+        }
+        out.stats.busy_seconds += t0.elapsed().as_secs_f64();
+        load.fetch_sub(batch_macs, Ordering::Relaxed);
+        out.stats.peak_queue_depth = depth.peak();
+    }
+    out.stats.peak_queue_depth = depth.peak();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesa_cpwl::NonlinearFn;
+    use onesa_tensor::gemm;
+    use onesa_tensor::rng::Pcg32;
+
+    fn pool(shards: usize) -> ServeEngine {
+        ServeEngine::start(ServeConfig::uniform(
+            shards,
+            ArrayConfig::new(8, 16),
+            Parallelism::Sequential,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let a = rng.randn(&[3, 10], 1.0);
+        let b = rng.randn(&[10, 4], 1.0);
+        let engine = pool(2);
+        let ticket = engine.submit(Request::gemm(a.clone(), b.clone())).unwrap();
+        assert_eq!(ticket.id(), 0);
+        let served = ticket.wait().unwrap();
+        assert_eq!(served.ticket, 0);
+        assert!(served.shard < 2);
+        assert_eq!(served.output, gemm::matmul(&a, &b).unwrap());
+        assert!(served.queue_seconds >= 0.0);
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.report.requests, 1);
+        assert_eq!(summary.shards.len(), 2);
+        assert!(summary.windows >= 1);
+    }
+
+    #[test]
+    fn nonlinear_round_trip_and_try_wait() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let x = rng.randn(&[4, 6], 1.5);
+        let engine = pool(1);
+        let ticket = engine
+            .submit(Request::nonlinear(NonlinearFn::Gelu, x.clone()))
+            .unwrap();
+        // Poll until served (single shard, tiny request).
+        let served = loop {
+            if let Some(r) = ticket.try_wait() {
+                break r.unwrap();
+            }
+            thread::yield_now();
+        };
+        let tables = onesa_cpwl::ops::TableSet::for_granularity(0.25).unwrap();
+        assert_eq!(served.output, tables.gelu(&x).unwrap());
+        engine.finish().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_fails_only_its_ticket() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let engine = pool(1);
+        let good = Request::gemm(rng.randn(&[2, 8], 1.0), rng.randn(&[8, 3], 1.0));
+        let bad = Request::gemm(rng.randn(&[2, 8], 1.0), rng.randn(&[9, 3], 1.0));
+        let t_good = engine.submit(good).unwrap();
+        let t_bad = engine.submit(bad).unwrap();
+        assert!(t_good.wait().is_ok());
+        match t_bad.wait() {
+            Err(ServeError::Exec(TensorError::ShapeMismatch { .. })) => {}
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+        // The shard survived the rejection.
+        let again = engine
+            .submit(Request::gemm(
+                rng.randn(&[2, 8], 1.0),
+                rng.randn(&[8, 3], 1.0),
+            ))
+            .unwrap();
+        assert!(again.wait().is_ok());
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.report.requests, 2); // the bad one never served
+    }
+
+    #[test]
+    fn submit_after_finish_is_rejected() {
+        let engine = pool(1);
+        let client = engine.client();
+        engine.finish().unwrap();
+        let mut rng = Pcg32::seed_from_u64(4);
+        let req = Request::gemm(rng.randn(&[2, 4], 1.0), rng.randn(&[4, 2], 1.0));
+        assert_eq!(
+            client.submit(req.clone()).unwrap_err(),
+            ServeError::QueueClosed
+        );
+        match client.try_submit(req) {
+            Err(TrySubmitError::Closed(_)) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_pool_rejected_and_empty_run_sane() {
+        let bad = ServeConfig {
+            shards: vec![],
+            granularity: 0.25,
+            queue_capacity: 4,
+            admission: AdmissionPolicy::default(),
+            routing: RoutePolicy::default(),
+            paused: false,
+        };
+        assert!(ServeEngine::start(bad).is_err());
+        let engine = pool(3);
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.report.requests, 0);
+        assert_eq!(summary.modeled_speedup(), 1.0);
+        assert!(summary.report.wall_rps().is_finite());
+        assert!(!format!("{summary}").contains("NaN"));
+    }
+
+    #[test]
+    fn display_and_errors_format() {
+        assert!(ServeError::QueueClosed.to_string().contains("closed"));
+        assert!(ServeError::WorkerLost.to_string().contains("worker"));
+        let mut rng = Pcg32::seed_from_u64(5);
+        let req = Request::gemm(rng.randn(&[1, 2], 1.0), rng.randn(&[2, 1], 1.0));
+        assert!(TrySubmitError::Full(req.clone())
+            .to_string()
+            .contains("full"));
+        assert!(TrySubmitError::Closed(req).to_string().contains("closed"));
+    }
+}

@@ -28,6 +28,14 @@ use std::thread;
 /// on; models expose shaped wrappers over it
 /// ([`SmallCnn::logits_batch`](crate::models::SmallCnn::logits_batch),
 /// [`TinyBert::predict_batch`](crate::models::TinyBert::predict_batch)).
+/// For asynchronous sharded serving, the models also split inference at
+/// the classifier boundary
+/// ([`SmallCnn::pooled_features`](crate::models::SmallCnn::pooled_features)
+/// plus `classifier()`, likewise on `TinyBert`) so
+/// `onesa_core::serve::ServeEngine::classify_batch` can route a whole
+/// batch's final shared-weight GEMMs through the admission queue and
+/// shard pool, coalescing them into one kernel call — see
+/// `examples/sharded_serving.rs`.
 ///
 /// # Example
 ///

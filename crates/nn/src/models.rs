@@ -198,8 +198,13 @@ impl SmallCnn {
         loss
     }
 
-    /// Logits for one sample under an inference mode.
-    pub fn logits(&self, x: &Tensor, mode: &InferenceMode) -> Vec<f32> {
+    /// The pooled `[1, channels]` feature vector the classifier consumes:
+    /// everything in [`SmallCnn::logits`] up to (but excluding) the final
+    /// linear layer. Serving systems use this split to route the final
+    /// shared-weight GEMM of a whole batch through one coalesced kernel
+    /// call (`onesa_core::serve::ServeEngine::classify_batch`), with
+    /// `features(x) · W + b` bit-identical to [`SmallCnn::logits`].
+    pub fn pooled_features(&self, x: &Tensor, mode: &InferenceMode) -> Tensor {
         let x = mode.boundary(x);
         let a = mode.boundary(&self.conv1.infer(&x));
         let (k1, b1) = mode.batchnorm_fold(
@@ -231,8 +236,18 @@ impl SmallCnn {
         let cb = mode.batchnorm_apply(&c, &k3, &b3);
         let res = mode.relu(&cb.add(&r).expect("same shape"));
         let pooled = global_avg_pool(&mode.boundary(&res));
-        let pm = Tensor::from_vec(pooled, &[1, self.channels]).expect("length matches");
-        self.fc.infer(&pm).into_vec()
+        Tensor::from_vec(pooled, &[1, self.channels]).expect("length matches")
+    }
+
+    /// The final linear classifier (weights `[channels, classes]`, bias
+    /// `[classes]`) applied to [`SmallCnn::pooled_features`].
+    pub fn classifier(&self) -> &Linear {
+        &self.fc
+    }
+
+    /// Logits for one sample under an inference mode.
+    pub fn logits(&self, x: &Tensor, mode: &InferenceMode) -> Vec<f32> {
+        self.fc.infer(&self.pooled_features(x, mode)).into_vec()
     }
 
     /// Logits for a batch of samples, fanned out across worker threads
@@ -419,8 +434,13 @@ impl TinyBert {
         loss
     }
 
-    /// Head outputs for one sequence under an inference mode.
-    pub fn predict(&self, seq: &[usize], mode: &InferenceMode) -> Vec<f32> {
+    /// The mean-pooled `[1, d]` encoder output the head consumes:
+    /// everything in [`TinyBert::predict`] up to (but excluding) the
+    /// final linear head, including the INT16 boundary round-trip. As
+    /// with [`SmallCnn::pooled_features`](crate::models::SmallCnn::pooled_features),
+    /// serving systems split here so a batch's head GEMMs coalesce into
+    /// one kernel call against the shared head weights.
+    pub fn pooled_features(&self, seq: &[usize], mode: &InferenceMode) -> Tensor {
         let mut h = mode.boundary(&self.emb.infer(seq));
         for b in &self.blocks {
             h = b.infer(&h, mode);
@@ -432,7 +452,18 @@ impl TinyBert {
                 pooled.as_mut_slice()[j] += h.as_slice()[i * self.d + j] / l as f32;
             }
         }
-        self.head.infer(&mode.boundary(&pooled)).into_vec()
+        mode.boundary(&pooled)
+    }
+
+    /// The final linear head (weights `[d, outputs]`, bias `[outputs]`)
+    /// applied to [`TinyBert::pooled_features`].
+    pub fn classifier(&self) -> &Linear {
+        &self.head
+    }
+
+    /// Head outputs for one sequence under an inference mode.
+    pub fn predict(&self, seq: &[usize], mode: &InferenceMode) -> Vec<f32> {
+        self.head.infer(&self.pooled_features(seq, mode)).into_vec()
     }
 
     /// Head outputs for a batch of sequences, fanned out across worker

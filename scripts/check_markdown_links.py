@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fail CI on broken intra-repo markdown links.
+
+Scans README.md, ROADMAP.md, tests/README.md and every markdown file
+under docs/ for inline links/images whose target is a repository path
+(external URLs and pure #anchors are skipped), and checks that each
+target exists relative to the linking file. Anchors are stripped before
+the existence check — this guards file moves, not heading renames.
+
+Usage: python3 scripts/check_markdown_links.py   (from anywhere)
+Exit code 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def files_to_scan() -> list[Path]:
+    files = [REPO / "README.md", REPO / "ROADMAP.md", REPO / "tests" / "README.md"]
+    files.extend(sorted((REPO / "docs").rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def broken_links(md: Path) -> list[str]:
+    broken = []
+    text = md.read_text(encoding="utf-8")
+    # Drop fenced code blocks: shell snippets aren't links.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for target in LINK_RE.findall(text):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (md.parent / path).resolve()
+        if not resolved.exists():
+            broken.append(f"{md.relative_to(REPO)}: ({target}) -> missing {path}")
+    return broken
+
+
+def main() -> int:
+    scanned = files_to_scan()
+    failures = [b for md in scanned for b in broken_links(md)]
+    for failure in failures:
+        print(f"BROKEN LINK  {failure}", file=sys.stderr)
+    print(f"checked {len(scanned)} markdown files: ", end="")
+    if failures:
+        print(f"{len(failures)} broken link(s)")
+        return 1
+    print("all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,467 @@
+//! Integration suite for the asynchronous sharded serving layer
+//! (`onesa_core::serve`).
+//!
+//! Locks in the three contracts the serving layer is allowed to promise:
+//!
+//! 1. **Bit-identicality** — for every shard count, admission policy and
+//!    routing policy, each request's output is bit-identical to running
+//!    it alone on one sequential array (the reference kernels).
+//! 2. **Per-ticket ordering** — ticket ids follow submission order and
+//!    every outcome answers exactly the ticket that asked for it; FIFO
+//!    admission also dispatches in submission order, while the deadline
+//!    policy reorders windows earliest-deadline-first (observable via
+//!    `dispatch_seq`).
+//! 3. **Backpressure** — the bounded submission queue really bounds:
+//!    `try_submit` hands the request back at capacity, nothing is lost,
+//!    and the queue-depth gauges never exceed their bounds.
+//!
+//! Determinism: tests that depend on batch composition start the engine
+//! paused (`ServeConfig::start_paused`), pre-load the queue, and let
+//! `finish()` open the gate — the whole backlog then dispatches as
+//! deterministic windows regardless of host timing.
+
+use onesa_core::serve::{
+    AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, ShardSpec, Ticket, TrySubmitError,
+};
+use onesa_core::{Parallelism, Request};
+use onesa_cpwl::ops::TableSet;
+use onesa_cpwl::NonlinearFn;
+use onesa_nn::infer::InferenceMode;
+use onesa_nn::models::{SmallCnn, TinyBert};
+use onesa_sim::ArrayConfig;
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::{gemm, Tensor};
+
+fn assert_bits_eq(label: &str, got: &Tensor, want: &Tensor) {
+    assert_eq!(got.dims(), want.dims(), "{label}: shape");
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{label}: element {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+/// A mixed queue: GEMMs over three shared weight matrices plus two
+/// nonlinear functions, with per-request solo-run reference outputs.
+fn mixed_requests(seed: u64) -> (Vec<Request>, Vec<Tensor>) {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let tables = TableSet::for_granularity(0.25).unwrap();
+    let weights: Vec<Tensor> = (0..3).map(|_| rng.randn(&[24, 10], 1.0)).collect();
+    let mut requests = Vec::new();
+    let mut expected = Vec::new();
+    for i in 0..12 {
+        let a = rng.randn(&[2 + i % 5, 24], 1.0);
+        let w = &weights[i % 3];
+        expected.push(gemm::matmul(&a, w).unwrap());
+        requests.push(Request::gemm(a, w.clone()));
+    }
+    for i in 0..6 {
+        let x = rng.randn(&[1 + i % 3, 7], 1.5);
+        let func = if i % 2 == 0 {
+            NonlinearFn::Gelu
+        } else {
+            NonlinearFn::Tanh
+        };
+        expected.push(tables.table(func).unwrap().eval_tensor(&x).unwrap());
+        requests.push(Request::nonlinear(func, x));
+    }
+    (requests, expected)
+}
+
+#[test]
+fn sharded_async_results_bit_identical_to_single_shard_sequential() {
+    // The oracle IS single-shard sequential execution: the per-request
+    // reference outputs from `mixed_requests` are exactly what a
+    // one-shard, `Parallelism::Sequential` pool serves request-at-a-time.
+    let routings = [
+        RoutePolicy::RoundRobin,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::WeightAffinity,
+    ];
+    let admissions = [
+        AdmissionPolicy::Fifo { window: 4 },
+        AdmissionPolicy::Deadline { window: 4 },
+        AdmissionPolicy::SizeCapped { max_macs: 2_000 },
+    ];
+    for routing in routings {
+        for admission in admissions {
+            let (requests, expected) = mixed_requests(7);
+            let pool = ServeEngine::start(
+                ServeConfig::uniform(3, ArrayConfig::new(8, 16), Parallelism::Threads(2))
+                    .with_routing(routing)
+                    .with_admission(admission),
+            )
+            .unwrap();
+            let tickets: Vec<Ticket> = requests
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| match admission {
+                    // Exercise the deadline path too: reversed priorities.
+                    AdmissionPolicy::Deadline { .. } => {
+                        pool.submit_with_deadline(r, 1_000 - i as u64).unwrap()
+                    }
+                    _ => pool.submit(r).unwrap(),
+                })
+                .collect();
+            for (i, (ticket, want)) in tickets.into_iter().zip(&expected).enumerate() {
+                assert_eq!(ticket.id(), i as u64);
+                let served = ticket.wait().unwrap();
+                assert_eq!(served.ticket, i as u64, "{routing:?}/{admission:?}");
+                assert!(served.shard < 3);
+                assert_bits_eq(
+                    &format!("{routing:?}/{admission:?} request {i}"),
+                    &served.output,
+                    want,
+                );
+            }
+            let summary = pool.finish().unwrap();
+            assert_eq!(summary.report.requests, 18);
+            assert_eq!(summary.report.latencies.len(), 18);
+            assert!(summary.windows >= 1);
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_shards_still_bit_identical() {
+    // Different array sizes and host policies per shard change cycle
+    // accounting and wall speed, never values.
+    let (requests, expected) = mixed_requests(11);
+    let pool = ServeEngine::start(ServeConfig {
+        shards: vec![
+            ShardSpec {
+                config: ArrayConfig::new(4, 16),
+                parallelism: Parallelism::Sequential,
+            },
+            ShardSpec {
+                config: ArrayConfig::new(8, 16),
+                parallelism: Parallelism::Threads(2),
+            },
+            ShardSpec {
+                config: ArrayConfig::new(16, 8),
+                parallelism: Parallelism::Auto,
+            },
+        ],
+        granularity: 0.25,
+        queue_capacity: 64,
+        admission: AdmissionPolicy::Fifo { window: 6 },
+        routing: RoutePolicy::RoundRobin,
+        paused: false,
+    })
+    .unwrap();
+    let tickets: Vec<Ticket> = requests
+        .into_iter()
+        .map(|r| pool.submit(r).unwrap())
+        .collect();
+    for (i, (ticket, want)) in tickets.into_iter().zip(&expected).enumerate() {
+        let served = ticket.wait().unwrap();
+        assert_bits_eq(&format!("hetero request {i}"), &served.output, want);
+    }
+    pool.finish().unwrap();
+}
+
+#[test]
+fn ticket_ids_and_fifo_dispatch_follow_submission_order() {
+    let (requests, _) = mixed_requests(13);
+    let n = requests.len();
+    let pool = ServeEngine::start(
+        ServeConfig::uniform(2, ArrayConfig::new(8, 16), Parallelism::Sequential)
+            .with_admission(AdmissionPolicy::Fifo { window: 64 })
+            .start_paused(),
+    )
+    .unwrap();
+    let tickets: Vec<Ticket> = requests
+        .into_iter()
+        .map(|r| pool.submit(r).unwrap())
+        .collect();
+    pool.resume();
+    let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.ticket, i as u64, "ticket ids are the submission order");
+        // FIFO admission never reorders: global dispatch order equals
+        // submission order even across shards.
+        assert_eq!(o.dispatch_seq, i as u64);
+        assert!(o.queue_seconds >= 0.0);
+    }
+    let summary = pool.finish().unwrap();
+    assert_eq!(summary.report.requests, n);
+}
+
+#[test]
+fn deadline_admission_dispatches_earliest_deadline_first() {
+    let mut rng = Pcg32::seed_from_u64(17);
+    let w = rng.randn(&[8, 4], 1.0);
+    let pool = ServeEngine::start(
+        ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+            .with_admission(AdmissionPolicy::Deadline { window: 8 })
+            .start_paused(),
+    )
+    .unwrap();
+    // Pre-load one window with shuffled deadlines (plus one no-deadline
+    // request, which must sort last), then open the gate.
+    let deadlines = [Some(50u64), Some(10), Some(30), None, Some(20)];
+    let tickets: Vec<Ticket> = deadlines
+        .iter()
+        .map(|d| {
+            let r = Request::gemm(rng.randn(&[2, 8], 1.0), w.clone());
+            match d {
+                Some(us) => pool.submit_with_deadline(r, *us).unwrap(),
+                None => pool.submit(r).unwrap(),
+            }
+        })
+        .collect();
+    pool.resume();
+    let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+    // EDF over [50, 10, 30, none, 20]: tickets dispatch as 1, 4, 2, 0, 3.
+    let dispatch: Vec<u64> = outcomes.iter().map(|o| o.dispatch_seq).collect();
+    assert_eq!(dispatch, vec![3, 0, 2, 4, 1]);
+    let summary = pool.finish().unwrap();
+    assert_eq!(summary.windows, 1, "the pre-loaded queue is one window");
+}
+
+#[test]
+fn bounded_queue_backpressure_hands_requests_back() {
+    let mut rng = Pcg32::seed_from_u64(19);
+    let w = rng.randn(&[8, 4], 1.0);
+    let pool = ServeEngine::start(
+        ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+            .with_queue_capacity(4)
+            .start_paused(),
+    )
+    .unwrap();
+    let mut tickets = Vec::new();
+    for _ in 0..4 {
+        let r = Request::gemm(rng.randn(&[2, 8], 1.0), w.clone());
+        tickets.push(pool.try_submit(r).unwrap());
+    }
+    assert_eq!(pool.pending(), 4);
+    // The queue is at capacity and the gate is closed: the fifth request
+    // must come straight back, not block and not vanish.
+    let fifth = Request::gemm(rng.randn(&[2, 8], 1.0), w.clone());
+    let returned = match pool.try_submit(fifth) {
+        Err(TrySubmitError::Full(r)) => r,
+        other => panic!("expected Full, got {:?}", other.map(|t| t.id())),
+    };
+    assert!(returned.modeled_macs() > 0, "request handed back intact");
+    // Open the gate: the backlog drains and every accepted ticket lands.
+    pool.resume();
+    for t in tickets {
+        assert!(t.wait().is_ok());
+    }
+    let summary = pool.finish().unwrap();
+    assert_eq!(summary.report.requests, 4);
+    assert_eq!(summary.peak_queue_depth, 4, "gauge saw the full queue");
+}
+
+#[test]
+fn weight_affinity_preserves_coalescing_across_shards() {
+    let run = |routing: RoutePolicy| {
+        let mut rng = Pcg32::seed_from_u64(23);
+        let w1 = rng.randn(&[16, 8], 1.0);
+        let w2 = rng.randn(&[16, 6], 1.0);
+        let pool = ServeEngine::start(
+            ServeConfig::uniform(4, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Fifo { window: 64 })
+                .with_routing(routing)
+                .start_paused(),
+        )
+        .unwrap();
+        let mut tickets = Vec::new();
+        for i in 0..16 {
+            // First half against w1, second against w2, so round-robin
+            // hands every shard a mix of both weights.
+            let w = if i < 8 { &w1 } else { &w2 };
+            tickets.push(
+                pool.submit(Request::gemm(rng.randn(&[3, 16], 1.0), w.clone()))
+                    .unwrap(),
+            );
+        }
+        pool.resume();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        pool.finish().unwrap()
+    };
+    // One pre-loaded window: with weight affinity, each weight's GEMMs
+    // all land on one shard and coalesce into ONE kernel call per
+    // weight. Round-robin scatters them: every shard that sees a weight
+    // pays its own weight load.
+    let affinity = run(RoutePolicy::WeightAffinity);
+    assert_eq!(affinity.report.gemm_groups, 2);
+    let scattered = run(RoutePolicy::RoundRobin);
+    assert_eq!(scattered.report.gemm_groups, 8); // 4 shards x 2 weights
+    assert!(affinity.modeled_speedup() >= 1.0 && scattered.modeled_speedup() >= 1.0);
+}
+
+#[test]
+fn least_loaded_balances_and_sharding_cuts_makespan() {
+    let mut rng = Pcg32::seed_from_u64(29);
+    let pool = ServeEngine::start(
+        ServeConfig::uniform(4, ArrayConfig::new(8, 16), Parallelism::Sequential)
+            .with_admission(AdmissionPolicy::Fifo { window: 64 })
+            .with_routing(RoutePolicy::LeastLoaded)
+            .start_paused(),
+    )
+    .unwrap();
+    // 16 equal-work GEMMs with distinct weights (no coalescing, so the
+    // only speedup source is sharding itself).
+    let mut tickets = Vec::new();
+    for _ in 0..16 {
+        tickets.push(
+            pool.submit(Request::gemm(
+                rng.randn(&[8, 16], 1.0),
+                rng.randn(&[16, 8], 1.0),
+            ))
+            .unwrap(),
+        );
+    }
+    pool.resume();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let summary = pool.finish().unwrap();
+    // Equal work + least-loaded = an even 4/4/4/4 split.
+    for s in &summary.shards {
+        assert_eq!(s.requests, 4, "shard {} got an uneven share", s.shard);
+        assert!(s.occupancy >= 0.0 && s.occupancy <= 1.0);
+        assert!(s.peak_queue_depth <= 3); // channel bound + one in flight
+    }
+    // Four arrays over uncoalescable work: the modeled makespan must be
+    // close to a quarter of the solo schedule.
+    assert!(
+        summary.modeled_speedup() > 2.5,
+        "expected ~4x from 4 shards, got {:.2}x",
+        summary.modeled_speedup()
+    );
+}
+
+#[test]
+fn concurrent_clients_all_get_served() {
+    let pool = ServeEngine::start(
+        ServeConfig::uniform(3, ArrayConfig::new(8, 16), Parallelism::Sequential)
+            .with_queue_capacity(8),
+    )
+    .unwrap();
+    let producers: Vec<_> = (0..4)
+        .map(|p| {
+            let client = pool.client();
+            std::thread::spawn(move || {
+                let mut rng = Pcg32::seed_from_u64(100 + p);
+                let w = rng.randn(&[12, 5], 1.0);
+                let mut pairs = Vec::new();
+                for _ in 0..8 {
+                    let a = rng.randn(&[3, 12], 1.0);
+                    let want = gemm::matmul(&a, &w).unwrap();
+                    let ticket = client.submit(Request::gemm(a, w.clone())).unwrap();
+                    pairs.push((ticket, want));
+                }
+                for (i, (ticket, want)) in pairs.into_iter().enumerate() {
+                    let served = ticket.wait().unwrap();
+                    assert_bits_eq(&format!("producer {p} request {i}"), &served.output, &want);
+                }
+            })
+        })
+        .collect();
+    for h in producers {
+        h.join().unwrap();
+    }
+    let summary = pool.finish().unwrap();
+    assert_eq!(summary.report.requests, 32);
+    assert!(summary.report.latencies.iter().all(|l| l.is_finite()));
+    // Queue bound plus at most one momentarily blocked submitter per
+    // producer thread (see `ServeSummary::peak_queue_depth`).
+    assert!(summary.peak_queue_depth <= 8 + 4);
+}
+
+#[test]
+fn model_batch_inference_routes_through_the_pool() {
+    // The nn models split at the classifier boundary so the final
+    // shared-weight GEMMs of a whole batch go through the admission
+    // queue, coalesce on one shard, and still answer bit-identically to
+    // per-sample inference.
+    let mode = InferenceMode::cpwl(0.25).unwrap();
+    let pool = ServeEngine::start(
+        ServeConfig::uniform(3, ArrayConfig::new(8, 16), Parallelism::Sequential)
+            .with_routing(RoutePolicy::WeightAffinity),
+    )
+    .unwrap();
+
+    let cnn = SmallCnn::new(31, 2, 4);
+    let mut rng = Pcg32::seed_from_u64(37);
+    let images: Vec<Tensor> = (0..6).map(|_| rng.randn(&[2, 8, 8], 1.0)).collect();
+    let feats: Vec<Tensor> = images
+        .iter()
+        .map(|x| cnn.pooled_features(x, &mode))
+        .collect();
+    let fc = cnn.classifier();
+    let served = pool
+        .classify_batch(&feats, &fc.w.value, fc.b.value.as_slice())
+        .unwrap();
+    for (i, (got, x)) in served.iter().zip(&images).enumerate() {
+        assert_eq!(got, &cnn.logits(x, &mode), "cnn sample {i}");
+    }
+
+    let bert = TinyBert::new(41, 30, 8, 3, 1);
+    let seqs: Vec<Vec<usize>> = (0..5)
+        .map(|i| (0..(3 + i % 5)).map(|t| (7 * i + t) % 30).collect())
+        .collect();
+    let feats: Vec<Tensor> = seqs
+        .iter()
+        .map(|s| bert.pooled_features(s, &mode))
+        .collect();
+    let head = bert.classifier();
+    let served = pool
+        .classify_batch(&feats, &head.w.value, head.b.value.as_slice())
+        .unwrap();
+    for (i, (got, s)) in served.iter().zip(&seqs).enumerate() {
+        assert_eq!(got, &bert.predict(s, &mode), "bert sequence {i}");
+    }
+
+    let summary = pool.finish().unwrap();
+    assert_eq!(summary.report.requests, 11);
+}
+
+#[test]
+fn summary_reports_are_internally_consistent() {
+    let (requests, _) = mixed_requests(43);
+    let n = requests.len();
+    let pool = ServeEngine::start(
+        ServeConfig::uniform(2, ArrayConfig::new(8, 16), Parallelism::Sequential).start_paused(),
+    )
+    .unwrap();
+    let tickets: Vec<Ticket> = requests
+        .into_iter()
+        .map(|r| pool.submit(r).unwrap())
+        .collect();
+    let summary = pool.finish().unwrap(); // finish() opens the gate itself
+    let r = &summary.report;
+    assert_eq!(r.requests, n);
+    assert_eq!(r.latencies.len(), n);
+    assert!(r.wall_seconds > 0.0);
+    assert!(r.batched_seconds > 0.0 && r.unbatched_seconds >= r.batched_seconds);
+    assert!(r.total_macs > 0 && r.total_nonlinear_evals > 0);
+    assert_eq!(
+        summary.shards.iter().map(|s| s.requests).sum::<usize>(),
+        n,
+        "every request landed on exactly one shard"
+    );
+    assert_eq!(
+        summary.shards.iter().map(|s| s.macs).sum::<u64>(),
+        r.total_macs
+    );
+    // The makespan is the busiest shard, and per-shard array time is
+    // bounded by the pool total.
+    let busiest = summary
+        .shards
+        .iter()
+        .map(|s| s.array_seconds)
+        .fold(0.0, f64::max);
+    assert!((busiest - r.batched_seconds).abs() < 1e-15);
+    assert!(!format!("{summary}").contains("NaN"));
+    // Tickets waited after finish still resolve (results are buffered).
+    for t in tickets {
+        assert!(t.wait().is_ok());
+    }
+}
