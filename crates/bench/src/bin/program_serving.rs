@@ -1,0 +1,137 @@
+//! Emits the `BENCH_program_serving.json` baseline: whole-network
+//! Program-IR requests through `BatchEngine`'s staged scheduler at
+//! increasing concurrency, plus a sharded `ServeEngine` affinity run.
+//!
+//! ```sh
+//! cargo run --release -q -p onesa-bench --bin program_serving > BENCH_program_serving.json
+//! ```
+//!
+//! The headline is the **modeled per-stage coalescing speedup** — the
+//! simulated-array time of N concurrent compiled networks (shared-weight
+//! GEMM stacking + shared-table IPF concatenation at every coalescable
+//! stage) versus N uncoalesced solo runs. Like every `BENCH_*.json`
+//! modeled quantity it is deterministic on any host; `wall_ms` follows
+//! the build machine and is context only.
+
+use onesa_bench::time_best;
+use onesa_core::plan::Compile;
+use onesa_core::serve::{AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, Ticket};
+use onesa_core::{BatchEngine, BatchRun, OneSa, Parallelism};
+use onesa_nn::models::SmallCnn;
+use onesa_nn::InferenceMode;
+use onesa_sim::ArrayConfig;
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::Tensor;
+
+fn batch_run(program: &onesa_core::Program, xs: &[Tensor]) -> BatchRun {
+    let mut engine =
+        BatchEngine::new(OneSa::new(ArrayConfig::new(8, 16)), 0.25).expect("valid granularity");
+    for x in xs {
+        engine
+            .submit_program(program.clone(), vec![x.clone()])
+            .expect("program validates");
+    }
+    engine.run().expect("programs execute")
+}
+
+fn main() {
+    let mode = InferenceMode::cpwl(0.25).expect("valid granularity");
+    let cnn = SmallCnn::new(11, 1, 3);
+    let program = cnn.compile((&mode, (8, 8))).expect("CNN compiles");
+    let mut rng = Pcg32::seed_from_u64(2026);
+    let inputs: Vec<Tensor> = (0..8).map(|_| rng.randn(&[1, 8, 8], 1.0)).collect();
+
+    // Solo baseline: one program per engine run — nothing coalesces.
+    let (solo, _) = time_best(3, || batch_run(&program, &inputs[..1]));
+    let solo_seconds = solo.report.batched_seconds;
+    let solo_groups: usize = solo.program_stages.iter().map(|s| s.groups).sum();
+
+    println!("{{");
+    println!("  \"bench\": \"program_serving\",");
+    println!("  \"layer\": \"onesa_core::plan staged scheduler (BatchEngine::submit_program)\",");
+    println!(
+        "  \"program\": \"small_cnn cpwl(0.25,int16), {} stages\",",
+        program.stages()
+    );
+    println!(
+        "  \"modeled_macs_per_request\": {},",
+        program.modeled_macs()
+    );
+    println!("  \"array\": \"8x8 PEs x 16 MACs\",");
+    println!("  \"configs\": [");
+    let concurrencies = [1usize, 2, 4, 8];
+    for (idx, &n) in concurrencies.iter().enumerate() {
+        let (run, wall) = time_best(3, || batch_run(&program, &inputs[..n]));
+        let coalesced_stages = run
+            .program_stages
+            .iter()
+            .filter(|s| s.groups < s.ops)
+            .count();
+        let groups: usize = run.program_stages.iter().map(|s| s.groups).sum();
+        println!("    {{");
+        println!("      \"concurrent_programs\": {n},");
+        println!(
+            "      \"kernel_groups\": {groups}, \"uncoalesced_groups\": {}, \
+             \"stages_coalesced\": {coalesced_stages},",
+            n * solo_groups
+        );
+        println!(
+            "      \"gemm_groups\": {}, \"nonlinear_groups\": {},",
+            run.report.gemm_groups, run.report.nonlinear_groups
+        );
+        println!(
+            "      \"array_ms\": {:.4}, \"modeled_coalescing_speedup\": {:.3},",
+            run.report.batched_seconds * 1e3,
+            n as f64 * solo_seconds / run.report.batched_seconds
+        );
+        println!("      \"wall_ms\": {:.3}", wall * 1e3);
+        println!(
+            "    }}{}",
+            if idx + 1 < concurrencies.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    println!("  ],");
+
+    // Sharded affinity run: same 8 programs through a 2-shard pool.
+    let serve_once = || {
+        let pool = ServeEngine::start(
+            ServeConfig::uniform(2, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Fifo { window: 16 })
+                .with_routing(RoutePolicy::WeightAffinity)
+                .start_paused(),
+        )
+        .expect("valid pool");
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|x| {
+                pool.submit_program(program.clone(), vec![x.clone()])
+                    .expect("queue open")
+            })
+            .collect();
+        pool.resume();
+        for t in tickets {
+            t.wait().expect("request served");
+        }
+        pool.finish().expect("pool drains cleanly")
+    };
+    let (summary, wall) = time_best(3, serve_once);
+    println!("  \"serve_pool\": {{");
+    println!("    \"shards\": 2, \"routing\": \"weight_affinity\", \"requests\": 8,");
+    println!(
+        "    \"gemm_groups\": {}, \"modeled_speedup\": {:.3}, \"expired\": {}, \"wall_ms\": {:.3}",
+        summary.report.gemm_groups,
+        summary.modeled_speedup(),
+        summary.expired,
+        wall * 1e3
+    );
+    println!("  }},");
+    println!(
+        "  \"stable_quantity\": \"kernel_groups / modeled_coalescing_speedup (simulated array); \
+         wall_ms follows the host\""
+    );
+    println!("}}");
+}

@@ -24,6 +24,22 @@
 //! exactly the same floating-point op sequence as a solo run, so outputs
 //! are bit-identical to serving the queue one request at a time.
 //!
+//! # Whole-network program requests
+//!
+//! Beyond single GEMM/nonlinear requests, the engine accepts **compiled
+//! programs** ([`Request::Program`], [`BatchEngine::submit_program`]):
+//! operator graphs emitted by `onesa_nn`'s models via
+//! [`crate::plan::Compile`]. Concurrent programs execute **stage by
+//! stage** through [`crate::plan::run_staged`], which applies the same
+//! two coalescing rules at *every* layer — GEMMs against a shared
+//! constant weight row-stack (or column-stack for a shared left
+//! operand, a GCN's Â), and nonlinear / softmax / layer-norm ops that
+//! share a function, granularity and parameters concatenate into one
+//! IPF + MHP pass. Per-stage accounting lands in
+//! [`BatchRun::program_stages`]; each program's per-op [`ExecStats`]
+//! come back in [`RequestOutcome::op_stats`] and roll into the
+//! [`ServingReport`] totals.
+//!
 //! For asynchronous admission (submitting while a batch executes) and
 //! sharding a queue across several simulated arrays, see
 //! [`crate::serve`], which runs one `BatchEngine` per shard.
@@ -100,6 +116,7 @@
 use crate::engine::OneSa;
 use onesa_cpwl::ops::TableSet;
 use onesa_cpwl::NonlinearFn;
+use onesa_plan::{self as plan, Program, StageGroups, TableCache};
 use onesa_sim::{analytic, ExecStats};
 use onesa_tensor::parallel;
 use onesa_tensor::{Result, Tensor, TensorError};
@@ -126,6 +143,15 @@ pub enum Request {
         /// Input activations (any shape).
         x: Tensor,
     },
+    /// A compiled whole-network request: an operator-graph
+    /// [`Program`] plus its input tensors. Concurrent programs coalesce
+    /// with each other stage by stage (see the [module docs](self)).
+    Program {
+        /// The compiled operator graph (boxed to keep the enum small).
+        program: Box<Program>,
+        /// One tensor per program input slot.
+        inputs: Vec<Tensor>,
+    },
 }
 
 impl Request {
@@ -137,6 +163,14 @@ impl Request {
     /// Convenience constructor for a nonlinear request.
     pub fn nonlinear(func: NonlinearFn, x: Tensor) -> Self {
         Request::Nonlinear { func, x }
+    }
+
+    /// Convenience constructor for a whole-network program request.
+    pub fn program(program: Program, inputs: Vec<Tensor>) -> Self {
+        Request::Program {
+            program: Box::new(program),
+            inputs,
+        }
     }
 
     /// Modeled array work for this request, in MAC-equivalents: `M·K·N`
@@ -152,6 +186,7 @@ impl Request {
                 _ => 0,
             },
             Request::Nonlinear { x, .. } => x.len() as u64,
+            Request::Program { program, .. } => program.modeled_macs(),
         }
     }
 
@@ -162,7 +197,8 @@ impl Request {
     /// equality before stacking.)
     pub fn affinity_key(&self) -> u64 {
         match self {
-            Request::Gemm { b, .. } => weight_fingerprint(b),
+            Request::Gemm { b, .. } => plan::tensor_fingerprint(b),
+            Request::Program { program, .. } => program.fingerprint(),
             Request::Nonlinear { func, .. } => {
                 // FNV-1a over the debug form: stable within a build, and
                 // parameterized variants (Elu/LeakyRelu) hash by value.
@@ -183,8 +219,12 @@ pub struct RequestOutcome {
     pub id: RequestId,
     /// The request's output tensor (bit-identical to a solo run).
     pub output: Tensor,
-    /// Simulated array stats for this request's own shape.
+    /// Simulated array stats for this request's own shape (for a
+    /// program request, the merge of [`RequestOutcome::op_stats`]).
     pub stats: ExecStats,
+    /// Per-op solo stats of a program request, in stage order (empty
+    /// for plain GEMM/nonlinear requests).
+    pub op_stats: Vec<ExecStats>,
 }
 
 /// Aggregate statistics of one [`BatchEngine::run`] (or, aggregated
@@ -303,11 +343,16 @@ impl fmt::Display for ServingReport {
 
 /// Everything a serving run produces.
 #[derive(Debug, Clone)]
+#[must_use = "a BatchRun carries every request's output — dropping it discards results"]
 pub struct BatchRun {
     /// Per-request outputs and stats, in submission order.
     pub outcomes: Vec<RequestOutcome>,
     /// Aggregate throughput/latency summary.
     pub report: ServingReport,
+    /// Per-stage coalescing accounting of the run's program requests
+    /// (empty when the queue held none): how many program ops executed
+    /// at each stage and how many kernel groups they collapsed into.
+    pub program_stages: Vec<StageGroups>,
 }
 
 /// A request queue in front of a [`OneSa`] engine.
@@ -317,6 +362,10 @@ pub struct BatchRun {
 pub struct BatchEngine {
     engine: OneSa,
     tables: TableSet,
+    /// Table sets for program requests, keyed by granularity (programs
+    /// may be compiled at granularities other than the engine's own;
+    /// the engine's set seeds the cache).
+    plan_tables: TableCache,
     queue: Vec<Request>,
 }
 
@@ -331,9 +380,12 @@ impl BatchEngine {
     pub fn new(engine: OneSa, granularity: f32) -> Result<Self> {
         let tables = TableSet::for_granularity(granularity)
             .map_err(|_| TensorError::InvalidArgument("invalid CPWL granularity"))?;
+        let mut plan_tables = TableCache::new();
+        plan_tables.seed(tables.clone());
         Ok(BatchEngine {
             engine,
             tables,
+            plan_tables,
             queue: Vec::new(),
         })
     }
@@ -354,9 +406,36 @@ impl BatchEngine {
     }
 
     /// Enqueues a request, returning its id (its submission index).
+    ///
+    /// Validation is deferred to [`BatchEngine::run`]; use
+    /// [`BatchEngine::submit_checked`] to reject malformed requests at
+    /// the queue instead.
     pub fn submit(&mut self, request: Request) -> RequestId {
         self.queue.push(request);
         self.queue.len() - 1
+    }
+
+    /// Validates eagerly, then enqueues: a malformed request is turned
+    /// away at the queue instead of poisoning the whole batch at
+    /// [`BatchEngine::run`] time. The serving layer routes every
+    /// admitted request through this.
+    ///
+    /// # Errors
+    ///
+    /// The same errors [`BatchEngine::validate`] reports; the queue is
+    /// untouched on error.
+    pub fn submit_checked(&mut self, request: Request) -> Result<RequestId> {
+        self.validate(&request)?;
+        Ok(self.submit(request))
+    }
+
+    /// Validates and enqueues a compiled whole-network request.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchEngine::submit_checked`].
+    pub fn submit_program(&mut self, program: Program, inputs: Vec<Tensor>) -> Result<RequestId> {
+        self.submit_checked(Request::program(program, inputs))
     }
 
     /// Drops every pending request, returning how many were discarded.
@@ -394,6 +473,22 @@ impl BatchEngine {
                 Some(_) => Ok(()),
                 None => Err(TensorError::InvalidArgument("function not in table set")),
             },
+            Request::Program { program, inputs } => {
+                program.validate()?;
+                if inputs.len() != program.n_inputs() {
+                    return Err(TensorError::InvalidArgument("program input count mismatch"));
+                }
+                for (t, expect) in inputs.iter().zip(program.input_shapes()) {
+                    if t.dims() != expect.as_slice() {
+                        return Err(TensorError::ShapeMismatch {
+                            lhs: t.dims().to_vec(),
+                            rhs: expect.clone(),
+                            op: "BatchEngine::run program input",
+                        });
+                    }
+                }
+                Ok(())
+            }
         }
     }
 
@@ -412,6 +507,21 @@ impl BatchEngine {
         for req in &self.queue {
             self.validate(req)?;
         }
+        // Same contract for program table sets: build them up front so
+        // a granularity the table builder rejects (validation only
+        // checks it is positive and finite) fails here, with the queue
+        // still intact.
+        let granularities: Vec<f32> = self
+            .queue
+            .iter()
+            .filter_map(|req| match req {
+                Request::Program { program, .. } => program.mode().granularity(),
+                _ => None,
+            })
+            .collect();
+        for g in granularities {
+            self.plan_tables.get(g)?;
+        }
         let queue = std::mem::take(&mut self.queue);
         let start = Instant::now();
         let cfg = self.engine.config().clone();
@@ -422,10 +532,11 @@ impl BatchEngine {
         // ---- coalesce GEMMs by right-hand matrix, nonlinears by function ----
         let mut gemm_groups: Vec<(u64, Vec<usize>)> = Vec::new();
         let mut nl_groups: Vec<(NonlinearFn, Vec<usize>)> = Vec::new();
+        let mut program_ids: Vec<usize> = Vec::new();
         for (id, req) in queue.iter().enumerate() {
             match req {
                 Request::Gemm { b, .. } => {
-                    let key = weight_fingerprint(b);
+                    let key = plan::tensor_fingerprint(b);
                     match gemm_groups
                         .iter_mut()
                         .find(|(k, ids)| *k == key && same_weights(b, group_b(&queue, ids)))
@@ -440,6 +551,7 @@ impl BatchEngine {
                         None => nl_groups.push((*func, vec![id])),
                     }
                 }
+                Request::Program { .. } => program_ids.push(id),
             }
         }
 
@@ -468,6 +580,7 @@ impl BatchEngine {
                     id,
                     output: Tensor::from_vec(rows, &[m, n])?,
                     stats: analytic::gemm_stats(&cfg, m, k, n),
+                    op_stats: Vec::new(),
                 });
             }
         }
@@ -505,6 +618,46 @@ impl BatchEngine {
                     id,
                     output: Tensor::from_vec(vals, x.dims())?,
                     stats: analytic::nonlinear_stats(&cfg, m, n),
+                    op_stats: Vec::new(),
+                });
+            }
+        }
+
+        // ---- execute program requests stage by stage, coalescing across
+        // concurrent programs at every stage ----
+        let mut program_stages: Vec<StageGroups> = Vec::new();
+        let mut program_group_counts = (0usize, 0usize);
+        if !program_ids.is_empty() {
+            let jobs: Vec<(&Program, &[Tensor])> = program_ids
+                .iter()
+                .map(|&id| {
+                    let Request::Program { program, inputs } = &queue[id] else {
+                        unreachable!("program id list holds program requests")
+                    };
+                    (program.as_ref(), inputs.as_slice())
+                })
+                .collect();
+            let staged = plan::run_staged(
+                &jobs,
+                &cfg,
+                self.engine.parallelism(),
+                &mut self.plan_tables,
+            )?;
+            batched = batched.merged(&staged.batched);
+            program_group_counts = (staged.gemm_groups, staged.nonlinear_groups);
+            program_stages = staged.stages;
+            for (&id, run) in program_ids.iter().zip(staged.runs) {
+                let solo = run
+                    .op_stats
+                    .iter()
+                    .fold(ExecStats::new(&cfg, Default::default(), 0, 0), |acc, s| {
+                        acc.merged(s)
+                    });
+                outcomes[id] = Some(RequestOutcome {
+                    id,
+                    output: run.output,
+                    stats: solo,
+                    op_stats: run.op_stats,
                 });
             }
         }
@@ -526,25 +679,16 @@ impl BatchEngine {
             unbatched_seconds: unbatched.seconds(),
             total_macs: unbatched.macs,
             total_nonlinear_evals: unbatched.nonlinear_evals,
-            gemm_groups: gemm_groups.len(),
-            nonlinear_groups: nl_groups.len(),
+            gemm_groups: gemm_groups.len() + program_group_counts.0,
+            nonlinear_groups: nl_groups.len() + program_group_counts.1,
             latencies: outcomes.iter().map(|o| o.stats.seconds()).collect(),
         };
-        Ok(BatchRun { outcomes, report })
+        Ok(BatchRun {
+            outcomes,
+            report,
+            program_stages,
+        })
     }
-}
-
-/// Cheap content hash (FNV-1a over the bit patterns) used to bucket
-/// weight matrices before the exact equality check.
-fn weight_fingerprint(b: &Tensor) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for d in b.dims() {
-        h = (h ^ *d as u64).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    for v in b.as_slice() {
-        h = (h ^ u64::from(v.to_bits())).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// The right-hand matrix of the first request in a GEMM group.
@@ -775,6 +919,113 @@ mod tests {
         assert_eq!(serving.pending(), 0);
         // After clearing, the engine serves an empty run cleanly.
         assert_eq!(serving.run().unwrap().report.requests, 0);
+    }
+
+    fn mlp_program(w1: &Tensor, w2: &Tensor) -> Program {
+        use onesa_plan::{EvalMode, Op};
+        let mut b = Program::builder(
+            "mlp",
+            EvalMode::Cpwl {
+                granularity: 0.25,
+                quantize: false,
+            },
+        );
+        let x = b.input(&[2, 6]);
+        let (w1, w2) = (b.constant(w1.clone()), b.constant(w2.clone()));
+        let h = b.push(Op::Gemm { bias: None }, &[x, w1]);
+        let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
+        b.push(Op::Gemm { bias: None }, &[g, w2]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn concurrent_programs_coalesce_at_every_stage() {
+        let mut rng = Pcg32::seed_from_u64(21);
+        let w1 = rng.randn(&[6, 4], 1.0);
+        let w2 = rng.randn(&[4, 3], 1.0);
+        let program = mlp_program(&w1, &w2);
+        let xs: Vec<Tensor> = (0..3).map(|_| rng.randn(&[2, 6], 1.0)).collect();
+
+        // Solo references through the plan executor.
+        let solos: Vec<Tensor> = xs
+            .iter()
+            .map(|x| {
+                program
+                    .run(
+                        std::slice::from_ref(x),
+                        Parallelism::Sequential,
+                        &mut onesa_plan::TableCache::new(),
+                    )
+                    .unwrap()
+                    .output
+            })
+            .collect();
+
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        for x in &xs {
+            serving
+                .submit_program(program.clone(), vec![x.clone()])
+                .unwrap();
+        }
+        // Mixed queue: a plain GEMM rides along untouched.
+        let a = rng.randn(&[2, 6], 1.0);
+        serving.submit(Request::gemm(a.clone(), w1.clone()));
+        let run = serving.run().unwrap();
+        for (i, solo) in solos.iter().enumerate() {
+            assert_eq!(&run.outcomes[i].output, solo);
+            assert_eq!(run.outcomes[i].op_stats.len(), 3);
+        }
+        assert_eq!(run.outcomes[3].output, gemm::matmul(&a, &w1).unwrap());
+        // Every program stage collapsed 3 ops into 1 kernel group.
+        assert_eq!(run.program_stages.len(), 3);
+        for s in &run.program_stages {
+            assert_eq!((s.ops, s.groups), (3, 1), "stage {}", s.stage);
+        }
+        // Report: 2 program GEMM groups + 1 plain group, 1 program NL group.
+        assert_eq!(run.report.gemm_groups, 3);
+        assert_eq!(run.report.nonlinear_groups, 1);
+        assert!(run.report.batching_speedup() > 1.0);
+    }
+
+    #[test]
+    fn submit_checked_rejects_malformed_requests_at_the_queue() {
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        let bad = Request::gemm(Tensor::zeros(&[2, 3]), Tensor::zeros(&[4, 5]));
+        assert!(serving.submit_checked(bad).is_err());
+        assert_eq!(serving.pending(), 0);
+        let good = Request::gemm(Tensor::zeros(&[2, 3]), Tensor::zeros(&[3, 5]));
+        assert_eq!(serving.submit_checked(good).unwrap(), 0);
+        assert_eq!(serving.pending(), 1);
+
+        // Program with wrong input shape is rejected eagerly too.
+        let mut rng = Pcg32::seed_from_u64(22);
+        let program = mlp_program(&rng.randn(&[6, 4], 1.0), &rng.randn(&[4, 3], 1.0));
+        let wrong = vec![rng.randn(&[5, 6], 1.0)];
+        assert!(serving.submit_program(program.clone(), wrong).is_err());
+        assert!(serving
+            .submit_program(program, vec![rng.randn(&[2, 6], 1.0)])
+            .is_ok());
+        assert_eq!(serving.pending(), 2);
+        let run = serving.run().unwrap();
+        assert_eq!(run.report.requests, 2);
+    }
+
+    #[test]
+    fn program_request_accounting() {
+        let mut rng = Pcg32::seed_from_u64(23);
+        let w1 = rng.randn(&[6, 4], 1.0);
+        let w2 = rng.randn(&[4, 3], 1.0);
+        let program = mlp_program(&w1, &w2);
+        let req = Request::program(program.clone(), vec![rng.randn(&[2, 6], 1.0)]);
+        assert_eq!(req.modeled_macs(), program.modeled_macs());
+        assert!(req.modeled_macs() > 0);
+        let req2 = Request::program(program.clone(), vec![rng.randn(&[2, 6], 1.0)]);
+        assert_eq!(req.affinity_key(), req2.affinity_key());
+        let other = mlp_program(&rng.randn(&[6, 4], 1.0), &w2);
+        assert_ne!(
+            req.affinity_key(),
+            Request::program(other, vec![Tensor::zeros(&[2, 6])]).affinity_key()
+        );
     }
 
     #[test]

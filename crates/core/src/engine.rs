@@ -127,42 +127,18 @@ impl OneSa {
 
     // ---------- cycle composition for lowered composite ops ----------
 
-    /// A bare MHP pass (no parameter fetch): used by the scale/center
-    /// steps of the composite lowerings.
-    fn mhp_stats(&self, m: usize, n: usize) -> ExecStats {
-        let e = (m * n) as u64;
-        ExecStats::new(
-            &self.cfg,
-            analytic::mhp_breakdown(&self.cfg, m, n),
-            2 * e,
-            0,
-        )
-    }
-
     /// Softmax lowering cycles: exp (IPF+MHP) + row-sum GEMM +
-    /// reciprocal (IPF+MHP on the row vector) + scale MHP.
+    /// reciprocal (IPF+MHP on the row vector) + scale MHP (see
+    /// [`analytic::softmax_stats`]).
     pub fn softmax_stats(&self, m: usize, n: usize) -> ExecStats {
-        let exp = analytic::nonlinear_stats(&self.cfg, m, n);
-        let rowsum = analytic::gemm_stats(&self.cfg, m, n, 1);
-        let recip = analytic::nonlinear_stats(&self.cfg, m, 1);
-        let scale = self.mhp_stats(m, n);
-        exp.merged(&rowsum).merged(&recip).merged(&scale)
+        analytic::softmax_stats(&self.cfg, m, n)
     }
 
     /// Normalization lowering cycles: mean GEMM + center MHP + square
-    /// MHP + variance GEMM + rsqrt (IPF+MHP) + affine MHP.
+    /// MHP + variance GEMM + rsqrt (IPF+MHP) + affine MHP (see
+    /// [`analytic::norm_stats`]).
     pub fn norm_stats(&self, m: usize, n: usize) -> ExecStats {
-        let mean = analytic::gemm_stats(&self.cfg, m, n, 1);
-        let center = self.mhp_stats(m, n);
-        let square = self.mhp_stats(m, n);
-        let var = analytic::gemm_stats(&self.cfg, m, n, 1);
-        let rsqrt = analytic::nonlinear_stats(&self.cfg, m, 1);
-        let affine = self.mhp_stats(m, n);
-        mean.merged(&center)
-            .merged(&square)
-            .merged(&var)
-            .merged(&rsqrt)
-            .merged(&affine)
+        analytic::norm_stats(&self.cfg, m, n)
     }
 
     /// Stats for one workload phase.

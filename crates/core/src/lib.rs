@@ -34,10 +34,22 @@ mod report;
 pub mod batch;
 pub mod serve;
 
+/// The operator-graph Program IR (re-export of the `onesa-plan` crate).
+///
+/// Whole networks compile to [`plan::Program`]s (see
+/// `onesa_nn::compile`) and execute through [`BatchEngine`]'s staged
+/// scheduler, which coalesces compatible ops **across concurrent
+/// programs at every stage** — shared-weight row-stacking and
+/// shared-table concatenation per layer, not just at the classifier.
+pub mod plan {
+    pub use onesa_plan::*;
+}
+
 pub use batch::{BatchEngine, BatchRun, Request, RequestId, RequestOutcome, ServingReport};
 pub use engine::OneSa;
 pub use flex::split_accelerator_cycles;
 pub use onesa_nn::workloads::Workload;
+pub use onesa_plan::{Compile, Program, StageGroups};
 pub use onesa_tensor::parallel::Parallelism;
 pub use report::ExecutionReport;
 pub use serve::{

@@ -49,6 +49,27 @@
 //!   waiting, so producers can never outrun the pool unboundedly. The
 //!   per-shard channels are bounded too, which stalls admission (not
 //!   the clients) when one shard falls behind.
+//! * **Early rejection.** The admission thread validates every request
+//!   (via the same checks as `BatchEngine::submit_checked`) before
+//!   routing: a malformed request's ticket resolves with the validation
+//!   error at the queue, and never reaches a shard's batch. Under
+//!   [`AdmissionPolicy::Deadline`] with `drop_expired`, requests
+//!   already past their deadline at window close resolve with
+//!   [`ServeError::DeadlineExpired`] instead of dispatching (counted in
+//!   [`ServeSummary::expired`]) — the ROADMAP's drop-on-expiry
+//!   admission rung.
+//!
+//! # Whole-network program tickets
+//!
+//! Compiled [`crate::Program`]s are first-class requests
+//! ([`ServeEngine::submit_program`]): an entire network — convolutions,
+//! attention, CPWL nonlinears, quantization boundaries — flows through
+//! the admission window and shard pool as one ticket, and concurrent
+//! programs on a shard coalesce **at every stage** through
+//! `BatchEngine`'s staged scheduler (shared-weight row-stacking and
+//! shared-table concatenation per layer). [`ServedOutcome::op_stats`]
+//! returns the per-op [`ExecStats`], which roll into the summary's
+//! [`ServingReport`] totals.
 //!
 //! # Example
 //!
@@ -110,11 +131,19 @@ pub enum AdmissionPolicy {
     },
     /// Like [`AdmissionPolicy::Fifo`], but the admitted window is
     /// dispatched earliest-deadline-first. Requests without a deadline
-    /// sort last; ties keep arrival order (the sort is stable). The
-    /// deadline is a priority key — nothing is dropped on a miss.
+    /// sort last; ties keep arrival order (the sort is stable).
+    ///
+    /// With `drop_expired` off, the deadline is a pure priority key —
+    /// nothing is dropped on a miss. With it on, deadlines are absolute
+    /// **microseconds since [`ServeEngine::start`]**: a request already
+    /// past its deadline when its window closes resolves its ticket
+    /// with [`ServeError::DeadlineExpired`] instead of dispatching, and
+    /// is counted in [`ServeSummary::expired`].
     Deadline {
         /// Maximum requests per window.
         window: usize,
+        /// Drop (rather than merely deprioritize) expired requests.
+        drop_expired: bool,
     },
     /// Close the window once its accumulated modeled work
     /// ([`Request::modeled_macs`]) reaches `max_macs`, so one window
@@ -236,6 +265,15 @@ pub enum ServeError {
     QueueClosed,
     /// The request failed validation or execution on its shard.
     Exec(TensorError),
+    /// The request was already past its deadline when its admission
+    /// window closed (only under [`AdmissionPolicy::Deadline`] with
+    /// `drop_expired`); it was never dispatched.
+    DeadlineExpired {
+        /// The deadline the request carried (µs since engine start).
+        deadline_us: u64,
+        /// The admission clock when the window closed (same epoch).
+        now_us: u64,
+    },
     /// A worker thread disappeared without answering (it panicked, or —
     /// for a submission racing with `finish()` — the engine tore down
     /// before the reply could be produced).
@@ -247,6 +285,13 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::QueueClosed => write!(f, "serve queue is closed"),
             ServeError::Exec(e) => write!(f, "request failed on its shard: {e}"),
+            ServeError::DeadlineExpired {
+                deadline_us,
+                now_us,
+            } => write!(
+                f,
+                "request expired before dispatch (deadline {deadline_us} us, window closed at {now_us} us)"
+            ),
             ServeError::WorkerLost => write!(f, "serve worker lost before replying"),
         }
     }
@@ -289,8 +334,12 @@ pub struct ServedOutcome {
     /// The request's output, bit-identical to a solo sequential run.
     pub output: Tensor,
     /// Simulated array stats for the request's own shape (what a solo
-    /// run would have cost).
+    /// run would have cost; for a program request, the merge of
+    /// [`ServedOutcome::op_stats`]).
     pub stats: ExecStats,
+    /// Per-op solo stats of a whole-network program request, in stage
+    /// order (empty for plain GEMM/nonlinear requests).
+    pub op_stats: Vec<ExecStats>,
     /// Host seconds between submission and the start of the executing
     /// batch (admission + routing + shard queueing delay).
     pub queue_seconds: f64,
@@ -301,6 +350,7 @@ pub struct ServedOutcome {
 /// Results are buffered: waiting after [`ServeEngine::finish`] still
 /// returns the outcome.
 #[derive(Debug)]
+#[must_use = "a Ticket is the only handle to its request's output — dropping it discards the result"]
 pub struct Ticket {
     id: TicketId,
     rx: Receiver<Result<ServedOutcome, ServeError>>,
@@ -364,6 +414,7 @@ pub struct ShardStats {
 
 /// Aggregate result of one [`ServeEngine`] lifetime.
 #[derive(Debug, Clone)]
+#[must_use = "a ServeSummary is the engine's only aggregate report — dropping it discards the run's accounting"]
 pub struct ServeSummary {
     /// Pool-wide totals in the same shape synchronous batching reports:
     /// `batched_seconds` is the **makespan** (busiest shard — the
@@ -379,6 +430,11 @@ pub struct ServeSummary {
     pub shards: Vec<ShardStats>,
     /// Batching windows the admission thread closed.
     pub windows: usize,
+    /// Requests dropped at window close because their deadline had
+    /// already passed ([`AdmissionPolicy::Deadline`] with
+    /// `drop_expired`); their tickets resolved with
+    /// [`ServeError::DeadlineExpired`].
+    pub expired: usize,
     /// Most requests ever observed waiting in the submission queue at
     /// once. Single-producer submission keeps this at most
     /// [`ServeConfig::queue_capacity`]; concurrent producers blocked in
@@ -410,11 +466,13 @@ impl fmt::Display for ServeSummary {
         )?;
         writeln!(
             f,
-            "array makespan {:.3} ms vs {:.3} ms solo-on-one-array ({:.2}x modeled), peak queue {}",
+            "array makespan {:.3} ms vs {:.3} ms solo-on-one-array ({:.2}x modeled), \
+             peak queue {}, expired {}",
             self.report.batched_seconds * 1e3,
             self.report.unbatched_seconds * 1e3,
             self.modeled_speedup(),
-            self.peak_queue_depth
+            self.peak_queue_depth,
+            self.expired
         )?;
         for s in &self.shards {
             writeln!(
@@ -630,6 +688,20 @@ impl ServeClient {
         }
     }
 
+    /// Submits a compiled whole-network program as one request (see
+    /// [`ServeEngine::submit_program`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::submit`].
+    pub fn submit_program(
+        &self,
+        program: crate::Program,
+        inputs: Vec<Tensor>,
+    ) -> Result<Ticket, ServeError> {
+        self.submit(Request::program(program, inputs))
+    }
+
     /// Requests currently waiting in the submission queue.
     pub fn queued(&self) -> usize {
         self.depth.current()
@@ -661,8 +733,14 @@ pub struct ServeEngine {
     gate: Arc<Gate>,
     started: Instant,
     n_shards: usize,
-    admitter: Option<JoinHandle<usize>>,
+    admitter: Option<JoinHandle<AdmitOut>>,
     workers: Vec<JoinHandle<ShardOut>>,
+}
+
+/// What the admission thread reports at shutdown.
+struct AdmitOut {
+    windows: usize,
+    expired: usize,
 }
 
 impl ServeEngine {
@@ -713,6 +791,12 @@ impl ServeEngine {
             workers.push(handle);
         }
 
+        // The admitter validates every request before routing it, so a
+        // malformed request is rejected at the queue instead of riding
+        // into (and poisoning) a shard's batch. Validation only needs
+        // the table set, so any shard's geometry works as the template.
+        let validator =
+            BatchEngine::new(OneSa::new(cfg.shards[0].config.clone()), cfg.granularity)?;
         let admitter = {
             let ctx = AdmitterCtx {
                 rx,
@@ -723,6 +807,8 @@ impl ServeEngine {
                 routing: cfg.routing,
                 gate: Arc::clone(&gate),
                 queue_depth: Arc::clone(&queue_depth),
+                validator,
+                epoch: Instant::now(),
             };
             thread::Builder::new()
                 .name("onesa-admitter".to_string())
@@ -789,6 +875,24 @@ impl ServeEngine {
     /// As for [`ServeClient::try_submit`].
     pub fn try_submit(&self, request: Request) -> Result<Ticket, TrySubmitError> {
         self.client.try_submit(request)
+    }
+
+    /// Submits a compiled whole-network program as one request: it
+    /// flows through the admission window and shard pool like any
+    /// other, coalescing stage by stage with concurrent programs on its
+    /// shard (use [`RoutePolicy::WeightAffinity`] to keep same-model
+    /// programs together). The ticket's [`ServedOutcome`] carries the
+    /// final output plus per-op [`ExecStats`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::submit`].
+    pub fn submit_program(
+        &self,
+        program: crate::Program,
+        inputs: Vec<Tensor>,
+    ) -> Result<Ticket, ServeError> {
+        self.client.submit_program(program, inputs)
     }
 
     /// Requests currently waiting in the submission queue.
@@ -861,7 +965,7 @@ impl ServeEngine {
         // Ask the admitter to dispatch whatever is queued and stop; if it
         // is already gone the join below reports it.
         let _ = self.client.tx.send(Msg::Drain);
-        let windows = admitter.join().map_err(|_| ServeError::WorkerLost)?;
+        let admitted = admitter.join().map_err(|_| ServeError::WorkerLost)?;
         let mut outs: Vec<ShardOut> = Vec::with_capacity(self.workers.len());
         for handle in self.workers.drain(..) {
             outs.push(handle.join().map_err(|_| ServeError::WorkerLost)?);
@@ -895,7 +999,8 @@ impl ServeEngine {
         Ok(ServeSummary {
             report,
             shards,
-            windows,
+            windows: admitted.windows,
+            expired: admitted.expired,
             peak_queue_depth: self.client.depth.peak(),
         })
     }
@@ -924,15 +1029,31 @@ struct AdmitterCtx {
     routing: RoutePolicy,
     gate: Arc<Gate>,
     queue_depth: Arc<DepthGauge>,
+    /// Validation template (same table set as every shard).
+    validator: BatchEngine,
+    /// Epoch of the drop-on-expiry deadline clock.
+    epoch: Instant,
 }
 
-/// Returns the number of windows dispatched.
-fn admitter_loop(ctx: AdmitterCtx) -> usize {
+/// Returns the windows dispatched and requests expired.
+fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
     ctx.gate.wait_open();
     let mut windows = 0usize;
+    let mut expired = 0usize;
     let mut rr = 0usize;
     let mut dispatch_seq = 0u64;
     let mut draining = false;
+    // Reject a malformed request at admission: its ticket resolves with
+    // the validation error and it never reaches a shard.
+    let admit = |sub: Submission| -> Option<Submission> {
+        match ctx.validator.validate(&sub.request) {
+            Ok(()) => Some(sub),
+            Err(e) => {
+                let _ = sub.reply.send(Err(ServeError::Exec(e)));
+                None
+            }
+        }
+    };
     loop {
         // Window head: block for it normally; after a Drain marker only
         // the backlog is served.
@@ -955,23 +1076,51 @@ fn admitter_loop(ctx: AdmitterCtx) -> usize {
             }
         };
         ctx.queue_depth.dec();
-        let mut work = head.request.modeled_macs();
-        let mut window = vec![head];
+        // Only *admitted* requests consume the window budget — a
+        // rejected request must not close a size-capped window early
+        // and split the valid requests' coalescing opportunity.
+        let mut work = 0u64;
+        let mut window: Vec<Submission> = Vec::new();
+        if let Some(sub) = admit(head) {
+            work += sub.request.modeled_macs();
+            window.push(sub);
+        }
         // Fill greedily from what has already arrived — never wait for
         // stragglers (they catch the next window).
         while !window_full(ctx.admission, window.len(), work) {
             match ctx.rx.try_recv() {
                 Ok(Msg::Work(sub)) => {
                     ctx.queue_depth.dec();
-                    work += sub.request.modeled_macs();
-                    window.push(sub);
+                    if let Some(sub) = admit(sub) {
+                        work += sub.request.modeled_macs();
+                        window.push(sub);
+                    }
                 }
                 Ok(Msg::Drain) => draining = true,
                 Err(_) => break,
             }
         }
+        if window.is_empty() {
+            continue; // everything was rejected at validation
+        }
         windows += 1;
-        if matches!(ctx.admission, AdmissionPolicy::Deadline { .. }) {
+        if let AdmissionPolicy::Deadline { drop_expired, .. } = ctx.admission {
+            if drop_expired {
+                // Drop-on-expiry: anything already past its deadline at
+                // window close resolves as expired instead of running.
+                let now_us = ctx.epoch.elapsed().as_micros() as u64;
+                window.retain(|s| match s.deadline {
+                    Some(d) if d < now_us => {
+                        expired += 1;
+                        let _ = s.reply.send(Err(ServeError::DeadlineExpired {
+                            deadline_us: d,
+                            now_us,
+                        }));
+                        false
+                    }
+                    _ => true,
+                });
+            }
             // Stable: equal deadlines (and the no-deadline tail) keep
             // arrival order.
             window.sort_by_key(|s| s.deadline.unwrap_or(u64::MAX));
@@ -1024,12 +1173,12 @@ fn admitter_loop(ctx: AdmitterCtx) -> usize {
             let _ = sub.reply.send(Err(ServeError::QueueClosed));
         }
     }
-    windows
+    AdmitOut { windows, expired }
 }
 
 fn window_full(policy: AdmissionPolicy, len: usize, work: u64) -> bool {
     match policy {
-        AdmissionPolicy::Fifo { window } | AdmissionPolicy::Deadline { window } => {
+        AdmissionPolicy::Fifo { window } | AdmissionPolicy::Deadline { window, .. } => {
             len >= window.max(1)
         }
         AdmissionPolicy::SizeCapped { max_macs } => work >= max_macs.max(1),
@@ -1071,17 +1220,17 @@ fn shard_loop(
         let t0 = Instant::now();
         let mut pending: Vec<PendingReply> = Vec::with_capacity(batch.len());
         for item in batch {
-            match engine.validate(&item.request) {
-                Ok(()) => {
-                    // Malformed requests were already rejected, so this
-                    // queue executes in one clean run.
+            // The admitter already validated; `submit_checked` is the
+            // belt-and-braces second gate so a bad request can never
+            // poison the shard's batch.
+            match engine.submit_checked(item.request) {
+                Ok(_) => {
                     pending.push(PendingReply {
                         ticket: item.ticket,
                         dispatch_seq: item.dispatch_seq,
                         queue_seconds: item.submitted_at.elapsed().as_secs_f64(),
                         reply: item.reply,
                     });
-                    engine.submit(item.request);
                 }
                 Err(e) => {
                     let _ = item.reply.send(Err(ServeError::Exec(e)));
@@ -1109,6 +1258,7 @@ fn shard_loop(
                         dispatch_seq: p.dispatch_seq,
                         output: outcome.output,
                         stats: outcome.stats,
+                        op_stats: outcome.op_stats,
                         queue_seconds: p.queue_seconds,
                     }));
                 }
@@ -1182,7 +1332,187 @@ mod tests {
         };
         let tables = onesa_cpwl::ops::TableSet::for_granularity(0.25).unwrap();
         assert_eq!(served.output, tables.gelu(&x).unwrap());
-        engine.finish().unwrap();
+        let _ = engine.finish().unwrap();
+    }
+
+    #[test]
+    fn program_tickets_round_trip_with_per_op_stats() {
+        use onesa_plan::{EvalMode, Op, Program};
+        let mut rng = Pcg32::seed_from_u64(31);
+        let w1 = rng.randn(&[6, 4], 1.0);
+        let w2 = rng.randn(&[4, 3], 1.0);
+        let mut b = Program::builder(
+            "mlp",
+            EvalMode::Cpwl {
+                granularity: 0.25,
+                quantize: false,
+            },
+        );
+        let x = b.input(&[2, 6]);
+        let (c1, c2) = (b.constant(w1.clone()), b.constant(w2.clone()));
+        let h = b.push(Op::Gemm { bias: None }, &[x, c1]);
+        let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
+        b.push(Op::Gemm { bias: None }, &[g, c2]);
+        let program = b.finish().unwrap();
+
+        let engine = pool(2);
+        let xs: Vec<_> = (0..4).map(|_| rng.randn(&[2, 6], 1.0)).collect();
+        let tickets: Vec<Ticket> = xs
+            .iter()
+            .map(|x| {
+                engine
+                    .submit_program(program.clone(), vec![x.clone()])
+                    .unwrap()
+            })
+            .collect();
+        for (t, x) in tickets.into_iter().zip(&xs) {
+            let served = t.wait().unwrap();
+            let solo = program
+                .run(
+                    std::slice::from_ref(x),
+                    Parallelism::Sequential,
+                    &mut onesa_plan::TableCache::new(),
+                )
+                .unwrap();
+            assert_eq!(served.output, solo.output);
+            assert_eq!(served.op_stats.len(), 3);
+            assert_eq!(
+                served.stats.macs,
+                solo.op_stats.iter().map(|s| s.macs).sum::<u64>()
+            );
+        }
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.report.requests, 4);
+        assert_eq!(summary.expired, 0);
+        assert_eq!(summary.report.total_macs, 4 * program.modeled_macs());
+    }
+
+    #[test]
+    fn malformed_request_is_rejected_at_admission() {
+        // The shard never sees the bad request: the admitter's validator
+        // rejects it, so the shard's batch count stays clean.
+        let mut rng = Pcg32::seed_from_u64(32);
+        let engine = pool(1);
+        let bad = Request::gemm(rng.randn(&[2, 8], 1.0), rng.randn(&[9, 3], 1.0));
+        let t = engine.submit(bad).unwrap();
+        match t.wait() {
+            Err(ServeError::Exec(TensorError::ShapeMismatch { .. })) => {}
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.report.requests, 0);
+        assert_eq!(summary.shards[0].batches, 0, "shard saw the bad request");
+    }
+
+    #[test]
+    fn expired_deadlines_drop_instead_of_dispatching() {
+        let mut rng = Pcg32::seed_from_u64(33);
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Deadline {
+                    window: 8,
+                    drop_expired: true,
+                })
+                .start_paused(),
+        )
+        .unwrap();
+        // Deadline 0 µs is in the past by the time the gate opens; a
+        // far-future deadline and a no-deadline request both survive.
+        let doomed = engine
+            .submit_with_deadline(
+                Request::gemm(rng.randn(&[2, 4], 1.0), rng.randn(&[4, 2], 1.0)),
+                0,
+            )
+            .unwrap();
+        let urgent_ok = engine
+            .submit_with_deadline(
+                Request::gemm(rng.randn(&[2, 4], 1.0), rng.randn(&[4, 2], 1.0)),
+                u64::MAX - 1,
+            )
+            .unwrap();
+        let no_deadline = engine
+            .submit(Request::gemm(
+                rng.randn(&[2, 4], 1.0),
+                rng.randn(&[4, 2], 1.0),
+            ))
+            .unwrap();
+        // Make sure the admission clock has advanced past deadline 0.
+        thread::sleep(std::time::Duration::from_millis(2));
+        engine.resume();
+        match doomed.wait() {
+            Err(ServeError::DeadlineExpired {
+                deadline_us: 0,
+                now_us,
+            }) => assert!(now_us > 0),
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        assert!(urgent_ok.wait().is_ok());
+        assert!(no_deadline.wait().is_ok());
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.expired, 1);
+        assert_eq!(summary.report.requests, 2);
+        assert!(format!("{summary}").contains("expired 1"));
+    }
+
+    #[test]
+    fn rejected_requests_do_not_consume_the_size_capped_window_budget() {
+        let mut rng = Pcg32::seed_from_u64(35);
+        // Budget fits all three valid requests (3 x 16 = 48 MACs); the
+        // malformed request's 720k modeled MACs must not close the
+        // window early and split them.
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::SizeCapped { max_macs: 100 })
+                .start_paused(),
+        )
+        .unwrap();
+        let valid =
+            |rng: &mut Pcg32| Request::gemm(rng.randn(&[2, 4], 1.0), rng.randn(&[4, 2], 1.0));
+        let t1 = engine.submit(valid(&mut rng)).unwrap();
+        let bad = engine
+            .submit(Request::gemm(
+                rng.randn(&[100, 80], 1.0),
+                rng.randn(&[81, 90], 1.0),
+            ))
+            .unwrap();
+        let t2 = engine.submit(valid(&mut rng)).unwrap();
+        let t3 = engine.submit(valid(&mut rng)).unwrap();
+        engine.resume();
+        assert!(matches!(bad.wait(), Err(ServeError::Exec(_))));
+        for t in [t1, t2, t3] {
+            assert!(t.wait().is_ok());
+        }
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.report.requests, 3);
+        // All three valid requests shared ONE window — before the fix
+        // the rejected request's MACs closed the first window early.
+        assert_eq!(summary.windows, 1);
+    }
+
+    #[test]
+    fn deadline_without_drop_keeps_priority_only_semantics() {
+        let mut rng = Pcg32::seed_from_u64(34);
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Deadline {
+                    window: 4,
+                    drop_expired: false,
+                })
+                .start_paused(),
+        )
+        .unwrap();
+        // Deadline 0 would be expired under drop_expired — without it,
+        // the request is merely dispatched first.
+        let t = engine
+            .submit_with_deadline(
+                Request::gemm(rng.randn(&[2, 4], 1.0), rng.randn(&[4, 2], 1.0)),
+                0,
+            )
+            .unwrap();
+        engine.resume();
+        assert!(t.wait().is_ok());
+        let summary = engine.finish().unwrap();
+        assert_eq!((summary.expired, summary.report.requests), (0, 1));
     }
 
     #[test]
@@ -1214,7 +1544,7 @@ mod tests {
     fn submit_after_finish_is_rejected() {
         let engine = pool(1);
         let client = engine.client();
-        engine.finish().unwrap();
+        let _ = engine.finish().unwrap();
         let mut rng = Pcg32::seed_from_u64(4);
         let req = Request::gemm(rng.randn(&[2, 4], 1.0), rng.randn(&[4, 2], 1.0));
         assert_eq!(

@@ -85,9 +85,27 @@ impl TableSet {
         self.granularity
     }
 
+    /// Whether the standard set tabulates `func` — compile-time
+    /// metadata for program validators: a `Program` op referencing an
+    /// uncovered function must be rejected *before* it reaches an
+    /// engine's queue, where [`TableSet::table`] would return `None`.
+    pub fn supports(func: NonlinearFn) -> bool {
+        matches!(
+            func,
+            NonlinearFn::Gelu
+                | NonlinearFn::Exp
+                | NonlinearFn::Reciprocal
+                | NonlinearFn::Rsqrt
+                | NonlinearFn::Tanh
+                | NonlinearFn::Sigmoid
+                | NonlinearFn::Relu
+        )
+    }
+
     /// Borrow an individual table by function.
     ///
-    /// Returns `None` for functions outside the cached set.
+    /// Returns `None` for functions outside the cached set (see
+    /// [`TableSet::supports`]).
     pub fn table(&self, func: NonlinearFn) -> Option<&PwlTable> {
         match func {
             NonlinearFn::Gelu => Some(&self.gelu),

@@ -1,0 +1,440 @@
+//! Compiling whole networks to `onesa_plan` operator-graph programs.
+//!
+//! Every model family implements [`Compile`]: it walks its own layers
+//! and emits a [`Program`] that replays the inference math op for op —
+//! im2col + GEMM + col2im for convolutions, folded batch-norm affines,
+//! head-sliced attention with table-lowered softmax, CPWL nonlinears
+//! and INT16 `Quantize` boundaries exactly where the chosen
+//! [`InferenceMode`] applies them. Running the compiled program is
+//! **bit-identical** to the model's `*_direct` layer-by-layer path for
+//! every mode (locked in by `tests/integration_plan.rs`), which is what
+//! lets `onesa_core`'s batch/serve engines schedule whole networks the
+//! way they batch single GEMMs.
+//!
+//! The `Ctx` of each impl carries the per-request specialization:
+//!
+//! | model | `Ctx` | program input |
+//! |---|---|---|
+//! | [`SmallCnn`] | `(&InferenceMode, (h, w))` | one `[C, H, W]` image |
+//! | [`TinyBert`] | `(&InferenceMode, seq_len)` | one `[1, L]` id row ([`TinyBert::ids_tensor`]) |
+//! | [`Gcn`] | `(&InferenceMode, &GraphDataset)` | the `[N, F]` node features |
+//!
+//! # Example
+//!
+//! ```
+//! use onesa_nn::models::SmallCnn;
+//! use onesa_nn::InferenceMode;
+//! use onesa_plan::{Compile, TableCache};
+//! use onesa_tensor::parallel::Parallelism;
+//! use onesa_tensor::rng::Pcg32;
+//!
+//! let cnn = SmallCnn::new(7, 1, 3);
+//! let mode = InferenceMode::cpwl(0.25).expect("valid granularity");
+//! let program = cnn.compile((&mode, (8, 8)))?;
+//! let x = Pcg32::seed_from_u64(1).randn(&[1, 8, 8], 1.0);
+//! let run = program.run(&[x.clone()], Parallelism::Sequential, &mut TableCache::new())?;
+//! assert_eq!(run.output.into_vec(), cnn.logits(&x, &mode));
+//! # Ok::<(), onesa_tensor::TensorError>(())
+//! ```
+
+use crate::infer::InferenceMode;
+use crate::layers::Linear;
+use crate::models::{EncoderBlock, Gcn, SmallCnn, TinyBert};
+use onesa_cpwl::NonlinearFn;
+use onesa_data::GraphDataset;
+use onesa_plan::{Compile, Op, Operand, PoolKind, Program, ProgramBuilder, TableCache};
+use onesa_tensor::{Result, Tensor};
+
+/// Runs a compiled program solo, seeding the executor's table cache
+/// with the mode's own table set so nothing is rebuilt.
+///
+/// # Panics
+///
+/// Panics if the program fails to execute — compiled programs are
+/// validated at build time, so this indicates a compiler bug.
+pub fn run_compiled(program: &Program, inputs: &[Tensor], mode: &InferenceMode) -> Tensor {
+    let mut cache = TableCache::new();
+    if let Some(tables) = mode.table_set() {
+        cache.seed(tables.clone());
+    }
+    program
+        .run(
+            inputs,
+            onesa_tensor::parallel::Parallelism::Sequential,
+            &mut cache,
+        )
+        .expect("compiled program executes")
+        .output
+}
+
+/// Emits `Quantize` only when the mode round-trips layer boundaries
+/// through INT16 (mirrors `InferenceMode::boundary`).
+fn boundary(b: &mut ProgramBuilder, mode: &InferenceMode, x: Operand) -> Operand {
+    match mode.eval_mode() {
+        onesa_plan::EvalMode::Cpwl { quantize: true, .. } => b.push(Op::Quantize, &[x]),
+        _ => x,
+    }
+}
+
+/// `x · W + bias` (mirrors `Linear::infer`).
+fn linear(b: &mut ProgramBuilder, l: &Linear, x: Operand) -> Operand {
+    let w = b.constant(l.w.value.clone());
+    b.push(
+        Op::Gemm {
+            bias: Some(l.b.value.as_slice().to_vec()),
+        },
+        &[x, w],
+    )
+}
+
+impl SmallCnn {
+    /// Compiles everything up to (and excluding) the classifier.
+    pub(crate) fn features_program(
+        &self,
+        mode: &InferenceMode,
+        h: usize,
+        w: usize,
+    ) -> Result<Program> {
+        self.build_program(mode, h, w, false)
+    }
+
+    /// Compiles the whole network, classifier included.
+    pub(crate) fn network_program(
+        &self,
+        mode: &InferenceMode,
+        h: usize,
+        w: usize,
+    ) -> Result<Program> {
+        self.build_program(mode, h, w, true)
+    }
+
+    fn build_program(
+        &self,
+        mode: &InferenceMode,
+        h: usize,
+        w: usize,
+        with_classifier: bool,
+    ) -> Result<Program> {
+        // im2col + GEMM against the transposed flattened kernel + bias +
+        // col2im (mirrors `Conv2d::infer`).
+        let conv = |b: &mut ProgramBuilder,
+                    layer: &crate::layers::Conv2d,
+                    x: Operand,
+                    h: usize,
+                    w: usize|
+         -> Result<Operand> {
+            let (oh, ow) = layer.geo.output_hw(h, w)?;
+            let cols = b.push(Op::Im2col(layer.geo), &[x]);
+            let wt = b.constant(layer.w.value.transpose()?);
+            let prod = b.push(
+                Op::Gemm {
+                    bias: Some(layer.b.value.as_slice().to_vec()),
+                },
+                &[cols, wt],
+            );
+            Ok(b.push(
+                Op::Col2im {
+                    channels: layer.geo.out_channels,
+                    oh,
+                    ow,
+                },
+                &[prod],
+            ))
+        };
+        // Folded batch norm: per-channel (k, b) computed at compile time
+        // under the mode (the rsqrt goes through the mode's table).
+        let bn = |b: &mut ProgramBuilder, norm: &crate::layers::BatchNorm2d, x: Operand| {
+            let (k, bias) = mode.batchnorm_fold(
+                &norm.running_mean,
+                &norm.running_var,
+                norm.gamma.value.as_slice(),
+                norm.beta.value.as_slice(),
+                norm.eps(),
+            );
+            b.push(Op::Affine { k, b: bias }, &[x])
+        };
+
+        let mut b = Program::builder(
+            if with_classifier {
+                "small_cnn"
+            } else {
+                "small_cnn.features"
+            },
+            mode.eval_mode(),
+        );
+        let x0 = b.input(&[self.conv1.geo.in_channels, h, w]);
+        let x = boundary(&mut b, mode, x0);
+        let a = conv(&mut b, &self.conv1, x, h, w)?;
+        let a = boundary(&mut b, mode, a);
+        let r = bn(&mut b, &self.bn1, a);
+        let r = b.push(Op::Nonlinear(NonlinearFn::Relu), &[r]);
+        let r = boundary(&mut b, mode, r);
+        let (h1, w1) = self.conv1.geo.output_hw(h, w)?;
+        let c2 = conv(&mut b, &self.conv2, r, h1, w1)?;
+        let c2 = boundary(&mut b, mode, c2);
+        let r2 = bn(&mut b, &self.bn2, c2);
+        let r2 = b.push(Op::Nonlinear(NonlinearFn::Relu), &[r2]);
+        let (h2, w2) = self.conv2.geo.output_hw(h1, w1)?;
+        let c3 = conv(&mut b, &self.conv3, r2, h2, w2)?;
+        let c3 = boundary(&mut b, mode, c3);
+        let cb = bn(&mut b, &self.bn3, c3);
+        let res = b.push(Op::Add, &[cb, r]);
+        let res = b.push(Op::Nonlinear(NonlinearFn::Relu), &[res]);
+        let res = boundary(&mut b, mode, res);
+        let pooled = b.push(Op::Pool(PoolKind::GlobalAvg), &[res]);
+        if with_classifier {
+            linear(&mut b, &self.fc, pooled);
+        }
+        b.finish()
+    }
+}
+
+impl Compile<(&InferenceMode, (usize, usize))> for SmallCnn {
+    fn compile(&self, (mode, (h, w)): (&InferenceMode, (usize, usize))) -> Result<Program> {
+        self.network_program(mode, h, w)
+    }
+}
+
+impl TinyBert {
+    pub(crate) fn features_program(&self, mode: &InferenceMode, seq_len: usize) -> Result<Program> {
+        self.build_program(mode, seq_len, false)
+    }
+
+    pub(crate) fn network_program(&self, mode: &InferenceMode, seq_len: usize) -> Result<Program> {
+        self.build_program(mode, seq_len, true)
+    }
+
+    fn build_program(
+        &self,
+        mode: &InferenceMode,
+        seq_len: usize,
+        with_head: bool,
+    ) -> Result<Program> {
+        let mut b = Program::builder(
+            if with_head {
+                "tiny_bert"
+            } else {
+                "tiny_bert.features"
+            },
+            mode.eval_mode(),
+        );
+        let ids = b.input(&[1, seq_len]);
+        let table = b.constant(self.emb.table.value.clone());
+        let pos = b.constant(self.emb.pos.value.clone());
+        let mut h = b.push(Op::Embed, &[ids, table, pos]);
+        h = boundary(&mut b, mode, h);
+        for block in &self.blocks {
+            h = compile_block(&mut b, block, h, mode, self.d);
+        }
+        let pooled = b.push(Op::Pool(PoolKind::MeanRows), &[h]);
+        let pooled = boundary(&mut b, mode, pooled);
+        if with_head {
+            linear(&mut b, &self.head, pooled);
+        }
+        b.finish()
+    }
+}
+
+/// One post-norm encoder block (mirrors `EncoderBlock::infer`):
+/// head-sliced attention with scaled table-lowered softmax, residual
+/// adds with INT16 boundaries, layer norms, GELU feed-forward.
+fn compile_block(
+    b: &mut ProgramBuilder,
+    blk: &EncoderBlock,
+    x: Operand,
+    mode: &InferenceMode,
+    d: usize,
+) -> Operand {
+    let heads = blk.attn.heads();
+    let dk = d / heads;
+    let q = linear(b, &blk.attn.wq, x);
+    let k = linear(b, &blk.attn.wk, x);
+    let v = linear(b, &blk.attn.wv, x);
+    let mut ctxs = Vec::with_capacity(heads);
+    for head in 0..heads {
+        let start = head * dk;
+        let qh = b.push(Op::SliceCols { start, len: dk }, &[q]);
+        let kh = b.push(Op::SliceCols { start, len: dk }, &[k]);
+        let vh = b.push(Op::SliceCols { start, len: dk }, &[v]);
+        let kt = b.push(Op::Transpose, &[kh]);
+        let scores = b.push(Op::Gemm { bias: None }, &[qh, kt]);
+        let scaled = b.push(Op::Scale(1.0 / (dk as f32).sqrt()), &[scores]);
+        let p = b.push(Op::Softmax, &[scaled]);
+        ctxs.push(b.push(Op::Gemm { bias: None }, &[p, vh]));
+    }
+    let concat = b.push(Op::ConcatCols, &ctxs);
+    let a = linear(b, &blk.attn.wo, concat);
+    let sum1 = b.push(Op::Add, &[x, a]);
+    let sum1 = boundary(b, mode, sum1);
+    let h = b.push(
+        Op::LayerNorm {
+            gamma: blk.ln1.gamma.value.as_slice().to_vec(),
+            beta: blk.ln1.beta.value.as_slice().to_vec(),
+            eps: blk.ln1.eps(),
+        },
+        &[sum1],
+    );
+    let f1 = linear(b, &blk.ff1, h);
+    let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[f1]);
+    let f = linear(b, &blk.ff2, g);
+    let sum2 = b.push(Op::Add, &[h, f]);
+    let sum2 = boundary(b, mode, sum2);
+    b.push(
+        Op::LayerNorm {
+            gamma: blk.ln2.gamma.value.as_slice().to_vec(),
+            beta: blk.ln2.beta.value.as_slice().to_vec(),
+            eps: blk.ln2.eps(),
+        },
+        &[sum2],
+    )
+}
+
+impl Compile<(&InferenceMode, usize)> for TinyBert {
+    fn compile(&self, (mode, seq_len): (&InferenceMode, usize)) -> Result<Program> {
+        self.network_program(mode, seq_len)
+    }
+}
+
+impl Gcn {
+    pub(crate) fn network_program(
+        &self,
+        mode: &InferenceMode,
+        g: &GraphDataset,
+    ) -> Result<Program> {
+        let (n_nodes, feats) = g.x.shape().as_matrix()?;
+        let mut b = Program::builder("gcn", mode.eval_mode());
+        let x0 = b.input(&[n_nodes, feats]);
+        let x = boundary(&mut b, mode, x0);
+        let w1 = b.constant(self.w1.value.clone());
+        let w2 = b.constant(self.w2.value.clone());
+        let a_hat = b.constant(g.a_hat.clone());
+        let xw = b.push(Op::Gemm { bias: None }, &[x, w1]);
+        let z1 = b.push(Op::Gemm { bias: None }, &[a_hat, xw]);
+        let z1 = boundary(&mut b, mode, z1);
+        let h1 = b.push(Op::Nonlinear(NonlinearFn::Relu), &[z1]);
+        let hw = b.push(Op::Gemm { bias: None }, &[h1, w2]);
+        let z2 = b.push(Op::Gemm { bias: None }, &[a_hat, hw]);
+        boundary(&mut b, mode, z2);
+        b.finish()
+    }
+}
+
+impl Compile<(&InferenceMode, &GraphDataset)> for Gcn {
+    fn compile(&self, (mode, g): (&InferenceMode, &GraphDataset)) -> Result<Program> {
+        self.network_program(mode, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesa_data::{Difficulty, ImageDataset, TextDataset};
+    use onesa_tensor::rng::Pcg32;
+
+    fn modes() -> Vec<InferenceMode> {
+        vec![
+            InferenceMode::Exact,
+            InferenceMode::cpwl(0.25).unwrap(),
+            InferenceMode::cpwl_unquantized(0.5).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn cnn_program_bit_identical_to_direct() {
+        let cnn = SmallCnn::new(11, 1, 3);
+        let x = Pcg32::seed_from_u64(1).randn(&[1, 8, 8], 1.0);
+        for mode in modes() {
+            assert_eq!(
+                cnn.logits(&x, &mode),
+                cnn.logits_direct(&x, &mode),
+                "{}",
+                mode.label()
+            );
+            assert_eq!(
+                cnn.pooled_features(&x, &mode),
+                cnn.pooled_features_direct(&x, &mode),
+                "{}",
+                mode.label()
+            );
+        }
+    }
+
+    #[test]
+    fn bert_program_bit_identical_to_direct() {
+        let bert = TinyBert::new(5, 32, 12, 2, 2);
+        let seq: Vec<usize> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        for mode in modes() {
+            assert_eq!(
+                bert.predict(&seq, &mode),
+                bert.predict_direct(&seq, &mode),
+                "{}",
+                mode.label()
+            );
+            assert_eq!(
+                bert.pooled_features(&seq, &mode),
+                bert.pooled_features_direct(&seq, &mode),
+                "{}",
+                mode.label()
+            );
+        }
+    }
+
+    #[test]
+    fn gcn_program_bit_identical_to_direct() {
+        let g = onesa_data::GraphDataset::generate("t", 4, Difficulty::easy(3), 20, 6, 0.3);
+        let gcn = Gcn::new(6, 6, 8, 3);
+        for mode in modes() {
+            assert_eq!(
+                gcn.logits(&g, &mode),
+                gcn.logits_direct(&g, &mode),
+                "{}",
+                mode.label()
+            );
+        }
+    }
+
+    #[test]
+    fn trained_models_stay_bit_identical() {
+        // Training perturbs every parameter (incl. batch-norm running
+        // stats); the compiled path must track the direct one exactly.
+        let data = ImageDataset::generate(
+            "t",
+            1,
+            Difficulty {
+                noise: 0.3,
+                classes: 3,
+            },
+            (1, 8, 8),
+            6,
+        );
+        let mut cnn = SmallCnn::new(7, 1, 3);
+        cnn.fit(
+            &data,
+            &crate::train::TrainConfig {
+                epochs: 2,
+                lr: 5e-3,
+                batch_size: 6,
+                seed: 7,
+            },
+        );
+        let mode = InferenceMode::cpwl(0.25).unwrap();
+        for x in &data.test_x[..3.min(data.test_x.len())] {
+            assert_eq!(cnn.logits(x, &mode), cnn.logits_direct(x, &mode));
+        }
+
+        let tdata = TextDataset::classification("t", 3, Difficulty::easy(2), 32, 8, 8);
+        let mut bert = TinyBert::new(5, 32, 8, 2, 1);
+        bert.fit(
+            &tdata,
+            &crate::train::TrainConfig {
+                epochs: 1,
+                lr: 2e-3,
+                batch_size: 1,
+                seed: 5,
+            },
+        );
+        for seq in &tdata.test_x[..2.min(tdata.test_x.len())] {
+            assert_eq!(bert.predict(seq, &mode), bert.predict_direct(seq, &mode));
+        }
+    }
+}

@@ -115,6 +115,28 @@ impl InferenceMode {
         })
     }
 
+    /// The compile-time image of this mode for the Program IR: what
+    /// [`crate::compile`] stamps onto emitted `onesa_plan::Program`s.
+    pub fn eval_mode(&self) -> onesa_plan::EvalMode {
+        match self {
+            InferenceMode::Exact => onesa_plan::EvalMode::Exact,
+            InferenceMode::Cpwl { tables, quantize } => onesa_plan::EvalMode::Cpwl {
+                granularity: tables.granularity(),
+                quantize: *quantize,
+            },
+        }
+    }
+
+    /// The mode's CPWL table set (`None` for [`InferenceMode::Exact`]).
+    /// Program executors seed their `onesa_plan::TableCache` from this
+    /// so compiled inference reuses the tables the mode already built.
+    pub fn table_set(&self) -> Option<&TableSet> {
+        match self {
+            InferenceMode::Exact => None,
+            InferenceMode::Cpwl { tables, .. } => Some(tables),
+        }
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> String {
         match self {

@@ -22,6 +22,12 @@
 //! [`infer::infer_batch`], which fans per-sample inference across worker
 //! threads with results bit-identical to a sequential loop.
 //!
+//! Whole networks also compile to `onesa_plan::Program` operator graphs
+//! (see [`compile`]): every model implements `onesa_plan::Compile`, and
+//! the `logits`/`predict`/`pooled_features` entry points are thin
+//! compile-and-run wrappers over the emitted programs (bit-identical to
+//! the retained `*_direct` layer-by-layer reference paths).
+//!
 //! # Example
 //!
 //! ```
@@ -40,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod infer;
 pub mod layers;
 pub mod models;

@@ -36,14 +36,14 @@ fn global_avg_pool(x: &Tensor) -> Vec<f32> {
 /// average pooling and a linear classifier.
 #[derive(Debug, Clone)]
 pub struct SmallCnn {
-    conv1: Conv2d,
-    bn1: BatchNorm2d,
-    conv2: Conv2d,
-    bn2: BatchNorm2d,
-    conv3: Conv2d,
-    bn3: BatchNorm2d,
-    fc: Linear,
-    channels: usize,
+    pub(crate) conv1: Conv2d,
+    pub(crate) bn1: BatchNorm2d,
+    pub(crate) conv2: Conv2d,
+    pub(crate) bn2: BatchNorm2d,
+    pub(crate) conv3: Conv2d,
+    pub(crate) bn3: BatchNorm2d,
+    pub(crate) fc: Linear,
+    pub(crate) channels: usize,
 }
 
 impl SmallCnn {
@@ -204,7 +204,22 @@ impl SmallCnn {
     /// shared-weight GEMM of a whole batch through one coalesced kernel
     /// call (`onesa_core::serve::ServeEngine::classify_batch`), with
     /// `features(x) · W + b` bit-identical to [`SmallCnn::logits`].
+    ///
+    /// Since the Program-IR refactor this compiles the feature subgraph
+    /// to an `onesa_plan::Program` and runs it — bit-identical to
+    /// [`SmallCnn::pooled_features_direct`] (locked by test).
     pub fn pooled_features(&self, x: &Tensor, mode: &InferenceMode) -> Tensor {
+        let dims = x.dims();
+        let program = self
+            .features_program(mode, dims[1], dims[2])
+            .expect("CNN feature graph compiles");
+        crate::compile::run_compiled(&program, std::slice::from_ref(x), mode)
+    }
+
+    /// Layer-by-layer reference implementation of
+    /// [`SmallCnn::pooled_features`] — the direct path the compiled
+    /// program is tested bit-identical against.
+    pub fn pooled_features_direct(&self, x: &Tensor, mode: &InferenceMode) -> Tensor {
         let x = mode.boundary(x);
         let a = mode.boundary(&self.conv1.infer(&x));
         let (k1, b1) = mode.batchnorm_fold(
@@ -245,9 +260,23 @@ impl SmallCnn {
         &self.fc
     }
 
-    /// Logits for one sample under an inference mode.
+    /// Logits for one sample under an inference mode: compiles the whole
+    /// network (convolutions, folded batch norms, residual, pooling and
+    /// classifier) to an `onesa_plan::Program` and runs it —
+    /// bit-identical to [`SmallCnn::logits_direct`] (locked by test).
     pub fn logits(&self, x: &Tensor, mode: &InferenceMode) -> Vec<f32> {
-        self.fc.infer(&self.pooled_features(x, mode)).into_vec()
+        let dims = x.dims();
+        let program = self
+            .network_program(mode, dims[1], dims[2])
+            .expect("CNN graph compiles");
+        crate::compile::run_compiled(&program, std::slice::from_ref(x), mode).into_vec()
+    }
+
+    /// Layer-by-layer reference implementation of [`SmallCnn::logits`].
+    pub fn logits_direct(&self, x: &Tensor, mode: &InferenceMode) -> Vec<f32> {
+        self.fc
+            .infer(&self.pooled_features_direct(x, mode))
+            .into_vec()
     }
 
     /// Logits for a batch of samples, fanned out across worker threads
@@ -278,13 +307,13 @@ impl SmallCnn {
 
 /// One transformer encoder block (post-norm, GELU feed-forward).
 #[derive(Debug, Clone)]
-struct EncoderBlock {
-    attn: MultiHeadAttention,
-    ln1: LayerNorm,
-    ff1: Linear,
-    gelu: Gelu,
-    ff2: Linear,
-    ln2: LayerNorm,
+pub(crate) struct EncoderBlock {
+    pub(crate) attn: MultiHeadAttention,
+    pub(crate) ln1: LayerNorm,
+    pub(crate) ff1: Linear,
+    pub(crate) gelu: Gelu,
+    pub(crate) ff2: Linear,
+    pub(crate) ln2: LayerNorm,
 }
 
 impl EncoderBlock {
@@ -356,10 +385,10 @@ impl EncoderBlock {
 /// "transformer-based BERT" family scaled to the synthetic tasks).
 #[derive(Debug, Clone)]
 pub struct TinyBert {
-    emb: Embedding,
-    blocks: Vec<EncoderBlock>,
-    head: Linear,
-    d: usize,
+    pub(crate) emb: Embedding,
+    pub(crate) blocks: Vec<EncoderBlock>,
+    pub(crate) head: Linear,
+    pub(crate) d: usize,
     outputs: usize,
 }
 
@@ -440,7 +469,20 @@ impl TinyBert {
     /// with [`SmallCnn::pooled_features`](crate::models::SmallCnn::pooled_features),
     /// serving systems split here so a batch's head GEMMs coalesce into
     /// one kernel call against the shared head weights.
+    ///
+    /// Since the Program-IR refactor this compiles the encoder subgraph
+    /// to an `onesa_plan::Program` and runs it — bit-identical to
+    /// [`TinyBert::pooled_features_direct`] (locked by test).
     pub fn pooled_features(&self, seq: &[usize], mode: &InferenceMode) -> Tensor {
+        let program = self
+            .features_program(mode, seq.len())
+            .expect("encoder graph compiles");
+        crate::compile::run_compiled(&program, &[Self::ids_tensor(seq)], mode)
+    }
+
+    /// Layer-by-layer reference implementation of
+    /// [`TinyBert::pooled_features`].
+    pub fn pooled_features_direct(&self, seq: &[usize], mode: &InferenceMode) -> Tensor {
         let mut h = mode.boundary(&self.emb.infer(seq));
         for b in &self.blocks {
             h = b.infer(&h, mode);
@@ -461,9 +503,29 @@ impl TinyBert {
         &self.head
     }
 
-    /// Head outputs for one sequence under an inference mode.
+    /// Head outputs for one sequence under an inference mode: compiles
+    /// the whole network (embedding, encoder blocks, mean-pooling and
+    /// head) to an `onesa_plan::Program` and runs it — bit-identical to
+    /// [`TinyBert::predict_direct`] (locked by test).
     pub fn predict(&self, seq: &[usize], mode: &InferenceMode) -> Vec<f32> {
-        self.head.infer(&self.pooled_features(seq, mode)).into_vec()
+        let program = self
+            .network_program(mode, seq.len())
+            .expect("encoder graph compiles");
+        crate::compile::run_compiled(&program, &[Self::ids_tensor(seq)], mode).into_vec()
+    }
+
+    /// Layer-by-layer reference implementation of [`TinyBert::predict`].
+    pub fn predict_direct(&self, seq: &[usize], mode: &InferenceMode) -> Vec<f32> {
+        self.head
+            .infer(&self.pooled_features_direct(seq, mode))
+            .into_vec()
+    }
+
+    /// Token indices as the `[1, len]` tensor a compiled program's
+    /// `Embed` op consumes (indices are exactly representable in f32).
+    pub fn ids_tensor(seq: &[usize]) -> Tensor {
+        Tensor::from_vec(seq.iter().map(|&i| i as f32).collect(), &[1, seq.len()])
+            .expect("length matches")
     }
 
     /// Head outputs for a batch of sequences, fanned out across worker
@@ -513,8 +575,8 @@ impl TinyBert {
 /// Two-layer Kipf–Welling GCN: `softmax(Â · ReLU(Â X W₁) · W₂)`.
 #[derive(Debug, Clone)]
 pub struct Gcn {
-    w1: Param,
-    w2: Param,
+    pub(crate) w1: Param,
+    pub(crate) w2: Param,
     hidden: usize,
 }
 
@@ -579,8 +641,17 @@ impl Gcn {
         last
     }
 
-    /// Node logits under an inference mode.
+    /// Node logits under an inference mode: compiles the propagation
+    /// graph (`softmax` excluded, as in training) to an
+    /// `onesa_plan::Program` and runs it — bit-identical to
+    /// [`Gcn::logits_direct`] (locked by test).
     pub fn logits(&self, g: &GraphDataset, mode: &InferenceMode) -> Tensor {
+        let program = self.network_program(mode, g).expect("GCN graph compiles");
+        crate::compile::run_compiled(&program, std::slice::from_ref(&g.x), mode)
+    }
+
+    /// Layer-by-layer reference implementation of [`Gcn::logits`].
+    pub fn logits_direct(&self, g: &GraphDataset, mode: &InferenceMode) -> Tensor {
         let x = mode.boundary(&g.x);
         let xw = gemm::matmul(&x, &self.w1.value).expect("shapes agree");
         let z1 = mode.boundary(&gemm::matmul(&g.a_hat, &xw).expect("shapes agree"));

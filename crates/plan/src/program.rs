@@ -1,0 +1,841 @@
+//! The Program IR: ops, slots, shape inference, validation and costing.
+
+use onesa_cpwl::NonlinearFn;
+use onesa_sim::{analytic, ArrayConfig, CycleBreakdown, ExecStats};
+use onesa_tensor::im2col::Conv2dGeometry;
+use onesa_tensor::{Result, Tensor, TensorError};
+
+/// How a program evaluates its nonlinear operations — the compile-time
+/// image of `onesa_nn::infer::InferenceMode` (the IR sits below `nn` in
+/// the crate DAG, so it carries the mode by value, not by reference).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvalMode {
+    /// Reference floating-point arithmetic.
+    Exact,
+    /// CPWL tables at one granularity. `quantize` records whether the
+    /// compiler emitted INT16 [`Op::Quantize`] boundaries (the executor
+    /// itself only reads `granularity`).
+    Cpwl {
+        /// Shared table granularity.
+        granularity: f32,
+        /// Whether layer boundaries round-trip through INT16.
+        quantize: bool,
+    },
+}
+
+impl EvalMode {
+    /// The table granularity, if the mode uses CPWL tables.
+    pub fn granularity(&self) -> Option<f32> {
+        match self {
+            EvalMode::Exact => None,
+            EvalMode::Cpwl { granularity, .. } => Some(*granularity),
+        }
+    }
+
+    /// Coalescing key: programs whose nonlinears may share an IPF pass
+    /// hash identically (exact, or CPWL at the same granularity).
+    pub(crate) fn coalesce_key(&self) -> u64 {
+        match self {
+            EvalMode::Exact => 1,
+            EvalMode::Cpwl { granularity, .. } => 2 | (u64::from(granularity.to_bits()) << 8),
+        }
+    }
+}
+
+/// Where an op reads a value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A runtime value: a program input or an earlier op's output.
+    Slot(usize),
+    /// A compile-time constant (weights, attention projections, Â, …),
+    /// indexed into [`Program::consts`].
+    Const(usize),
+}
+
+/// Which pooling reduction an [`Op::Pool`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Global average pooling: `[C, H, W] → [1, C]` (mean over `H·W`
+    /// per channel — a GEMM against a `1/(H·W)` vector on the array).
+    GlobalAvg,
+    /// Mean over rows: `[L, D] → [1, D]` (transformer mean-pooling).
+    MeanRows,
+}
+
+/// One operation of the IR.
+///
+/// The set covers everything the repository's three model families need
+/// end to end. GEMM-bearing ops run on the array natively; `Nonlinear`,
+/// `Softmax` and `LayerNorm` lower to IPF + MHP passes per the paper;
+/// `Affine`/`Scale`/`Add` are bare MHP passes; the rest are data-layout
+/// movements costed at zero array cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `out = a · b` (+ per-column `bias`). Inputs: `[a, b]`; either
+    /// operand may be a constant. A constant right operand is the
+    /// shared-weight case the staged scheduler row-stacks across
+    /// programs; a constant left operand (a GCN's Â) column-stacks.
+    Gemm {
+        /// Per-output-column bias, applied after the product.
+        bias: Option<Vec<f32>>,
+    },
+    /// A pointwise nonlinear evaluation (IPF + MHP under CPWL modes,
+    /// the exact scalar function otherwise). One input, any shape.
+    Nonlinear(NonlinearFn),
+    /// Row-wise softmax over a matrix (the paper's 6-step lowering).
+    Softmax,
+    /// Row-wise layer normalization with a learned affine.
+    LayerNorm {
+        /// Scale γ (length = row width).
+        gamma: Vec<f32>,
+        /// Shift β (length = row width).
+        beta: Vec<f32>,
+        /// Variance epsilon.
+        eps: f32,
+    },
+    /// Unrolls a `[C, H, W]` input into the `[OH·OW, C·k·k]` patch
+    /// matrix (convolution-as-GEMM).
+    Im2col(Conv2dGeometry),
+    /// Reassembles a `[OH·OW, C]` GEMM result into a `[C, OH, OW]`
+    /// feature map.
+    Col2im {
+        /// Output channels.
+        channels: usize,
+        /// Output height.
+        oh: usize,
+        /// Output width.
+        ow: usize,
+    },
+    /// Elementwise sum of two same-shape inputs (residual connections).
+    Add,
+    /// Per-channel affine `y = x⊙k + b` over a `[C, H, W]` map — folded
+    /// inference-time batch norm, a single MHP on the array.
+    Affine {
+        /// Per-channel scale.
+        k: Vec<f32>,
+        /// Per-channel shift.
+        b: Vec<f32>,
+    },
+    /// Uniform scaling `y = c·x` (attention's `1/√d_k`).
+    Scale(f32),
+    /// Matrix transpose.
+    Transpose,
+    /// Copies columns `start .. start+len` of a matrix (head slicing).
+    SliceCols {
+        /// First column.
+        start: usize,
+        /// Number of columns.
+        len: usize,
+    },
+    /// Concatenates same-height matrices column-wise (head merging).
+    /// Any number of inputs.
+    ConcatCols,
+    /// A pooling reduction (see [`PoolKind`]).
+    Pool(PoolKind),
+    /// INT16 quantize→dequantize round trip at a layer boundary (the
+    /// paper's evaluation precision).
+    Quantize,
+    /// Embedding lookup: inputs `[ids, table, pos]` where `ids` is a
+    /// `[1, L]` tensor of token indices and `table`/`pos` are the
+    /// `[vocab, D]` / `[max_len, D]` tables; output `[L, D]` sums token
+    /// and positional rows.
+    Embed,
+}
+
+impl Op {
+    /// Number of inputs the op expects (`None` = variadic, at least 1).
+    fn arity(&self) -> Option<usize> {
+        match self {
+            Op::Gemm { .. } | Op::Add => Some(2),
+            Op::Embed => Some(3),
+            Op::ConcatCols => None,
+            _ => Some(1),
+        }
+    }
+}
+
+/// One node of a [`Program`]: an op plus where it reads its inputs.
+/// Node `i` writes slot `n_inputs + i`; nodes are topologically ordered
+/// by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpNode {
+    /// The operation.
+    pub op: Op,
+    /// Input operands, in op-defined order.
+    pub inputs: Vec<Operand>,
+}
+
+/// A compiled whole-network request: program inputs, constants and a
+/// topologically-ordered op list. See the [crate docs](crate) for the
+/// execution model and a worked construction example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    name: String,
+    mode: EvalMode,
+    input_shapes: Vec<Vec<usize>>,
+    consts: Vec<Tensor>,
+    nodes: Vec<OpNode>,
+    /// Cached at [`ProgramBuilder::finish`]: the serving layer reads
+    /// both on every admission/routing decision, and a program is
+    /// immutable once built.
+    fingerprint: u64,
+    modeled_macs: u64,
+}
+
+/// Incrementally builds a [`Program`]; see [`Program::builder`].
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    mode: EvalMode,
+    input_shapes: Vec<Vec<usize>>,
+    consts: Vec<Tensor>,
+    nodes: Vec<OpNode>,
+}
+
+impl ProgramBuilder {
+    /// Declares a program input with the given shape, returning its
+    /// operand. All inputs must be declared before the first op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ProgramBuilder::push`] (slot numbering
+    /// places all inputs before all op outputs).
+    pub fn input(&mut self, shape: &[usize]) -> Operand {
+        assert!(
+            self.nodes.is_empty(),
+            "declare all program inputs before pushing ops"
+        );
+        self.input_shapes.push(shape.to_vec());
+        Operand::Slot(self.input_shapes.len() - 1)
+    }
+
+    /// Registers a compile-time constant tensor, returning its operand.
+    pub fn constant(&mut self, t: Tensor) -> Operand {
+        self.consts.push(t);
+        Operand::Const(self.consts.len() - 1)
+    }
+
+    /// Appends an op reading `inputs`, returning the operand of its
+    /// output slot.
+    pub fn push(&mut self, op: Op, inputs: &[Operand]) -> Operand {
+        self.nodes.push(OpNode {
+            op,
+            inputs: inputs.to_vec(),
+        });
+        Operand::Slot(self.input_shapes.len() + self.nodes.len() - 1)
+    }
+
+    /// Validates the program (topology, arities, shape inference) and
+    /// returns it.
+    ///
+    /// # Errors
+    ///
+    /// Shape or argument errors from [`Program::validate`].
+    pub fn finish(self) -> Result<Program> {
+        let mut program = Program {
+            name: self.name,
+            mode: self.mode,
+            input_shapes: self.input_shapes,
+            consts: self.consts,
+            nodes: self.nodes,
+            fingerprint: 0,
+            modeled_macs: 0,
+        };
+        program.validate()?;
+        program.fingerprint = program.compute_fingerprint();
+        // MAC counts depend only on shapes, not on the array config.
+        program.modeled_macs = program
+            .op_stats(&ArrayConfig::default())
+            .map(|stats| stats.iter().map(|s| s.macs).sum())
+            .unwrap_or(0);
+        Ok(program)
+    }
+}
+
+impl Program {
+    /// Starts building a program evaluated under `mode`.
+    pub fn builder(name: &str, mode: EvalMode) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.to_string(),
+            mode,
+            input_shapes: Vec::new(),
+            consts: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The program's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The evaluation mode the program was compiled for.
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// Number of program inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.input_shapes.len()
+    }
+
+    /// Expected shapes of the program inputs.
+    pub fn input_shapes(&self) -> &[Vec<usize>] {
+        &self.input_shapes
+    }
+
+    /// The registered constants.
+    pub fn consts(&self) -> &[Tensor] {
+        &self.consts
+    }
+
+    /// The topologically-ordered op nodes.
+    pub fn nodes(&self) -> &[OpNode] {
+        &self.nodes
+    }
+
+    /// Number of stages (= ops): the staged scheduler aligns concurrent
+    /// programs stage index by stage index.
+    pub fn stages(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Shape of the program output (the last op's output).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty program (the validator rejects those, so any
+    /// program obtained from [`ProgramBuilder::finish`] is safe).
+    pub fn output_shape(&self) -> Vec<usize> {
+        let shapes = self.slot_shapes().expect("validated program");
+        shapes.last().expect("non-empty program").clone()
+    }
+
+    /// Validates the whole program: every op's arity, operand indices
+    /// (slots must be program inputs or *earlier* op outputs), shape
+    /// inference across all nodes, mode sanity (a positive, finite
+    /// CPWL granularity) and — under a CPWL mode — table coverage of
+    /// every nonlinear op (see `TableSet::supports`).
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::InvalidArgument`] or [`TensorError::ShapeMismatch`]
+    /// naming the offending op.
+    pub fn validate(&self) -> Result<()> {
+        if let EvalMode::Cpwl { granularity, .. } = self.mode {
+            if !(granularity.is_finite() && granularity > 0.0) {
+                return Err(TensorError::InvalidArgument(
+                    "program granularity must be positive and finite",
+                ));
+            }
+            // Table coverage: an op referencing a function outside the
+            // standard table set must be rejected here, not at run time
+            // (where it would fail an engine's whole batch).
+            for node in &self.nodes {
+                if let Op::Nonlinear(func) = node.op {
+                    if !onesa_cpwl::ops::TableSet::supports(func) {
+                        return Err(TensorError::InvalidArgument(
+                            "program nonlinear not in the CPWL table set",
+                        ));
+                    }
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            return Err(TensorError::InvalidArgument(
+                "program must contain at least one op",
+            ));
+        }
+        self.slot_shapes().map(|_| ())
+    }
+
+    /// Infers the shape of every slot (inputs first, then one per op).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Program::validate`].
+    pub fn slot_shapes(&self) -> Result<Vec<Vec<usize>>> {
+        let mut shapes: Vec<Vec<usize>> = self.input_shapes.clone();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(arity) = node.op.arity() {
+                if node.inputs.len() != arity {
+                    return Err(TensorError::InvalidArgument("op arity mismatch"));
+                }
+            } else if node.inputs.is_empty() {
+                return Err(TensorError::InvalidArgument(
+                    "variadic op needs at least one input",
+                ));
+            }
+            let mut ins: Vec<&[usize]> = Vec::with_capacity(node.inputs.len());
+            for operand in &node.inputs {
+                match *operand {
+                    Operand::Slot(s) => {
+                        if s >= self.input_shapes.len() + i {
+                            return Err(TensorError::InvalidArgument(
+                                "op reads a slot no earlier node produces",
+                            ));
+                        }
+                        ins.push(&shapes[s]);
+                    }
+                    Operand::Const(c) => {
+                        let t = self.consts.get(c).ok_or(TensorError::InvalidArgument(
+                            "op reads an unregistered constant",
+                        ))?;
+                        ins.push(t.dims());
+                    }
+                }
+            }
+            shapes.push(infer_shape(&node.op, &ins)?);
+        }
+        Ok(shapes)
+    }
+
+    /// Modeled per-op execution statistics of a *solo* run on `cfg`
+    /// (what each op would cost alone; the staged scheduler reports the
+    /// coalesced cost separately).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Program::validate`].
+    pub fn op_stats(&self, cfg: &ArrayConfig) -> Result<Vec<ExecStats>> {
+        let shapes = self.slot_shapes()?;
+        let base = self.input_shapes.len();
+        Ok(self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let in0 = match node.inputs.first() {
+                    Some(&Operand::Slot(s)) => shapes[s].clone(),
+                    Some(&Operand::Const(c)) => self.consts[c].dims().to_vec(),
+                    None => Vec::new(),
+                };
+                op_cost(&node.op, &in0, &shapes[base + i], cfg)
+            })
+            .collect())
+    }
+
+    /// Total modeled array work in MAC-equivalents — the admission and
+    /// routing weight of a whole-network request (the program analogue
+    /// of `Request::modeled_macs`). Cached at build time.
+    pub fn modeled_macs(&self) -> u64 {
+        self.modeled_macs
+    }
+
+    /// Structural fingerprint: programs compiled from the same model
+    /// under the same mode hash identically, so the serving layer's
+    /// weight-affinity router keeps them on one shard where their
+    /// per-stage GEMMs and tables coalesce. Cached at build time.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn compute_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv_u64(h, self.mode.coalesce_key());
+        for node in &self.nodes {
+            for byte in format!("{:?}", node.op).bytes() {
+                h = fnv_u64(h, u64::from(byte));
+            }
+            for operand in &node.inputs {
+                h = fnv_u64(
+                    h,
+                    match *operand {
+                        Operand::Slot(s) => 0x5105_0000 | s as u64,
+                        Operand::Const(c) => 0xC025_0000 | c as u64,
+                    },
+                );
+            }
+        }
+        for t in &self.consts {
+            h = fnv_u64(h, tensor_fingerprint(t));
+        }
+        h
+    }
+
+    /// Executes the program solo (a one-program staged run on the
+    /// default array configuration): the path `onesa-nn`'s `logits` /
+    /// `predict` / `pooled_features` wrappers take after compiling.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors, input-shape mismatches, or table-construction
+    /// failures for the program's granularity.
+    pub fn run(
+        &self,
+        inputs: &[Tensor],
+        par: onesa_tensor::parallel::Parallelism,
+        tables: &mut crate::TableCache,
+    ) -> Result<crate::ProgramRun> {
+        let mut staged =
+            crate::run_staged(&[(self, inputs)], &ArrayConfig::default(), par, tables)?;
+        Ok(staged.runs.remove(0))
+    }
+}
+
+/// Shape inference for one op given its input shapes.
+fn infer_shape(op: &Op, ins: &[&[usize]]) -> Result<Vec<usize>> {
+    let matrix = |dims: &[usize]| -> Result<(usize, usize)> {
+        match dims {
+            [m, n] => Ok((*m, *n)),
+            _ => Err(TensorError::NotAMatrix { rank: dims.len() }),
+        }
+    };
+    match op {
+        Op::Gemm { bias } => {
+            let (m, ka) = matrix(ins[0])?;
+            let (kb, n) = matrix(ins[1])?;
+            if ka != kb {
+                return Err(shape_err(ins[0], ins[1], "plan::Gemm"));
+            }
+            if let Some(b) = bias {
+                if b.len() != n {
+                    return Err(shape_err(&[n], &[b.len()], "plan::Gemm bias"));
+                }
+            }
+            Ok(vec![m, n])
+        }
+        Op::Nonlinear(_) | Op::Quantize => Ok(ins[0].to_vec()),
+        Op::Softmax => {
+            matrix(ins[0])?;
+            Ok(ins[0].to_vec())
+        }
+        Op::LayerNorm { gamma, beta, .. } => {
+            let (_, n) = matrix(ins[0])?;
+            if gamma.len() != n || beta.len() != n {
+                return Err(shape_err(
+                    &[n],
+                    &[gamma.len(), beta.len()],
+                    "plan::LayerNorm",
+                ));
+            }
+            Ok(ins[0].to_vec())
+        }
+        Op::Im2col(geo) => match *ins[0] {
+            [c, h, w] if c == geo.in_channels => {
+                let (oh, ow) = geo.output_hw(h, w)?;
+                Ok(vec![oh * ow, geo.patch_len()])
+            }
+            _ => Err(shape_err(ins[0], &[geo.in_channels, 0, 0], "plan::Im2col")),
+        },
+        Op::Col2im { channels, oh, ow } => {
+            let (rows, ch) = matrix(ins[0])?;
+            if rows != oh * ow || ch != *channels {
+                return Err(shape_err(ins[0], &[oh * ow, *channels], "plan::Col2im"));
+            }
+            Ok(vec![*channels, *oh, *ow])
+        }
+        Op::Add => {
+            if ins[0] != ins[1] {
+                return Err(shape_err(ins[0], ins[1], "plan::Add"));
+            }
+            Ok(ins[0].to_vec())
+        }
+        Op::Affine { k, b } => match *ins[0] {
+            [c, h, w] if k.len() == c && b.len() == c => Ok(vec![c, h, w]),
+            _ => Err(shape_err(ins[0], &[k.len(), 0, 0], "plan::Affine")),
+        },
+        Op::Scale(_) => Ok(ins[0].to_vec()),
+        Op::Transpose => {
+            let (m, n) = matrix(ins[0])?;
+            Ok(vec![n, m])
+        }
+        Op::SliceCols { start, len } => {
+            let (m, n) = matrix(ins[0])?;
+            if start + len > n || *len == 0 {
+                return Err(shape_err(ins[0], &[m, start + len], "plan::SliceCols"));
+            }
+            Ok(vec![m, *len])
+        }
+        Op::ConcatCols => {
+            let (m, mut total) = matrix(ins[0])?;
+            for dims in &ins[1..] {
+                let (mi, ni) = matrix(dims)?;
+                if mi != m {
+                    return Err(shape_err(ins[0], dims, "plan::ConcatCols"));
+                }
+                total += ni;
+            }
+            Ok(vec![m, total])
+        }
+        Op::Pool(PoolKind::GlobalAvg) => match *ins[0] {
+            [c, _, _] => Ok(vec![1, c]),
+            _ => Err(TensorError::NotAMatrix { rank: ins[0].len() }),
+        },
+        Op::Pool(PoolKind::MeanRows) => {
+            let (_, d) = matrix(ins[0])?;
+            Ok(vec![1, d])
+        }
+        Op::Embed => {
+            let (one, l) = matrix(ins[0])?;
+            let (_, d) = matrix(ins[1])?;
+            let (max_len, d2) = matrix(ins[2])?;
+            if one != 1 || d != d2 || l > max_len {
+                return Err(shape_err(ins[0], ins[1], "plan::Embed"));
+            }
+            Ok(vec![l, d])
+        }
+    }
+}
+
+fn shape_err(lhs: &[usize], rhs: &[usize], op: &'static str) -> TensorError {
+    TensorError::ShapeMismatch {
+        lhs: lhs.to_vec(),
+        rhs: rhs.to_vec(),
+        op,
+    }
+}
+
+/// Modeled solo cost of one op. GEMM-bearing ops use the tiled GEMM
+/// model; nonlinears an IPF + MHP pass; softmax/layer-norm their
+/// composite lowerings; `Affine`/`Scale`/`Add` a bare MHP pass; pooling
+/// a GEMM against a constant mean vector; pure data movements
+/// (im2col/col2im/transpose/slice/concat/quantize/embed) cost zero
+/// array cycles.
+pub(crate) fn op_cost(op: &Op, in0: &[usize], out: &[usize], cfg: &ArrayConfig) -> ExecStats {
+    let mat_or_row = |dims: &[usize]| -> (usize, usize) {
+        match dims {
+            [m, n] => (*m, *n),
+            _ => (1, dims.iter().product()),
+        }
+    };
+    match op {
+        Op::Gemm { .. } => {
+            let (m, k) = mat_or_row(in0);
+            let n = out[1];
+            analytic::gemm_stats(cfg, m, k, n)
+        }
+        Op::Nonlinear(_) => {
+            let (m, n) = mat_or_row(in0);
+            analytic::nonlinear_stats(cfg, m, n)
+        }
+        Op::Softmax => {
+            let (m, n) = mat_or_row(in0);
+            analytic::softmax_stats(cfg, m, n)
+        }
+        Op::LayerNorm { .. } => {
+            let (m, n) = mat_or_row(in0);
+            analytic::norm_stats(cfg, m, n)
+        }
+        Op::Add | Op::Scale(_) | Op::Affine { .. } => {
+            let (m, n) = mat_or_row(in0);
+            analytic::mhp_pass_stats(cfg, m, n)
+        }
+        Op::Pool(PoolKind::GlobalAvg) => {
+            // [C, H·W] · [H·W, 1] mean reduction.
+            let (c, hw) = (in0[0], in0[1] * in0[2]);
+            analytic::gemm_stats(cfg, c, hw, 1)
+        }
+        Op::Pool(PoolKind::MeanRows) => {
+            // [1, L] · [L, D] mean reduction.
+            let (l, d) = (in0[0], in0[1]);
+            analytic::gemm_stats(cfg, 1, l, d)
+        }
+        Op::Im2col(_)
+        | Op::Col2im { .. }
+        | Op::Transpose
+        | Op::SliceCols { .. }
+        | Op::ConcatCols
+        | Op::Quantize
+        | Op::Embed => ExecStats::new(cfg, CycleBreakdown::default(), 0, 0),
+    }
+}
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+pub(crate) fn fnv_u64(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for i in 0..8 {
+        h = (h ^ ((v >> (8 * i)) & 0xff)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Cheap content hash (FNV-1a over dims and value bit patterns) used to
+/// bucket constant tensors before exact equality checks — the same
+/// scheme `onesa_core::batch` uses for shared-weight coalescing.
+pub fn tensor_fingerprint(t: &Tensor) -> u64 {
+    let mut h = FNV_OFFSET;
+    for d in t.dims() {
+        h = (h ^ *d as u64).wrapping_mul(FNV_PRIME);
+    }
+    for v in t.as_slice() {
+        h = (h ^ u64::from(v.to_bits())).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesa_tensor::rng::Pcg32;
+
+    fn mlp(mode: EvalMode) -> Program {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let w1 = rng.randn(&[6, 4], 1.0);
+        let w2 = rng.randn(&[4, 3], 1.0);
+        let mut b = Program::builder("mlp", mode);
+        let x = b.input(&[2, 6]);
+        let w1 = b.constant(w1);
+        let w2 = b.constant(w2);
+        let h = b.push(Op::Gemm { bias: None }, &[x, w1]);
+        let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
+        b.push(
+            Op::Gemm {
+                bias: Some(vec![0.1, 0.2, 0.3]),
+            },
+            &[g, w2],
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_shapes_and_cost() {
+        let p = mlp(EvalMode::Exact);
+        assert_eq!(p.stages(), 3);
+        assert_eq!(p.n_inputs(), 1);
+        assert_eq!(p.output_shape(), &[2, 3]);
+        let shapes = p.slot_shapes().unwrap();
+        assert_eq!(shapes, vec![vec![2, 6], vec![2, 4], vec![2, 4], vec![2, 3]]);
+        // 2·6·4 + 2·(2·4) nonlinear MACs + 2·4·3.
+        assert_eq!(p.modeled_macs(), 48 + 16 + 24);
+        let stats = p.op_stats(&ArrayConfig::default()).unwrap();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[1].nonlinear_evals, 8);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_programs() {
+        // Mismatched GEMM inner dims.
+        let mut b = Program::builder("bad", EvalMode::Exact);
+        let x = b.input(&[2, 5]);
+        let w = b.constant(Tensor::zeros(&[6, 3]));
+        b.push(Op::Gemm { bias: None }, &[x, w]);
+        assert!(b.finish().is_err());
+
+        // Empty program.
+        let b = Program::builder("empty", EvalMode::Exact);
+        assert!(b.finish().is_err());
+
+        // Bad granularity.
+        let mut b = Program::builder(
+            "bad-g",
+            EvalMode::Cpwl {
+                granularity: -1.0,
+                quantize: true,
+            },
+        );
+        let x = b.input(&[2, 2]);
+        b.push(Op::Nonlinear(NonlinearFn::Relu), &[x]);
+        assert!(b.finish().is_err());
+
+        // Wrong arity.
+        let mut b = Program::builder("arity", EvalMode::Exact);
+        let x = b.input(&[2, 2]);
+        b.push(Op::Add, &[x]);
+        assert!(b.finish().is_err());
+
+        // Bias length mismatch.
+        let mut b = Program::builder("bias", EvalMode::Exact);
+        let x = b.input(&[2, 2]);
+        let w = b.constant(Tensor::zeros(&[2, 3]));
+        b.push(
+            Op::Gemm {
+                bias: Some(vec![0.0; 2]),
+            },
+            &[x, w],
+        );
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn cpwl_programs_reject_functions_outside_the_table_set() {
+        // Silu has no table in the standard set: a CPWL-mode program
+        // using it must fail validation (not poison a batch at run
+        // time) — exact mode evaluates it directly and stays fine.
+        let build = |mode: EvalMode| {
+            let mut b = Program::builder("silu", mode);
+            let x = b.input(&[1, 4]);
+            b.push(Op::Nonlinear(NonlinearFn::Silu), &[x]);
+            b.finish()
+        };
+        assert!(build(EvalMode::Cpwl {
+            granularity: 0.25,
+            quantize: false,
+        })
+        .is_err());
+        let exact = build(EvalMode::Exact).unwrap();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 0.5, 2.0], &[1, 4]).unwrap();
+        let run = exact
+            .run(
+                std::slice::from_ref(&x),
+                onesa_tensor::parallel::Parallelism::Sequential,
+                &mut crate::TableCache::new(),
+            )
+            .unwrap();
+        assert_eq!(run.output, x.map(|v| NonlinearFn::Silu.eval(v)));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_programs() {
+        let a = mlp(EvalMode::Exact);
+        let b = mlp(EvalMode::Exact);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = mlp(EvalMode::Cpwl {
+            granularity: 0.25,
+            quantize: true,
+        });
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn movement_ops_infer_shapes() {
+        let geo = Conv2dGeometry {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let mut b = Program::builder(
+            "conv",
+            EvalMode::Cpwl {
+                granularity: 0.25,
+                quantize: false,
+            },
+        );
+        let x = b.input(&[2, 4, 4]);
+        let wt = b.constant(Tensor::zeros(&[geo.patch_len(), 3]));
+        let cols = b.push(Op::Im2col(geo), &[x]);
+        let prod = b.push(
+            Op::Gemm {
+                bias: Some(vec![0.0; 3]),
+            },
+            &[cols, wt],
+        );
+        let fm = b.push(
+            Op::Col2im {
+                channels: 3,
+                oh: 4,
+                ow: 4,
+            },
+            &[prod],
+        );
+        let aff = b.push(
+            Op::Affine {
+                k: vec![1.0; 3],
+                b: vec![0.0; 3],
+            },
+            &[fm],
+        );
+        let r = b.push(Op::Nonlinear(NonlinearFn::Relu), &[aff]);
+        let pooled = b.push(Op::Pool(PoolKind::GlobalAvg), &[r]);
+        b.push(Op::Quantize, &[pooled]);
+        let p = b.finish().unwrap();
+        assert_eq!(p.output_shape(), &[1, 3]);
+        let shapes = p.slot_shapes().unwrap();
+        assert_eq!(shapes[1], vec![16, geo.patch_len()]);
+        assert_eq!(shapes[3], vec![3, 4, 4]);
+    }
+}

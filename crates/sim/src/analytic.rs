@@ -87,6 +87,42 @@ pub fn nonlinear_stats(cfg: &ArrayConfig, m: usize, n: usize) -> ExecStats {
     ExecStats::new(cfg, nonlinear_breakdown(cfg, m, n), 2 * e, e)
 }
 
+/// Execution statistics of a bare `M×N` MHP pass (no parameter fetch):
+/// the scale/center/affine steps of the composite lowerings, two MACs
+/// per element (`y = x⊙k + b`).
+pub fn mhp_pass_stats(cfg: &ArrayConfig, m: usize, n: usize) -> ExecStats {
+    let e = (m * n) as u64;
+    ExecStats::new(cfg, mhp_breakdown(cfg, m, n), 2 * e, 0)
+}
+
+/// Execution statistics of the paper's row-wise softmax lowering over an
+/// `M×N` matrix: `exp` (IPF + MHP) + row-sum GEMM + reciprocal (IPF +
+/// MHP on the row vector) + scale MHP.
+pub fn softmax_stats(cfg: &ArrayConfig, m: usize, n: usize) -> ExecStats {
+    let exp = nonlinear_stats(cfg, m, n);
+    let rowsum = gemm_stats(cfg, m, n, 1);
+    let recip = nonlinear_stats(cfg, m, 1);
+    let scale = mhp_pass_stats(cfg, m, n);
+    exp.merged(&rowsum).merged(&recip).merged(&scale)
+}
+
+/// Execution statistics of the paper's row-wise normalization lowering
+/// over an `M×N` matrix: mean GEMM + center MHP + square MHP + variance
+/// GEMM + rsqrt (IPF + MHP) + affine MHP.
+pub fn norm_stats(cfg: &ArrayConfig, m: usize, n: usize) -> ExecStats {
+    let mean = gemm_stats(cfg, m, n, 1);
+    let center = mhp_pass_stats(cfg, m, n);
+    let square = mhp_pass_stats(cfg, m, n);
+    let var = gemm_stats(cfg, m, n, 1);
+    let rsqrt = nonlinear_stats(cfg, m, 1);
+    let affine = mhp_pass_stats(cfg, m, n);
+    mean.merged(&center)
+        .merged(&square)
+        .merged(&var)
+        .merged(&rsqrt)
+        .merged(&affine)
+}
+
 /// GOPS of a square `dims³` GEMM — the quantity plotted in Fig 8(a).
 pub fn linear_gops(cfg: &ArrayConfig, dims: usize) -> f64 {
     gemm_stats(cfg, dims, dims, dims).gops()

@@ -11,6 +11,8 @@
 //!   im2col, INT16 quantization, Q-format fixed point, PCG-32 RNG;
 //! * [`cpwl`] — capped piecewise linearization tables (§III);
 //! * [`sim`] — the cycle-level and analytic array models (§III–IV);
+//! * [`plan`] — the operator-graph `Program` IR: whole networks as
+//!   validated, costed, stage-schedulable requests;
 //! * [`resources`] — Virtex-7 resource/power models (Tables I–II, Fig 9–10);
 //! * [`data`] — deterministic synthetic datasets for the accuracy study;
 //! * [`nn`] — layers, models, training and CPWL inference (Table III);
@@ -36,6 +38,7 @@ pub use onesa_core as core;
 pub use onesa_cpwl as cpwl;
 pub use onesa_data as data;
 pub use onesa_nn as nn;
+pub use onesa_plan as plan;
 pub use onesa_resources as resources;
 pub use onesa_sim as sim;
 pub use onesa_tensor as tensor;

@@ -1,0 +1,366 @@
+//! Integration suite for the operator-graph Program IR
+//! (`onesa_core::plan` + `onesa_nn::compile`).
+//!
+//! Locks in the two contracts of the whole-network refactor:
+//!
+//! 1. **Bit-identicality** — every model family's compiled program
+//!    produces outputs bit-identical to the direct layer-by-layer
+//!    reference path (`logits_direct` / `predict_direct`), for every
+//!    `InferenceMode` × `Parallelism`, whether run solo, through
+//!    `BatchEngine::submit_program`, or through a `ServeEngine` pool
+//!    under every `AdmissionPolicy` × `RoutePolicy`.
+//! 2. **Cross-program per-stage coalescing** — concurrent instances of
+//!    the same network collapse their per-stage kernels (shared-weight
+//!    GEMM stacking and shared-table IPF concatenation) at *multiple*
+//!    stages, not just the classifier: kernel-group counts drop versus
+//!    uncoalesced solo runs.
+
+use onesa_core::plan::{Compile, TableCache};
+use onesa_core::serve::{AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, Ticket};
+use onesa_core::{BatchEngine, OneSa, Parallelism, Request};
+use onesa_data::Difficulty;
+use onesa_nn::models::{Gcn, SmallCnn, TinyBert};
+use onesa_nn::InferenceMode;
+use onesa_sim::ArrayConfig;
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::Tensor;
+
+fn assert_bits_eq(label: &str, got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "{label}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{label}: element {i} differs ({g} vs {w})"
+        );
+    }
+}
+
+fn modes() -> Vec<InferenceMode> {
+    vec![
+        InferenceMode::Exact,
+        InferenceMode::cpwl(0.25).unwrap(),
+        InferenceMode::cpwl_unquantized(0.5).unwrap(),
+    ]
+}
+
+fn parallelisms() -> [Parallelism; 3] {
+    [
+        Parallelism::Sequential,
+        Parallelism::Threads(2),
+        Parallelism::Auto,
+    ]
+}
+
+/// The three untrained (but deterministic-weight) model instances plus a
+/// graph for the GCN.
+fn models() -> (SmallCnn, TinyBert, Gcn, onesa_data::GraphDataset) {
+    let cnn = SmallCnn::new(11, 1, 3);
+    let bert = TinyBert::new(5, 32, 12, 2, 2);
+    let graph = onesa_data::GraphDataset::generate("t", 4, Difficulty::easy(3), 20, 6, 0.3);
+    let gcn = Gcn::new(6, 6, 8, 3);
+    (cnn, bert, gcn, graph)
+}
+
+#[test]
+fn compiled_programs_bit_identical_to_direct_paths() {
+    let (cnn, bert, gcn, graph) = models();
+    let x = Pcg32::seed_from_u64(1).randn(&[1, 8, 8], 1.0);
+    let seq: Vec<usize> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+    for mode in modes() {
+        for par in parallelisms() {
+            let label = format!("{} / {}", mode.label(), par.label());
+            let mut cache = TableCache::new();
+
+            let p = cnn.compile((&mode, (8, 8))).unwrap();
+            let run = p.run(std::slice::from_ref(&x), par, &mut cache).unwrap();
+            assert_bits_eq(
+                &format!("cnn {label}"),
+                run.output.as_slice(),
+                &cnn.logits_direct(&x, &mode),
+            );
+            assert_eq!(run.op_stats.len(), p.stages());
+
+            let p = bert.compile((&mode, seq.len())).unwrap();
+            let run = p
+                .run(&[TinyBert::ids_tensor(&seq)], par, &mut cache)
+                .unwrap();
+            assert_bits_eq(
+                &format!("bert {label}"),
+                run.output.as_slice(),
+                &bert.predict_direct(&seq, &mode),
+            );
+
+            let p = gcn.compile((&mode, &graph)).unwrap();
+            let run = p
+                .run(std::slice::from_ref(&graph.x), par, &mut cache)
+                .unwrap();
+            assert_bits_eq(
+                &format!("gcn {label}"),
+                run.output.as_slice(),
+                gcn.logits_direct(&graph, &mode).as_slice(),
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_engine_program_path_bit_identical_for_every_parallelism() {
+    let (cnn, bert, gcn, graph) = models();
+    let mode = InferenceMode::cpwl(0.25).unwrap();
+    let x = Pcg32::seed_from_u64(2).randn(&[1, 8, 8], 1.0);
+    let seq: Vec<usize> = vec![7, 2, 9, 4, 4, 1];
+    for par in parallelisms() {
+        let mut serving =
+            BatchEngine::new(OneSa::with_parallelism(ArrayConfig::new(8, 16), par), 0.25).unwrap();
+        serving
+            .submit_program(cnn.compile((&mode, (8, 8))).unwrap(), vec![x.clone()])
+            .unwrap();
+        serving
+            .submit_program(
+                bert.compile((&mode, seq.len())).unwrap(),
+                vec![TinyBert::ids_tensor(&seq)],
+            )
+            .unwrap();
+        serving
+            .submit_program(gcn.compile((&mode, &graph)).unwrap(), vec![graph.x.clone()])
+            .unwrap();
+        let run = serving.run().unwrap();
+        let label = par.label();
+        assert_bits_eq(
+            &format!("cnn via engine / {label}"),
+            run.outcomes[0].output.as_slice(),
+            &cnn.logits(&x, &mode),
+        );
+        assert_bits_eq(
+            &format!("bert via engine / {label}"),
+            run.outcomes[1].output.as_slice(),
+            &bert.predict(&seq, &mode),
+        );
+        assert_bits_eq(
+            &format!("gcn via engine / {label}"),
+            run.outcomes[2].output.as_slice(),
+            gcn.logits(&graph, &mode).as_slice(),
+        );
+        // Heterogeneous programs share no weights: per-stage groups
+        // equal per-stage ops, and per-op stats surface per request.
+        assert!(!run.program_stages.is_empty());
+        assert!(run.outcomes.iter().all(|o| !o.op_stats.is_empty()));
+    }
+}
+
+#[test]
+fn concurrent_programs_coalesce_at_multiple_stages_not_just_the_classifier() {
+    let (cnn, _, _, _) = models();
+    let mode = InferenceMode::cpwl(0.25).unwrap();
+    let mut rng = Pcg32::seed_from_u64(3);
+    let xs: Vec<Tensor> = (0..2).map(|_| rng.randn(&[1, 8, 8], 1.0)).collect();
+    let program = cnn.compile((&mode, (8, 8))).unwrap();
+
+    // Solo runs: every stage is its own kernel group.
+    let solo_groups_per_run: usize = {
+        let mut serving = BatchEngine::new(OneSa::new(ArrayConfig::new(8, 16)), 0.25).unwrap();
+        serving
+            .submit_program(program.clone(), vec![xs[0].clone()])
+            .unwrap();
+        let run = serving.run().unwrap();
+        run.program_stages.iter().map(|s| s.groups).sum()
+    };
+
+    // Concurrent run: same model + same mode = shared weights and shared
+    // tables at every coalescable stage.
+    let mut serving = BatchEngine::new(OneSa::new(ArrayConfig::new(8, 16)), 0.25).unwrap();
+    for x in &xs {
+        serving
+            .submit_program(program.clone(), vec![x.clone()])
+            .unwrap();
+    }
+    let run = serving.run().unwrap();
+    for (o, x) in run.outcomes.iter().zip(&xs) {
+        assert_bits_eq("coalesced cnn", o.output.as_slice(), &cnn.logits(x, &mode));
+    }
+
+    let coalesced_stages: Vec<usize> = run
+        .program_stages
+        .iter()
+        .filter(|s| s.ops == 2 && s.groups == 1)
+        .map(|s| s.stage)
+        .collect();
+    let last_stage = run.program_stages.len() - 1;
+    assert!(
+        coalesced_stages.len() >= 2,
+        "expected >=2 coalesced stages, got {coalesced_stages:?}"
+    );
+    assert!(
+        coalesced_stages.iter().any(|&s| s < last_stage),
+        "coalescing must not be classifier-only: {coalesced_stages:?}"
+    );
+    // Total kernel groups drop versus two uncoalesced solo runs.
+    let concurrent_groups: usize = run.program_stages.iter().map(|s| s.groups).sum();
+    assert!(
+        concurrent_groups < 2 * solo_groups_per_run,
+        "{concurrent_groups} !< {}",
+        2 * solo_groups_per_run
+    );
+    assert!(run.report.batching_speedup() > 1.0);
+}
+
+#[test]
+fn serve_engine_programs_bit_identical_for_every_policy_combination() {
+    let (cnn, bert, gcn, graph) = models();
+    let mode = InferenceMode::cpwl(0.25).unwrap();
+    let mut rng = Pcg32::seed_from_u64(4);
+    let images: Vec<Tensor> = (0..2).map(|_| rng.randn(&[1, 8, 8], 1.0)).collect();
+    let seqs: Vec<Vec<usize>> = vec![vec![1, 2, 3, 4], vec![9, 8, 7, 6, 5]];
+
+    // Direct-path oracles, computed once.
+    let want_cnn: Vec<Vec<f32>> = images.iter().map(|x| cnn.logits_direct(x, &mode)).collect();
+    let want_bert: Vec<Vec<f32>> = seqs.iter().map(|s| bert.predict_direct(s, &mode)).collect();
+    let want_gcn = gcn.logits_direct(&graph, &mode);
+
+    let admissions = [
+        AdmissionPolicy::Fifo { window: 4 },
+        AdmissionPolicy::Deadline {
+            window: 4,
+            drop_expired: false,
+        },
+        AdmissionPolicy::SizeCapped { max_macs: 50_000 },
+    ];
+    let routings = [
+        RoutePolicy::RoundRobin,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::WeightAffinity,
+    ];
+    for admission in admissions {
+        for routing in routings {
+            for par in [Parallelism::Sequential, Parallelism::Threads(2)] {
+                let pool = ServeEngine::start(
+                    ServeConfig::uniform(2, ArrayConfig::new(8, 16), par)
+                        .with_admission(admission)
+                        .with_routing(routing),
+                )
+                .unwrap();
+                let label = format!("{admission:?}/{routing:?}/{}", par.label());
+                let mut tickets: Vec<Ticket> = Vec::new();
+                for x in &images {
+                    tickets.push(
+                        pool.submit_program(cnn.compile((&mode, (8, 8))).unwrap(), vec![x.clone()])
+                            .unwrap(),
+                    );
+                }
+                for s in &seqs {
+                    tickets.push(
+                        pool.submit_program(
+                            bert.compile((&mode, s.len())).unwrap(),
+                            vec![TinyBert::ids_tensor(s)],
+                        )
+                        .unwrap(),
+                    );
+                }
+                tickets.push(
+                    pool.submit_program(
+                        gcn.compile((&mode, &graph)).unwrap(),
+                        vec![graph.x.clone()],
+                    )
+                    .unwrap(),
+                );
+                let outcomes: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+                for (i, want) in want_cnn.iter().enumerate() {
+                    assert_bits_eq(&format!("cnn {label}"), outcomes[i].output.as_slice(), want);
+                }
+                for (i, want) in want_bert.iter().enumerate() {
+                    assert_bits_eq(
+                        &format!("bert {label}"),
+                        outcomes[2 + i].output.as_slice(),
+                        want,
+                    );
+                }
+                assert_bits_eq(
+                    &format!("gcn {label}"),
+                    outcomes[4].output.as_slice(),
+                    want_gcn.as_slice(),
+                );
+                let summary = pool.finish().unwrap();
+                assert_eq!(summary.report.requests, 5, "{label}");
+                assert_eq!(summary.expired, 0, "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn affinity_routed_program_windows_coalesce_on_their_shard() {
+    // Four instances of the same CNN land on one shard under
+    // weight-affinity routing (equal program fingerprints) and coalesce
+    // there: the pool-wide gemm-group count collapses.
+    let (cnn, _, _, _) = models();
+    let mode = InferenceMode::cpwl(0.25).unwrap();
+    let mut rng = Pcg32::seed_from_u64(5);
+    let xs: Vec<Tensor> = (0..4).map(|_| rng.randn(&[1, 8, 8], 1.0)).collect();
+    let program = cnn.compile((&mode, (8, 8))).unwrap();
+    let gemm_stages = 4; // 3 convs + classifier
+
+    let pool = ServeEngine::start(
+        ServeConfig::uniform(2, ArrayConfig::new(8, 16), Parallelism::Sequential)
+            .with_admission(AdmissionPolicy::Fifo { window: 8 })
+            .with_routing(RoutePolicy::WeightAffinity)
+            .start_paused(),
+    )
+    .unwrap();
+    let tickets: Vec<Ticket> = xs
+        .iter()
+        .map(|x| {
+            pool.submit_program(program.clone(), vec![x.clone()])
+                .unwrap()
+        })
+        .collect();
+    pool.resume();
+    let shards: Vec<usize> = tickets
+        .into_iter()
+        .map(|t| t.wait().unwrap().shard)
+        .collect();
+    assert!(
+        shards.windows(2).all(|w| w[0] == w[1]),
+        "affinity scattered same-program requests: {shards:?}"
+    );
+    let summary = pool.finish().unwrap();
+    // One window, all four programs on one shard: each GEMM stage is a
+    // single coalesced kernel call instead of four.
+    assert_eq!(summary.report.gemm_groups, gemm_stages);
+    assert!(summary.modeled_speedup() > 1.0);
+}
+
+#[test]
+fn program_request_rejected_at_admission_does_not_poison_the_window() {
+    let (cnn, _, _, _) = models();
+    let mode = InferenceMode::cpwl(0.25).unwrap();
+    let mut rng = Pcg32::seed_from_u64(6);
+    let pool = ServeEngine::start(ServeConfig::uniform(
+        1,
+        ArrayConfig::new(8, 16),
+        Parallelism::Sequential,
+    ))
+    .unwrap();
+    let program = cnn.compile((&mode, (8, 8))).unwrap();
+    // Wrong input shape: rejected by the admitter's validator.
+    let bad = pool
+        .submit(Request::program(
+            program.clone(),
+            vec![rng.randn(&[1, 7, 7], 1.0)],
+        ))
+        .unwrap();
+    let x = rng.randn(&[1, 8, 8], 1.0);
+    let good = pool.submit_program(program, vec![x.clone()]).unwrap();
+    assert!(matches!(
+        bad.wait(),
+        Err(onesa_core::serve::ServeError::Exec(_))
+    ));
+    let served = good.wait().unwrap();
+    assert_bits_eq(
+        "good program",
+        served.output.as_slice(),
+        &cnn.logits(&x, &mode),
+    );
+    let summary = pool.finish().unwrap();
+    assert_eq!(summary.report.requests, 1);
+}

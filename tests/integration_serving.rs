@@ -82,7 +82,10 @@ fn sharded_async_results_bit_identical_to_single_shard_sequential() {
     ];
     let admissions = [
         AdmissionPolicy::Fifo { window: 4 },
-        AdmissionPolicy::Deadline { window: 4 },
+        AdmissionPolicy::Deadline {
+            window: 4,
+            drop_expired: false,
+        },
         AdmissionPolicy::SizeCapped { max_macs: 2_000 },
     ];
     for routing in routings {
@@ -159,7 +162,7 @@ fn heterogeneous_shards_still_bit_identical() {
         let served = ticket.wait().unwrap();
         assert_bits_eq(&format!("hetero request {i}"), &served.output, want);
     }
-    pool.finish().unwrap();
+    let _ = pool.finish().unwrap();
 }
 
 #[test]
@@ -195,7 +198,10 @@ fn deadline_admission_dispatches_earliest_deadline_first() {
     let w = rng.randn(&[8, 4], 1.0);
     let pool = ServeEngine::start(
         ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
-            .with_admission(AdmissionPolicy::Deadline { window: 8 })
+            .with_admission(AdmissionPolicy::Deadline {
+                window: 8,
+                drop_expired: false,
+            })
             .start_paused(),
     )
     .unwrap();
