@@ -14,7 +14,7 @@
 //! the build machine and is context only.
 
 use onesa_bench::time_best;
-use onesa_core::plan::Compile;
+use onesa_core::plan::{Compile, OptLevel};
 use onesa_core::serve::{AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, Ticket};
 use onesa_core::{BatchEngine, BatchRun, OneSa, Parallelism};
 use onesa_nn::models::SmallCnn;
@@ -37,7 +37,12 @@ fn batch_run(program: &onesa_core::Program, xs: &[Tensor]) -> BatchRun {
 fn main() {
     let mode = InferenceMode::cpwl(0.25).expect("valid granularity");
     let cnn = SmallCnn::new(11, 1, 3);
-    let program = cnn.compile((&mode, (8, 8))).expect("CNN compiles");
+    // Serve what production serves: the default-level optimized program
+    // (bit-identical to the raw emission; the duplicate residual-skip
+    // boundary elided).
+    let program = cnn
+        .compile_optimized((&mode, (8, 8)), OptLevel::Standard)
+        .expect("CNN compiles");
     let mut rng = Pcg32::seed_from_u64(2026);
     let inputs: Vec<Tensor> = (0..8).map(|_| rng.randn(&[1, 8, 8], 1.0)).collect();
 

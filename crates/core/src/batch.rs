@@ -116,11 +116,13 @@
 use crate::engine::OneSa;
 use onesa_cpwl::ops::TableSet;
 use onesa_cpwl::NonlinearFn;
-use onesa_plan::{self as plan, Program, StageGroups, TableCache};
+use onesa_plan::{self as plan, OptTotals, Program, StageGroups, TableCache};
 use onesa_sim::{analytic, ExecStats};
 use onesa_tensor::parallel;
 use onesa_tensor::{Result, Tensor, TensorError};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Identifier handed back by [`BatchEngine::submit`].
@@ -271,6 +273,12 @@ pub struct ServingReport {
     /// over the successfully served requests, omitting rejected ones).
     /// Input to [`ServingReport::latency_percentile`].
     pub latencies: Vec<f64>,
+    /// Optimizer pass totals of the run's program requests, summed from
+    /// each program's `OptReport` (all zero when the queue held no
+    /// optimized programs). The counts are per *request*: one cached
+    /// program served N times contributes N times, which is the point —
+    /// they measure work the optimizer saved this run.
+    pub opt: OptTotals,
 }
 
 impl ServingReport {
@@ -331,6 +339,13 @@ impl fmt::Display for ServingReport {
             self.batching_speedup(),
             self.batched_gops()
         )?;
+        if self.opt.removed() > 0 {
+            writeln!(
+                f,
+                "optimizer: {} boundaries elided, {} ops shared, {} fused, {} dead",
+                self.opt.elided, self.opt.shared, self.opt.fused, self.opt.dead
+            )?;
+        }
         write!(
             f,
             "latency p50/p95/p99: {:.1} / {:.1} / {:.1} us",
@@ -355,18 +370,50 @@ pub struct BatchRun {
     pub program_stages: Vec<StageGroups>,
 }
 
+/// One queued request plus whether it was already validated at
+/// admission (validated requests skip the redundant pre-run walk).
+#[derive(Debug, Clone)]
+struct Queued {
+    request: Request,
+    validated: bool,
+}
+
 /// A request queue in front of a [`OneSa`] engine.
 ///
 /// See the [module docs](self) for the serving model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BatchEngine {
     engine: OneSa,
-    tables: TableSet,
+    /// `Arc`-shared: cloning the engine (or seeding the program table
+    /// cache below) never copies the table data.
+    tables: Arc<TableSet>,
     /// Table sets for program requests, keyed by granularity (programs
     /// may be compiled at granularities other than the engine's own;
-    /// the engine's set seeds the cache).
+    /// the engine's set seeds the cache). **Persistent across runs**:
+    /// a granularity is built at most once per engine lifetime, however
+    /// many batches it serves — `onesa_core::serve`'s shard workers
+    /// keep one engine alive across all admission windows.
     plan_tables: TableCache,
-    queue: Vec<Request>,
+    queue: Vec<Queued>,
+    /// Full validation walks this engine performed (a `validate` call
+    /// on a request). Observable so tests can pin that admission-time
+    /// validation is not repeated per shard batch. Atomic (not `Cell`)
+    /// so the engine stays `Sync` for read-only sharing.
+    validations: AtomicU64,
+}
+
+impl Clone for BatchEngine {
+    /// Cheap: tables are `Arc`-shared. The clone starts with a snapshot
+    /// of the validation counter.
+    fn clone(&self) -> Self {
+        BatchEngine {
+            engine: self.engine.clone(),
+            tables: Arc::clone(&self.tables),
+            plan_tables: self.plan_tables.clone(),
+            queue: self.queue.clone(),
+            validations: AtomicU64::new(self.validations()),
+        }
+    }
 }
 
 impl BatchEngine {
@@ -378,16 +425,33 @@ impl BatchEngine {
     /// Propagates table-construction failures as
     /// [`TensorError::InvalidArgument`].
     pub fn new(engine: OneSa, granularity: f32) -> Result<Self> {
-        let tables = TableSet::for_granularity(granularity)
-            .map_err(|_| TensorError::InvalidArgument("invalid CPWL granularity"))?;
+        let tables = Arc::new(
+            TableSet::for_granularity(granularity)
+                .map_err(|_| TensorError::InvalidArgument("invalid CPWL granularity"))?,
+        );
         let mut plan_tables = TableCache::new();
-        plan_tables.seed(tables.clone());
+        plan_tables.seed_shared(Arc::clone(&tables));
         Ok(BatchEngine {
             engine,
             tables,
             plan_tables,
             queue: Vec::new(),
+            validations: AtomicU64::new(0),
         })
+    }
+
+    /// The engine's persistent per-granularity program table cache
+    /// (seeded with the engine's own set; reused across every run).
+    pub fn table_cache(&self) -> &TableCache {
+        &self.plan_tables
+    }
+
+    /// Full validation walks this engine has performed, across
+    /// [`BatchEngine::validate`], [`BatchEngine::submit_checked`] and
+    /// [`BatchEngine::run`]. Requests enqueued through
+    /// [`BatchEngine::submit_validated`] never add to this count.
+    pub fn validations(&self) -> u64 {
+        self.validations.load(Ordering::Relaxed)
     }
 
     /// The wrapped engine.
@@ -411,7 +475,10 @@ impl BatchEngine {
     /// [`BatchEngine::submit_checked`] to reject malformed requests at
     /// the queue instead.
     pub fn submit(&mut self, request: Request) -> RequestId {
-        self.queue.push(request);
+        self.queue.push(Queued {
+            request,
+            validated: false,
+        });
         self.queue.len() - 1
     }
 
@@ -426,7 +493,29 @@ impl BatchEngine {
     /// untouched on error.
     pub fn submit_checked(&mut self, request: Request) -> Result<RequestId> {
         self.validate(&request)?;
-        Ok(self.submit(request))
+        self.queue.push(Queued {
+            request,
+            validated: true,
+        });
+        Ok(self.queue.len() - 1)
+    }
+
+    /// Enqueues a request the **caller** asserts was already validated
+    /// against an engine with the same table granularity — the serving
+    /// layer's shard workers use this to skip re-walking requests the
+    /// admission thread already checked (for a whole-network program
+    /// that walk is a full graph validation + shape inference per
+    /// request). [`BatchEngine::run`] trusts the marker and skips its
+    /// own pre-run validation for such requests; a false assertion can
+    /// therefore surface as an execution error that fails the batch, so
+    /// callers outside the serving layer should prefer
+    /// [`BatchEngine::submit_checked`].
+    pub fn submit_validated(&mut self, request: Request) -> RequestId {
+        self.queue.push(Queued {
+            request,
+            validated: true,
+        });
+        self.queue.len() - 1
     }
 
     /// Validates and enqueues a compiled whole-network request.
@@ -456,6 +545,7 @@ impl BatchEngine {
     ///
     /// The same errors [`BatchEngine::run`] would report for the request.
     pub fn validate(&self, request: &Request) -> Result<()> {
+        self.validations.fetch_add(1, Ordering::Relaxed);
         match request {
             Request::Gemm { a, b } => {
                 let (_, ka) = a.shape().as_matrix()?;
@@ -502,19 +592,24 @@ impl BatchEngine {
     /// no request is lost; remove or fix the offending request and call
     /// `run` again.
     pub fn run(&mut self) -> Result<BatchRun> {
-        // Validate every request before draining the queue, so one
-        // malformed request cannot discard the others.
-        for req in &self.queue {
-            self.validate(req)?;
+        // Validate every not-yet-validated request before draining the
+        // queue, so one malformed request cannot discard the others.
+        // Requests admitted through `submit_checked`/`submit_validated`
+        // already passed this walk and skip it here.
+        for entry in &self.queue {
+            if !entry.validated {
+                self.validate(&entry.request)?;
+            }
         }
         // Same contract for program table sets: build them up front so
         // a granularity the table builder rejects (validation only
         // checks it is positive and finite) fails here, with the queue
-        // still intact.
+        // still intact. The cache is persistent, so across runs each
+        // granularity is built at most once.
         let granularities: Vec<f32> = self
             .queue
             .iter()
-            .filter_map(|req| match req {
+            .filter_map(|entry| match &entry.request {
                 Request::Program { program, .. } => program.mode().granularity(),
                 _ => None,
             })
@@ -522,7 +617,10 @@ impl BatchEngine {
         for g in granularities {
             self.plan_tables.get(g)?;
         }
-        let queue = std::mem::take(&mut self.queue);
+        let queue: Vec<Request> = std::mem::take(&mut self.queue)
+            .into_iter()
+            .map(|entry| entry.request)
+            .collect();
         let start = Instant::now();
         let cfg = self.engine.config().clone();
 
@@ -627,7 +725,16 @@ impl BatchEngine {
         // concurrent programs at every stage ----
         let mut program_stages: Vec<StageGroups> = Vec::new();
         let mut program_group_counts = (0usize, 0usize);
+        let mut opt = OptTotals::default();
         if !program_ids.is_empty() {
+            for &id in &program_ids {
+                let Request::Program { program, .. } = &queue[id] else {
+                    unreachable!("program id list holds program requests")
+                };
+                if let Some(report) = program.opt_report() {
+                    opt.merge(&report.totals);
+                }
+            }
             let jobs: Vec<(&Program, &[Tensor])> = program_ids
                 .iter()
                 .map(|&id| {
@@ -682,6 +789,7 @@ impl BatchEngine {
             gemm_groups: gemm_groups.len() + program_group_counts.0,
             nonlinear_groups: nl_groups.len() + program_group_counts.1,
             latencies: outcomes.iter().map(|o| o.stats.seconds()).collect(),
+            opt,
         };
         Ok(BatchRun {
             outcomes,
@@ -1026,6 +1134,124 @@ mod tests {
             req.affinity_key(),
             Request::program(other, vec![Tensor::zeros(&[2, 6])]).affinity_key()
         );
+    }
+
+    #[test]
+    fn submit_validated_skips_the_redundant_validation_walk() {
+        let mut rng = Pcg32::seed_from_u64(41);
+        let program = mlp_program(&rng.randn(&[6, 4], 1.0), &rng.randn(&[4, 3], 1.0));
+        let x = rng.randn(&[2, 6], 1.0);
+
+        // submit_checked validates once; run() must not re-walk it.
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        serving
+            .submit_program(program.clone(), vec![x.clone()])
+            .unwrap();
+        assert_eq!(serving.validations(), 1);
+        let _ = serving.run().unwrap();
+        assert_eq!(
+            serving.validations(),
+            1,
+            "run() re-validated a checked request"
+        );
+
+        // submit_validated (the serving layer's shard path) never walks.
+        let mut trusted = BatchEngine::new(engine(), 0.25).unwrap();
+        trusted.submit_validated(Request::program(program.clone(), vec![x.clone()]));
+        let run = trusted.run().unwrap();
+        assert_eq!(trusted.validations(), 0);
+        assert_eq!(run.report.requests, 1);
+
+        // Plain submit still validates inside run().
+        let mut lazy = BatchEngine::new(engine(), 0.25).unwrap();
+        lazy.submit(Request::program(program, vec![x]));
+        let _ = lazy.run().unwrap();
+        assert_eq!(lazy.validations(), 1);
+    }
+
+    #[test]
+    fn program_table_sets_are_built_once_across_runs() {
+        let mut rng = Pcg32::seed_from_u64(42);
+        let w1 = rng.randn(&[6, 4], 1.0);
+        let w2 = rng.randn(&[4, 3], 1.0);
+        // Programs at a granularity (0.5) the engine (0.25) did not
+        // pre-build: the first run builds the set, later runs reuse it.
+        let program = {
+            use onesa_plan::{EvalMode, Op};
+            let mut b = Program::builder(
+                "mlp-0.5",
+                EvalMode::Cpwl {
+                    granularity: 0.5,
+                    quantize: false,
+                },
+            );
+            let x = b.input(&[2, 6]);
+            let (c1, c2) = (b.constant(w1), b.constant(w2));
+            let h = b.push(Op::Gemm { bias: None }, &[x, c1]);
+            let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
+            b.push(Op::Gemm { bias: None }, &[g, c2]);
+            b.finish().unwrap()
+        };
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        assert_eq!(serving.table_cache().builds(), 0); // engine set was seeded
+        for _ in 0..3 {
+            serving
+                .submit_program(program.clone(), vec![rng.randn(&[2, 6], 1.0)])
+                .unwrap();
+            let _ = serving.run().unwrap();
+        }
+        assert_eq!(
+            serving.table_cache().builds(),
+            1,
+            "per-granularity tables must persist across runs"
+        );
+        assert_eq!(serving.table_cache().len(), 2); // 0.25 seeded + 0.5 built
+    }
+
+    #[test]
+    fn optimizer_totals_roll_into_the_serving_report() {
+        use onesa_plan::{EvalMode, Op, OptLevel};
+        let mut rng = Pcg32::seed_from_u64(43);
+        let w = rng.randn(&[4, 3], 1.0);
+        // A conservatively-emitted program: duplicate Quantize + a
+        // duplicate const-operand GEMM for the optimizer to clean up.
+        let mut b = Program::builder(
+            "dup",
+            EvalMode::Cpwl {
+                granularity: 0.25,
+                quantize: true,
+            },
+        );
+        let x = b.input(&[2, 4]);
+        let q1 = b.push(Op::Quantize, &[x]);
+        let q2 = b.push(Op::Quantize, &[x]);
+        let c = b.constant(w);
+        let g1 = b.push(Op::Gemm { bias: None }, &[q1, c]);
+        let g2 = b.push(Op::Gemm { bias: None }, &[q2, c]);
+        b.push(Op::Add, &[g1, g2]);
+        let raw = b.finish().unwrap();
+        let optimized = raw.optimize(OptLevel::Standard).unwrap();
+
+        let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
+        for _ in 0..2 {
+            serving
+                .submit_program(optimized.clone(), vec![rng.randn(&[2, 4], 1.0)])
+                .unwrap();
+        }
+        let run = serving.run().unwrap();
+        // Two requests of a program with 1 elision + 1 CSE share each.
+        assert_eq!(run.report.opt.elided, 2);
+        assert_eq!(run.report.opt.shared, 2);
+        assert!(format!("{}", run.report).contains("optimizer:"));
+
+        // Unoptimized programs report zero totals (and no report line).
+        let mut plain = BatchEngine::new(engine(), 0.25).unwrap();
+        plain
+            .submit_program(raw, vec![rng.randn(&[2, 4], 1.0)])
+            .unwrap();
+        let run = plain.run().unwrap();
+        assert_eq!(run.report.opt.removed(), 0);
+        assert!(!format!("{}", run.report).contains("optimizer:"));
     }
 
     #[test]

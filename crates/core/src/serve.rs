@@ -52,7 +52,12 @@
 //! * **Early rejection.** The admission thread validates every request
 //!   (via the same checks as `BatchEngine::submit_checked`) before
 //!   routing: a malformed request's ticket resolves with the validation
-//!   error at the queue, and never reaches a shard's batch. Under
+//!   error at the queue, and never reaches a shard's batch. Validated
+//!   requests carry that status to their shard, whose worker enqueues
+//!   them through [`BatchEngine::submit_validated`] — the full
+//!   validation walk (for a program request, a whole-graph validation
+//!   plus shape inference) runs once per request, not once per layer of
+//!   the stack. Under
 //!   [`AdmissionPolicy::Deadline`] with `drop_expired`, requests
 //!   already past their deadline at window close resolve with
 //!   [`ServeError::DeadlineExpired`] instead of dispatching (counted in
@@ -97,6 +102,7 @@
 
 use crate::batch::{BatchEngine, Request, ServingReport};
 use crate::engine::OneSa;
+use onesa_plan::OptTotals;
 use onesa_sim::{ArrayConfig, ExecStats};
 use onesa_tensor::parallel::Parallelism;
 use onesa_tensor::{Tensor, TensorError};
@@ -410,6 +416,9 @@ pub struct ShardStats {
     /// bound plus the one batch the admitter may be blocked handing
     /// over.
     pub peak_queue_depth: usize,
+    /// Optimizer pass totals of the program requests this shard served
+    /// (see `ServingReport::opt`).
+    pub opt: OptTotals,
 }
 
 /// Aggregate result of one [`ServeEngine`] lifetime.
@@ -985,6 +994,10 @@ impl ServeEngine {
         }
         records.sort_by_key(|r| r.ticket);
 
+        let mut opt = OptTotals::default();
+        for s in &shards {
+            opt.merge(&s.opt);
+        }
         let report = ServingReport {
             requests: records.len(),
             wall_seconds,
@@ -995,6 +1008,7 @@ impl ServeEngine {
             gemm_groups: shards.iter().map(|s| s.gemm_groups).sum(),
             nonlinear_groups: shards.iter().map(|s| s.nonlinear_groups).sum(),
             latencies: records.iter().map(|r| r.seconds).collect(),
+            opt,
         };
         Ok(ServeSummary {
             report,
@@ -1211,6 +1225,7 @@ fn shard_loop(
             busy_seconds: 0.0,
             occupancy: 0.0,
             peak_queue_depth: 0,
+            opt: OptTotals::default(),
         },
         records: Vec::new(),
     };
@@ -1220,22 +1235,21 @@ fn shard_loop(
         let t0 = Instant::now();
         let mut pending: Vec<PendingReply> = Vec::with_capacity(batch.len());
         for item in batch {
-            // The admitter already validated; `submit_checked` is the
-            // belt-and-braces second gate so a bad request can never
-            // poison the shard's batch.
-            match engine.submit_checked(item.request) {
-                Ok(_) => {
-                    pending.push(PendingReply {
-                        ticket: item.ticket,
-                        dispatch_seq: item.dispatch_seq,
-                        queue_seconds: item.submitted_at.elapsed().as_secs_f64(),
-                        reply: item.reply,
-                    });
-                }
-                Err(e) => {
-                    let _ = item.reply.send(Err(ServeError::Exec(e)));
-                }
-            }
+            // The admitter already ran the full validation walk against
+            // a same-granularity engine, so the shard enqueues with the
+            // validated marker instead of re-walking every request (for
+            // whole-network programs that walk is a per-request graph
+            // validation + shape inference). The queue-intact-on-error
+            // contract holds: `run` still pre-builds table sets, and a
+            // batch-level failure is recovered below without replaying
+            // the queue.
+            engine.submit_validated(item.request);
+            pending.push(PendingReply {
+                ticket: item.ticket,
+                dispatch_seq: item.dispatch_seq,
+                queue_seconds: item.submitted_at.elapsed().as_secs_f64(),
+                reply: item.reply,
+            });
         }
         match engine.run() {
             Ok(run) => {
@@ -1245,6 +1259,7 @@ fn shard_loop(
                 out.stats.nonlinear_groups += run.report.nonlinear_groups;
                 out.stats.macs += run.report.total_macs;
                 out.stats.array_seconds += run.report.batched_seconds;
+                out.stats.opt.merge(&run.report.opt);
                 for (p, outcome) in pending.into_iter().zip(run.outcomes) {
                     out.records.push(ReqRecord {
                         ticket: p.ticket,

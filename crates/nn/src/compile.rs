@@ -54,8 +54,9 @@ use onesa_tensor::{Result, Tensor};
 /// validated at build time, so this indicates a compiler bug.
 pub fn run_compiled(program: &Program, inputs: &[Tensor], mode: &InferenceMode) -> Tensor {
     let mut cache = TableCache::new();
-    if let Some(tables) = mode.table_set() {
-        cache.seed(tables.clone());
+    if let Some(tables) = mode.shared_table_set() {
+        // Zero-copy: the mode's tables are Arc-shared into the cache.
+        cache.seed_shared(tables);
     }
     program
         .run(
@@ -69,6 +70,17 @@ pub fn run_compiled(program: &Program, inputs: &[Tensor], mode: &InferenceMode) 
 
 /// Emits `Quantize` only when the mode round-trips layer boundaries
 /// through INT16 (mirrors `InferenceMode::boundary`).
+///
+/// The compilers below emit this conservatively, **once per consumer**
+/// of a boundary value where a value crosses into more than one array
+/// pass (the residual skip of the CNN, a transformer block's Q/K/V
+/// projections plus residual): each pass re-reads the INT16 scratchpad,
+/// so the naive emission carries one load-side round trip per read.
+/// Because the round trip is deterministic, the duplicates are
+/// bit-identical to a single boundary — and the optimizer's
+/// `quantize-elision` pass ([`onesa_plan::opt`]) collapses them, which
+/// is why the serving wrappers run programs at
+/// [`OptLevel::Standard`](onesa_plan::OptLevel).
 fn boundary(b: &mut ProgramBuilder, mode: &InferenceMode, x: Operand) -> Operand {
     match mode.eval_mode() {
         onesa_plan::EvalMode::Cpwl { quantize: true, .. } => b.push(Op::Quantize, &[x]),
@@ -167,8 +179,13 @@ impl SmallCnn {
         let a = conv(&mut b, &self.conv1, x, h, w)?;
         let a = boundary(&mut b, mode, a);
         let r = bn(&mut b, &self.bn1, a);
-        let r = b.push(Op::Nonlinear(NonlinearFn::Relu), &[r]);
-        let r = boundary(&mut b, mode, r);
+        let r_pre = b.push(Op::Nonlinear(NonlinearFn::Relu), &[r]);
+        // The stem's activation crosses an INT16 boundary into TWO
+        // consumers — conv2 and the residual add — so the conservative
+        // emission carries one load-side round trip per consumer (the
+        // optimizer elides the duplicate; see `boundary`).
+        let r = boundary(&mut b, mode, r_pre);
+        let r_skip = boundary(&mut b, mode, r_pre);
         let (h1, w1) = self.conv1.geo.output_hw(h, w)?;
         let c2 = conv(&mut b, &self.conv2, r, h1, w1)?;
         let c2 = boundary(&mut b, mode, c2);
@@ -178,7 +195,7 @@ impl SmallCnn {
         let c3 = conv(&mut b, &self.conv3, r2, h2, w2)?;
         let c3 = boundary(&mut b, mode, c3);
         let cb = bn(&mut b, &self.bn3, c3);
-        let res = b.push(Op::Add, &[cb, r]);
+        let res = b.push(Op::Add, &[cb, r_skip]);
         let res = b.push(Op::Nonlinear(NonlinearFn::Relu), &[res]);
         let res = boundary(&mut b, mode, res);
         let pooled = b.push(Op::Pool(PoolKind::GlobalAvg), &[res]);
@@ -222,9 +239,14 @@ impl TinyBert {
         let table = b.constant(self.emb.table.value.clone());
         let pos = b.constant(self.emb.pos.value.clone());
         let mut h = b.push(Op::Embed, &[ids, table, pos]);
-        h = boundary(&mut b, mode, h);
+        // The embedding output crosses an INT16 boundary into the first
+        // block's four consumers (Q/K/V projections + residual add);
+        // `compile_block` emits one load-side round trip per consumer
+        // and the optimizer elides the duplicates (see `boundary`).
+        let mut h_at_boundary = true;
         for block in &self.blocks {
-            h = compile_block(&mut b, block, h, mode, self.d);
+            h = compile_block(&mut b, block, h, h_at_boundary, mode, self.d);
+            h_at_boundary = false;
         }
         let pooled = b.push(Op::Pool(PoolKind::MeanRows), &[h]);
         let pooled = boundary(&mut b, mode, pooled);
@@ -241,15 +263,29 @@ impl TinyBert {
 fn compile_block(
     b: &mut ProgramBuilder,
     blk: &EncoderBlock,
-    x: Operand,
+    x_pre: Operand,
+    x_at_boundary: bool,
     mode: &InferenceMode,
     d: usize,
 ) -> Operand {
+    // When the block input sits on an INT16 boundary, each of its four
+    // consumers loads it through its own round trip (deterministic, so
+    // bit-identical to one shared boundary; the optimizer dedups).
+    let use_x = |b: &mut ProgramBuilder| -> Operand {
+        if x_at_boundary {
+            boundary(b, mode, x_pre)
+        } else {
+            x_pre
+        }
+    };
     let heads = blk.attn.heads();
     let dk = d / heads;
-    let q = linear(b, &blk.attn.wq, x);
-    let k = linear(b, &blk.attn.wk, x);
-    let v = linear(b, &blk.attn.wv, x);
+    let xq = use_x(b);
+    let q = linear(b, &blk.attn.wq, xq);
+    let xk = use_x(b);
+    let k = linear(b, &blk.attn.wk, xk);
+    let xv = use_x(b);
+    let v = linear(b, &blk.attn.wv, xv);
     let mut ctxs = Vec::with_capacity(heads);
     for head in 0..heads {
         let start = head * dk;
@@ -264,7 +300,8 @@ fn compile_block(
     }
     let concat = b.push(Op::ConcatCols, &ctxs);
     let a = linear(b, &blk.attn.wo, concat);
-    let sum1 = b.push(Op::Add, &[x, a]);
+    let x_res = use_x(b);
+    let sum1 = b.push(Op::Add, &[x_res, a]);
     let sum1 = boundary(b, mode, sum1);
     let h = b.push(
         Op::LayerNorm {

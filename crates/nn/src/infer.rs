@@ -12,6 +12,7 @@ use onesa_cpwl::{CpwlError, NonlinearFn};
 use onesa_tensor::parallel::Parallelism;
 use onesa_tensor::quant::QuantTensor;
 use onesa_tensor::Tensor;
+use std::sync::Arc;
 use std::thread;
 
 /// Runs an inference function over a batch of inputs, fanned out across
@@ -82,9 +83,10 @@ pub enum InferenceMode {
     /// CPWL tables at one granularity, optionally with INT16 activation
     /// quantization (the paper's configuration).
     Cpwl {
-        /// Shared table set (boxed: the tables are much larger than the
-        /// `Exact` variant).
-        tables: Box<TableSet>,
+        /// Shared table set (`Arc`: cloning a mode — which every
+        /// compiled-inference call used to do implicitly via table-cache
+        /// seeding — is a refcount bump, never a copy of the tables).
+        tables: Arc<TableSet>,
         /// Round-trip activations through INT16 at layer boundaries.
         quantize: bool,
     },
@@ -98,7 +100,7 @@ impl InferenceMode {
     /// Propagates table construction failures.
     pub fn cpwl(granularity: f32) -> Result<Self, CpwlError> {
         Ok(InferenceMode::Cpwl {
-            tables: Box::new(TableSet::for_granularity(granularity)?),
+            tables: Arc::new(TableSet::for_granularity(granularity)?),
             quantize: true,
         })
     }
@@ -110,7 +112,7 @@ impl InferenceMode {
     /// Propagates table construction failures.
     pub fn cpwl_unquantized(granularity: f32) -> Result<Self, CpwlError> {
         Ok(InferenceMode::Cpwl {
-            tables: Box::new(TableSet::for_granularity(granularity)?),
+            tables: Arc::new(TableSet::for_granularity(granularity)?),
             quantize: false,
         })
     }
@@ -134,6 +136,17 @@ impl InferenceMode {
         match self {
             InferenceMode::Exact => None,
             InferenceMode::Cpwl { tables, .. } => Some(tables),
+        }
+    }
+
+    /// The mode's table set as a shared handle (`None` for
+    /// [`InferenceMode::Exact`]): the zero-copy way to seed an
+    /// `onesa_plan::TableCache` — a refcount bump instead of cloning
+    /// every table.
+    pub fn shared_table_set(&self) -> Option<Arc<TableSet>> {
+        match self {
+            InferenceMode::Exact => None,
+            InferenceMode::Cpwl { tables, .. } => Some(Arc::clone(tables)),
         }
     }
 

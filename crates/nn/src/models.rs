@@ -13,10 +13,16 @@ use crate::layers::{
 use crate::train::TrainConfig;
 use onesa_data::text::TextTask;
 use onesa_data::{GraphDataset, ImageDataset, TextDataset};
+use onesa_plan::{tensor_fingerprint, CompileCache, OptLevel};
 use onesa_tensor::im2col::Conv2dGeometry;
 use onesa_tensor::parallel::Parallelism;
 use onesa_tensor::rng::Pcg32;
 use onesa_tensor::{gemm, stats, Tensor};
+
+/// Compile-cache salts separating a model's whole-network and
+/// feature-subgraph programs (they share the same mode + geometry key).
+const SALT_NETWORK: u64 = 0;
+const SALT_FEATURES: u64 = 1;
 
 fn global_avg_pool(x: &Tensor) -> Vec<f32> {
     let dims = x.dims();
@@ -44,6 +50,10 @@ pub struct SmallCnn {
     pub(crate) bn3: BatchNorm2d,
     pub(crate) fc: Linear,
     pub(crate) channels: usize,
+    /// Memoized compiled programs, keyed on (mode, input geometry);
+    /// cleared by [`SmallCnn::fit`] (training rewrites the weights the
+    /// cached programs bake in).
+    cache: CompileCache,
 }
 
 impl SmallCnn {
@@ -68,12 +78,22 @@ impl SmallCnn {
             bn3: BatchNorm2d::new(ch),
             fc: Linear::new(&mut rng, ch, classes),
             channels: ch,
+            cache: CompileCache::new(),
         }
+    }
+
+    /// The model's compile cache (hit/miss counters for tests and
+    /// benches).
+    pub fn compile_cache(&self) -> &CompileCache {
+        &self.cache
     }
 
     /// Trains with Adam on the dataset's train split; returns the final
     /// epoch's mean loss.
     pub fn fit(&mut self, data: &ImageDataset, cfg: &TrainConfig) -> f32 {
+        // Training rewrites every parameter: cached compiled programs
+        // would keep serving the old weights.
+        self.cache.clear();
         let mut step = 0usize;
         let mut last_loss = f32::NAN;
         for _epoch in 0..cfg.epochs {
@@ -208,10 +228,18 @@ impl SmallCnn {
     /// Since the Program-IR refactor this compiles the feature subgraph
     /// to an `onesa_plan::Program` and runs it — bit-identical to
     /// [`SmallCnn::pooled_features_direct`] (locked by test).
+    /// Compilation is memoized per (mode, geometry) and the program is
+    /// optimized at the bit-identical default level, so repeated calls
+    /// clone a cheap `Arc`-backed program instead of re-emitting the
+    /// graph and re-copying the weights.
     pub fn pooled_features(&self, x: &Tensor, mode: &InferenceMode) -> Tensor {
         let dims = x.dims();
         let program = self
-            .features_program(mode, dims[1], dims[2])
+            .cache
+            .get_or_compile(mode.eval_mode(), dims, SALT_FEATURES, || {
+                self.features_program(mode, dims[1], dims[2])?
+                    .optimize(OptLevel::default())
+            })
             .expect("CNN feature graph compiles");
         crate::compile::run_compiled(&program, std::slice::from_ref(x), mode)
     }
@@ -264,10 +292,16 @@ impl SmallCnn {
     /// network (convolutions, folded batch norms, residual, pooling and
     /// classifier) to an `onesa_plan::Program` and runs it —
     /// bit-identical to [`SmallCnn::logits_direct`] (locked by test).
+    /// Compilation is memoized per (mode, geometry) — see
+    /// [`SmallCnn::compile_cache`].
     pub fn logits(&self, x: &Tensor, mode: &InferenceMode) -> Vec<f32> {
         let dims = x.dims();
         let program = self
-            .network_program(mode, dims[1], dims[2])
+            .cache
+            .get_or_compile(mode.eval_mode(), dims, SALT_NETWORK, || {
+                self.network_program(mode, dims[1], dims[2])?
+                    .optimize(OptLevel::default())
+            })
             .expect("CNN graph compiles");
         crate::compile::run_compiled(&program, std::slice::from_ref(x), mode).into_vec()
     }
@@ -390,6 +424,9 @@ pub struct TinyBert {
     pub(crate) head: Linear,
     pub(crate) d: usize,
     outputs: usize,
+    /// Memoized compiled programs keyed on (mode, sequence length);
+    /// cleared by [`TinyBert::fit`].
+    cache: CompileCache,
 }
 
 impl TinyBert {
@@ -408,11 +445,19 @@ impl TinyBert {
             head: Linear::new(&mut rng, d, outputs),
             d,
             outputs,
+            cache: CompileCache::new(),
         }
+    }
+
+    /// The model's compile cache (hit/miss counters for tests and
+    /// benches).
+    pub fn compile_cache(&self) -> &CompileCache {
+        &self.cache
     }
 
     /// Trains on the dataset's train split; returns the final mean loss.
     pub fn fit(&mut self, data: &TextDataset, cfg: &TrainConfig) -> f32 {
+        self.cache.clear();
         let mut step = 0usize;
         let mut last = f32::NAN;
         for _epoch in 0..cfg.epochs {
@@ -473,9 +518,15 @@ impl TinyBert {
     /// Since the Program-IR refactor this compiles the encoder subgraph
     /// to an `onesa_plan::Program` and runs it — bit-identical to
     /// [`TinyBert::pooled_features_direct`] (locked by test).
+    /// Compilation is memoized per (mode, sequence length) — see
+    /// [`TinyBert::compile_cache`].
     pub fn pooled_features(&self, seq: &[usize], mode: &InferenceMode) -> Tensor {
         let program = self
-            .features_program(mode, seq.len())
+            .cache
+            .get_or_compile(mode.eval_mode(), &[seq.len()], SALT_FEATURES, || {
+                self.features_program(mode, seq.len())?
+                    .optimize(OptLevel::default())
+            })
             .expect("encoder graph compiles");
         crate::compile::run_compiled(&program, &[Self::ids_tensor(seq)], mode)
     }
@@ -507,9 +558,15 @@ impl TinyBert {
     /// the whole network (embedding, encoder blocks, mean-pooling and
     /// head) to an `onesa_plan::Program` and runs it — bit-identical to
     /// [`TinyBert::predict_direct`] (locked by test).
+    /// Compilation is memoized per (mode, sequence length) — see
+    /// [`TinyBert::compile_cache`].
     pub fn predict(&self, seq: &[usize], mode: &InferenceMode) -> Vec<f32> {
         let program = self
-            .network_program(mode, seq.len())
+            .cache
+            .get_or_compile(mode.eval_mode(), &[seq.len()], SALT_NETWORK, || {
+                self.network_program(mode, seq.len())?
+                    .optimize(OptLevel::default())
+            })
             .expect("encoder graph compiles");
         crate::compile::run_compiled(&program, &[Self::ids_tensor(seq)], mode).into_vec()
     }
@@ -578,6 +635,9 @@ pub struct Gcn {
     pub(crate) w1: Param,
     pub(crate) w2: Param,
     hidden: usize,
+    /// Memoized compiled programs keyed on (mode, node/feature counts,
+    /// Â fingerprint); cleared by [`Gcn::fit`].
+    cache: CompileCache,
 }
 
 impl Gcn {
@@ -588,7 +648,14 @@ impl Gcn {
             w1: Param::new(rng.randn(&[features, hidden], (2.0 / features as f32).sqrt())),
             w2: Param::new(rng.randn(&[hidden, classes], (2.0 / hidden as f32).sqrt())),
             hidden,
+            cache: CompileCache::new(),
         }
+    }
+
+    /// The model's compile cache (hit/miss counters for tests and
+    /// benches).
+    pub fn compile_cache(&self) -> &CompileCache {
+        &self.cache
     }
 
     fn forward_parts(&self, g: &GraphDataset) -> (Tensor, Tensor, Tensor, Tensor) {
@@ -602,6 +669,7 @@ impl Gcn {
 
     /// Full-batch training on the train-node mask; returns final loss.
     pub fn fit(&mut self, g: &GraphDataset, cfg: &TrainConfig) -> f32 {
+        self.cache.clear();
         let mut last = f32::NAN;
         for t in 1..=cfg.epochs * 10 {
             let (z1, h1, z2, _) = self.forward_parts(g);
@@ -644,9 +712,20 @@ impl Gcn {
     /// Node logits under an inference mode: compiles the propagation
     /// graph (`softmax` excluded, as in training) to an
     /// `onesa_plan::Program` and runs it — bit-identical to
-    /// [`Gcn::logits_direct`] (locked by test).
+    /// [`Gcn::logits_direct`] (locked by test). Compilation is memoized
+    /// per (mode, graph shape, Â fingerprint) — see
+    /// [`Gcn::compile_cache`].
     pub fn logits(&self, g: &GraphDataset, mode: &InferenceMode) -> Tensor {
-        let program = self.network_program(mode, g).expect("GCN graph compiles");
+        // The propagation matrix Â is baked into the program as a
+        // constant, so it is part of the cache key (two graphs with the
+        // same shape must not share a compilation).
+        let salt = tensor_fingerprint(&g.a_hat);
+        let program = self
+            .cache
+            .get_or_compile(mode.eval_mode(), g.x.dims(), salt, || {
+                self.network_program(mode, g)?.optimize(OptLevel::default())
+            })
+            .expect("GCN graph compiles");
         crate::compile::run_compiled(&program, std::slice::from_ref(&g.x), mode)
     }
 
@@ -765,6 +844,92 @@ mod tests {
         model.fit(&g, &cfg);
         let acc = model.evaluate(&g, &InferenceMode::Exact);
         assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn compile_cache_hits_on_repeated_calls_and_splits_on_geometry() {
+        use onesa_tensor::rng::Pcg32;
+        let model = SmallCnn::new(7, 1, 3);
+        let mode = InferenceMode::cpwl(0.25).unwrap();
+        let mut rng = Pcg32::seed_from_u64(1);
+        let x = rng.randn(&[1, 8, 8], 1.0);
+        let first = model.logits(&x, &mode);
+        assert_eq!(
+            (model.compile_cache().hits(), model.compile_cache().misses()),
+            (0, 1)
+        );
+        for _ in 0..3 {
+            assert_eq!(model.logits(&x, &mode), first);
+        }
+        assert_eq!(
+            model.compile_cache().hits(),
+            3,
+            "repeat calls must not recompile"
+        );
+        // A different geometry compiles its own entry; the old one stays.
+        let big = rng.randn(&[1, 10, 10], 1.0);
+        let _ = model.logits(&big, &mode);
+        assert_eq!(model.compile_cache().misses(), 2);
+        // The feature subgraph is a separate entry from the network.
+        let _ = model.pooled_features(&x, &mode);
+        assert_eq!(model.compile_cache().misses(), 3);
+        // Exact mode is another key.
+        let _ = model.logits(&x, &InferenceMode::Exact);
+        assert_eq!(model.compile_cache().misses(), 4);
+    }
+
+    #[test]
+    fn fit_invalidates_the_compile_cache() {
+        use onesa_tensor::rng::Pcg32;
+        let data = ImageDataset::generate(
+            "t",
+            3,
+            Difficulty {
+                noise: 0.3,
+                classes: 3,
+            },
+            (1, 8, 8),
+            6,
+        );
+        let mut model = SmallCnn::new(9, 1, 3);
+        let mode = InferenceMode::cpwl(0.25).unwrap();
+        let x = Pcg32::seed_from_u64(2).randn(&[1, 8, 8], 1.0);
+        // Populate the cache with the untrained weights...
+        let before = model.logits(&x, &mode);
+        // ...then train: the cached program's baked-in weights are stale.
+        model.fit(
+            &data,
+            &TrainConfig {
+                epochs: 2,
+                lr: 5e-3,
+                batch_size: 6,
+                seed: 7,
+            },
+        );
+        assert_eq!(model.compile_cache().len(), 0, "fit must clear the cache");
+        let after = model.logits(&x, &mode);
+        assert_ne!(before, after, "training changed the weights");
+        assert_eq!(
+            after,
+            model.logits_direct(&x, &mode),
+            "post-fit cache is fresh"
+        );
+    }
+
+    #[test]
+    fn gcn_cache_distinguishes_graphs_with_equal_shapes() {
+        let g1 = GraphDataset::generate("a", 4, Difficulty::easy(3), 20, 6, 0.3);
+        let g2 = GraphDataset::generate("b", 5, Difficulty::easy(3), 20, 6, 0.3);
+        assert_eq!(g1.x.dims(), g2.x.dims());
+        let model = Gcn::new(6, 6, 8, 3);
+        let mode = InferenceMode::Exact;
+        let l1 = model.logits(&g1, &mode);
+        let l2 = model.logits(&g2, &mode);
+        // Same shapes, different Â: the salt must keep them apart.
+        assert_eq!(model.compile_cache().misses(), 2);
+        assert_ne!(l1, l2);
+        assert_eq!(l1, model.logits_direct(&g1, &mode));
+        assert_eq!(l2, model.logits_direct(&g2, &mode));
     }
 
     #[test]

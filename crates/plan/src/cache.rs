@@ -1,0 +1,227 @@
+//! Memoized compilation: a per-model cache of compiled (and optimized)
+//! programs keyed on evaluation mode and input geometry.
+//!
+//! Before this cache existed, every `logits`/`predict` call re-walked
+//! the model, re-emitted the operator graph and deep-copied all weights
+//! into `Program::consts`. With [`CompileCache`] the compile happens
+//! once per `(mode, geometry)` and every subsequent request clones a
+//! cheap `Arc`-backed [`Program`] — O(ops) refcount bumps, zero weight
+//! copies. `onesa-nn`'s models each own one (cleared by `fit`, which
+//! invalidates the baked-in weights).
+//!
+//! # Example
+//!
+//! ```
+//! use onesa_plan::{CompileCache, EvalMode, Op, Program};
+//! use onesa_tensor::Tensor;
+//!
+//! let cache = CompileCache::new();
+//! let build = || {
+//!     let mut b = Program::builder("mlp", EvalMode::Exact);
+//!     let x = b.input(&[2, 4]);
+//!     let w = b.constant(Tensor::zeros(&[4, 3]));
+//!     b.push(Op::Gemm { bias: None }, &[x, w]);
+//!     b.finish()
+//! };
+//! let a = cache.get_or_compile(EvalMode::Exact, &[2, 4], 0, build)?;
+//! let b2 = cache.get_or_compile(EvalMode::Exact, &[2, 4], 0, build)?;
+//! assert!(std::sync::Arc::ptr_eq(&a, &b2)); // compiled once
+//! assert_eq!((cache.hits(), cache.misses()), (1, 1));
+//! # Ok::<(), onesa_tensor::TensorError>(())
+//! ```
+
+use crate::program::{EvalMode, Program};
+use onesa_tensor::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One cache key: evaluation mode, input geometry and a caller-chosen
+/// salt (models use it to separate network/feature subgraphs, and the
+/// GCN folds its graph's Â fingerprint in).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Key {
+    mode: u64,
+    geometry: Vec<usize>,
+    salt: u64,
+}
+
+/// A thread-safe memo of compiled programs. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    entries: Mutex<Vec<(Key, Arc<Program>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for CompileCache {
+    /// Clones the cached entries (cheap — programs are `Arc`-shared) and
+    /// resets the hit/miss counters.
+    fn clone(&self) -> Self {
+        CompileCache {
+            entries: Mutex::new(self.entries.lock().expect("cache lock").clone()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// Returns the cached program for `(mode, geometry, salt)`, or runs
+    /// `build` once, caches its result and returns it. A geometry (or
+    /// mode, or salt) change is simply a different key — old entries
+    /// stay valid, so a model serving several input shapes compiles
+    /// each shape once.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` reports; failed builds are not cached.
+    pub fn get_or_compile(
+        &self,
+        mode: EvalMode,
+        geometry: &[usize],
+        salt: u64,
+        build: impl FnOnce() -> Result<Program>,
+    ) -> Result<Arc<Program>> {
+        let key = Key {
+            mode: mode.cache_key(),
+            geometry: geometry.to_vec(),
+            salt,
+        };
+        let mut entries = self.entries.lock().expect("cache lock");
+        if let Some((_, program)) = entries.iter().find(|(k, _)| *k == key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(program));
+        }
+        // Build under the lock: concurrent first requests for one
+        // geometry compile once, not racily twice.
+        let program = Arc::new(build()?);
+        entries.push((key, Arc::clone(&program)));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(program)
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no programs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits since construction (or [`CompileCache::clear`]).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= compiles performed) since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every entry and resets the counters. Model `fit` methods
+    /// call this: training rewrites the weights baked into cached
+    /// programs.
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Op;
+    use onesa_tensor::Tensor;
+
+    fn build(m: usize) -> Result<Program> {
+        let mut b = Program::builder("t", EvalMode::Exact);
+        let x = b.input(&[m, 4]);
+        let w = b.constant(Tensor::zeros(&[4, 3]));
+        b.push(Op::Gemm { bias: None }, &[x, w]);
+        b.finish()
+    }
+
+    #[test]
+    fn hits_reuse_the_same_arc_with_a_stable_fingerprint() {
+        let cache = CompileCache::new();
+        let a = cache
+            .get_or_compile(EvalMode::Exact, &[2, 4], 0, || build(2))
+            .unwrap();
+        let b = cache
+            .get_or_compile(EvalMode::Exact, &[2, 4], 0, || build(2))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn geometry_mode_and_salt_changes_invalidate() {
+        let cache = CompileCache::new();
+        let a = cache
+            .get_or_compile(EvalMode::Exact, &[2, 4], 0, || build(2))
+            .unwrap();
+        let g = cache
+            .get_or_compile(EvalMode::Exact, &[3, 4], 0, || build(3))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &g));
+        let cpwl = EvalMode::Cpwl {
+            granularity: 0.25,
+            quantize: true,
+        };
+        let unq = EvalMode::Cpwl {
+            granularity: 0.25,
+            quantize: false,
+        };
+        let m1 = cache.get_or_compile(cpwl, &[2, 4], 0, || build(2)).unwrap();
+        let m2 = cache.get_or_compile(unq, &[2, 4], 0, || build(2)).unwrap();
+        assert!(!Arc::ptr_eq(&m1, &m2), "quantize flag must split the key");
+        let s = cache
+            .get_or_compile(EvalMode::Exact, &[2, 4], 7, || build(2))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &s));
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn clear_drops_entries_and_failed_builds_are_not_cached() {
+        let cache = CompileCache::new();
+        assert!(cache.is_empty());
+        let err = cache.get_or_compile(EvalMode::Exact, &[2, 4], 0, || {
+            Err(onesa_tensor::TensorError::InvalidArgument("nope"))
+        });
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        let _ = cache
+            .get_or_compile(EvalMode::Exact, &[2, 4], 0, || build(2))
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn clone_keeps_entries_but_resets_counters() {
+        let cache = CompileCache::new();
+        let a = cache
+            .get_or_compile(EvalMode::Exact, &[2, 4], 0, || build(2))
+            .unwrap();
+        let c = cache.clone();
+        assert_eq!(c.len(), 1);
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        let b = c
+            .get_or_compile(EvalMode::Exact, &[2, 4], 0, || build(2))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

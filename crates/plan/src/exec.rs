@@ -8,14 +8,17 @@ use onesa_sim::{analytic, ArrayConfig, CycleBreakdown, ExecStats};
 use onesa_tensor::parallel::{self, Parallelism};
 use onesa_tensor::quant::QuantTensor;
 use onesa_tensor::{im2col, Result, Tensor, TensorError};
+use std::sync::Arc;
 
 /// Lazily-built CPWL table sets keyed by granularity, shared across
 /// programs (and across `BatchEngine` runs, which own one cache per
-/// shard). Seed it with an existing set to avoid rebuilding tables a
-/// caller already holds.
+/// shard). Sets are `Arc`-shared, so seeding the cache with a set a
+/// caller already holds (an `InferenceMode`'s, an engine's) is a
+/// refcount bump, never a copy of the table data.
 #[derive(Debug, Clone, Default)]
 pub struct TableCache {
-    sets: Vec<TableSet>,
+    sets: Vec<Arc<TableSet>>,
+    builds: usize,
 }
 
 impl TableCache {
@@ -26,6 +29,13 @@ impl TableCache {
 
     /// Adds an already-built set (no-op if its granularity is cached).
     pub fn seed(&mut self, set: TableSet) {
+        self.seed_shared(Arc::new(set));
+    }
+
+    /// Adds an already-shared set without copying its tables (no-op if
+    /// its granularity is cached) — the zero-copy path `onesa-nn`'s
+    /// compiled-inference wrappers and `onesa-core`'s engines use.
+    pub fn seed_shared(&mut self, set: Arc<TableSet>) {
         let bits = set.granularity().to_bits();
         if !self.sets.iter().any(|s| s.granularity().to_bits() == bits) {
             self.sets.push(set);
@@ -49,8 +59,27 @@ impl TableCache {
         }
         let set = TableSet::for_granularity(granularity)
             .map_err(|_| TensorError::InvalidArgument("invalid CPWL granularity"))?;
-        self.sets.push(set);
+        self.builds += 1;
+        self.sets.push(Arc::new(set));
         Ok(self.sets.last().expect("just pushed"))
+    }
+
+    /// Number of granularities cached (seeded or built).
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the cache holds no sets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// How many table sets [`TableCache::get`] actually *built* (cache
+    /// misses that were not satisfied by a seed). A serving engine that
+    /// reuses its cache across batches reports a stable number here no
+    /// matter how many runs it serves.
+    pub fn builds(&self) -> usize {
+        self.builds
     }
 }
 
@@ -107,7 +136,7 @@ impl JobState<'_> {
     fn resolve(&self, operand: Operand) -> &Tensor {
         match operand {
             Operand::Slot(s) => self.slots[s].as_ref().expect("slot written before read"),
-            Operand::Const(c) => &self.program.consts()[c],
+            Operand::Const(c) => self.program.consts()[c].as_ref(),
         }
     }
 }
@@ -295,7 +324,7 @@ fn keys_truly_equal(
             let const_of = |j: usize| -> Option<&Tensor> {
                 let n = &states[j].program.nodes()[stage];
                 n.inputs.iter().find_map(|op| match *op {
-                    Operand::Const(c) => Some(&states[j].program.consts()[c]),
+                    Operand::Const(c) => Some(states[j].program.consts()[c].as_ref()),
                     Operand::Slot(_) => None,
                 })
             };
@@ -544,7 +573,7 @@ fn gemm_const<'a>(state: &'a JobState, stage: usize) -> &'a Tensor {
     node.inputs
         .iter()
         .find_map(|op| match *op {
-            Operand::Const(c) => Some(&state.program.consts()[c]),
+            Operand::Const(c) => Some(state.program.consts()[c].as_ref()),
             Operand::Slot(_) => None,
         })
         .expect("coalesced gemm group has a constant operand")
@@ -662,6 +691,40 @@ fn exec_single(
                 }
             }
             Ok(y)
+        }
+        Op::AffineNonlinear { k, b, func } => {
+            // One MHP pass: the IPF stage indexes the table on the
+            // affine output t = k·x + b and folds (k, b) into the
+            // fetched segment parameters, so the array evaluates
+            // f(k·x + b) as a single x ⊙ k' + b' sweep.
+            let dims = ins[0].dims();
+            let (c, h, w) = (dims[0], dims[1], dims[2]);
+            let mut t = ins[0].clone();
+            for ch in 0..c {
+                for v in &mut t.as_mut_slice()[ch * h * w..(ch + 1) * h * w] {
+                    *v = *v * k[ch] + b[ch];
+                }
+            }
+            match mode {
+                EvalMode::Exact => Ok(t.map(|v| func.eval(v))),
+                EvalMode::Cpwl { granularity, .. } => {
+                    let table = tables
+                        .get(granularity)?
+                        .table(*func)
+                        .ok_or(TensorError::InvalidArgument("function not in table set"))?;
+                    let ipf = table.ipf(&t);
+                    let mut kk = ipf.k;
+                    let mut bb = ipf.b;
+                    for ch in 0..c {
+                        for i in ch * h * w..(ch + 1) * h * w {
+                            let seg_k = kk.as_slice()[i];
+                            kk.as_mut_slice()[i] = seg_k * k[ch];
+                            bb.as_mut_slice()[i] += seg_k * b[ch];
+                        }
+                    }
+                    parallel::mhp(ins[0], &kk, &bb, par)
+                }
+            }
         }
         Op::Scale(f) => Ok(ins[0].scale(*f)),
         Op::Transpose => ins[0].transpose(),

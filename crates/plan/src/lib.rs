@@ -20,6 +20,15 @@
 //!   program scheduler — the whole network coalesces, not just the final
 //!   shared-weight classifier.
 //!
+//! Between emission and execution sits the **optimizer** ([`opt`]): an
+//! ordered pass pipeline behind [`OptLevel`] (duplicate-boundary
+//! elision, common-subexpression sharing, opt-in Affine+Nonlinear
+//! fusion, dead-slot sweep) whose default level is bit-identical to the
+//! raw emission. Compilation is memoized through [`CompileCache`], and
+//! [`Program::consts`] are `Arc`-shared, so cloning a compiled program
+//! — which the serving layer does once per request — never copies
+//! weight data.
+//!
 //! The IR sits *below* `onesa-nn` in the crate DAG so models can emit
 //! programs (via [`Compile`]) while `onesa-core` re-exports everything
 //! here as `onesa_core::plan` and schedules programs through its batch
@@ -62,10 +71,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod exec;
+pub mod opt;
 mod program;
 
+pub use cache::CompileCache;
 pub use exec::{run_staged, ProgramRun, StageGroups, StagedRun, TableCache};
+pub use opt::{OptLevel, OptReport, OptTotals, PassStats};
 pub use program::{
     tensor_fingerprint, EvalMode, Op, OpNode, Operand, PoolKind, Program, ProgramBuilder,
 };
@@ -85,4 +98,15 @@ pub trait Compile<Ctx> {
     ///
     /// Shape errors if `Ctx` describes inputs the model cannot consume.
     fn compile(&self, ctx: Ctx) -> onesa_tensor::Result<Program>;
+
+    /// Compiles and runs the optimizer pipeline at `level` (see
+    /// [`opt`]): what the serving-side wrappers call, usually through a
+    /// [`CompileCache`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Compile::compile`].
+    fn compile_optimized(&self, ctx: Ctx, level: OptLevel) -> onesa_tensor::Result<Program> {
+        self.compile(ctx)?.optimize(level)
+    }
 }

@@ -1,9 +1,11 @@
 //! The Program IR: ops, slots, shape inference, validation and costing.
 
+use crate::opt::OptReport;
 use onesa_cpwl::NonlinearFn;
 use onesa_sim::{analytic, ArrayConfig, CycleBreakdown, ExecStats};
 use onesa_tensor::im2col::Conv2dGeometry;
 use onesa_tensor::{Result, Tensor, TensorError};
+use std::sync::Arc;
 
 /// How a program evaluates its nonlinear operations — the compile-time
 /// image of `onesa_nn::infer::InferenceMode` (the IR sits below `nn` in
@@ -38,6 +40,19 @@ impl EvalMode {
         match self {
             EvalMode::Exact => 1,
             EvalMode::Cpwl { granularity, .. } => 2 | (u64::from(granularity.to_bits()) << 8),
+        }
+    }
+
+    /// Compile-cache key: unlike [`EvalMode::coalesce_key`] this also
+    /// distinguishes the `quantize` flag, because quantized and
+    /// unquantized programs at the same granularity emit different ops.
+    pub(crate) fn cache_key(&self) -> u64 {
+        match self {
+            EvalMode::Exact => 0,
+            EvalMode::Cpwl {
+                granularity,
+                quantize,
+            } => 1 | (u64::from(*quantize) << 1) | (u64::from(granularity.to_bits()) << 8),
         }
     }
 }
@@ -118,6 +133,21 @@ pub enum Op {
     },
     /// Uniform scaling `y = c·x` (attention's `1/√d_k`).
     Scale(f32),
+    /// A per-channel affine followed by a pointwise nonlinear, executed
+    /// as **one** MHP pass: the IPF stage folds the affine's `(k, b)`
+    /// into the table segment parameters, so the array evaluates
+    /// `f(k·x + b)` without a separate affine pass. Only the optimizer's
+    /// fusion pass ([`crate::opt::OptLevel::Fusion`]) emits this op — it
+    /// reassociates the multiply-add chain, so CPWL results may differ
+    /// from the unfused pair by a few ULPs (exact mode is unchanged).
+    AffineNonlinear {
+        /// Per-channel scale of the folded affine.
+        k: Vec<f32>,
+        /// Per-channel shift of the folded affine.
+        b: Vec<f32>,
+        /// The nonlinear applied to the affine output.
+        func: NonlinearFn,
+    },
     /// Matrix transpose.
     Transpose,
     /// Copies columns `start .. start+len` of a matrix (head slicing).
@@ -173,13 +203,18 @@ pub struct Program {
     name: String,
     mode: EvalMode,
     input_shapes: Vec<Vec<usize>>,
-    consts: Vec<Tensor>,
+    /// `Arc`-backed so cloning a compiled program — which the serving
+    /// layer does once per request — is O(ops), not O(weights).
+    consts: Vec<Arc<Tensor>>,
     nodes: Vec<OpNode>,
     /// Cached at [`ProgramBuilder::finish`]: the serving layer reads
     /// both on every admission/routing decision, and a program is
     /// immutable once built.
     fingerprint: u64,
     modeled_macs: u64,
+    /// Pass accounting of the optimizer run that produced this program
+    /// (`None` for a freshly-emitted, unoptimized program).
+    pub(crate) opt: Option<OptReport>,
 }
 
 /// Incrementally builds a [`Program`]; see [`Program::builder`].
@@ -188,7 +223,7 @@ pub struct ProgramBuilder {
     name: String,
     mode: EvalMode,
     input_shapes: Vec<Vec<usize>>,
-    consts: Vec<Tensor>,
+    consts: Vec<Arc<Tensor>>,
     nodes: Vec<OpNode>,
 }
 
@@ -211,6 +246,13 @@ impl ProgramBuilder {
 
     /// Registers a compile-time constant tensor, returning its operand.
     pub fn constant(&mut self, t: Tensor) -> Operand {
+        self.constant_shared(Arc::new(t))
+    }
+
+    /// Registers an already-shared constant without copying its data —
+    /// the zero-copy path compilers and the optimizer use to carry
+    /// weights from one program into another.
+    pub fn constant_shared(&mut self, t: Arc<Tensor>) -> Operand {
         self.consts.push(t);
         Operand::Const(self.consts.len() - 1)
     }
@@ -240,6 +282,7 @@ impl ProgramBuilder {
             nodes: self.nodes,
             fingerprint: 0,
             modeled_macs: 0,
+            opt: None,
         };
         program.validate()?;
         program.fingerprint = program.compute_fingerprint();
@@ -284,9 +327,18 @@ impl Program {
         &self.input_shapes
     }
 
-    /// The registered constants.
-    pub fn consts(&self) -> &[Tensor] {
+    /// The registered constants (shared, so cloning a program never
+    /// copies weight data).
+    pub fn consts(&self) -> &[Arc<Tensor>] {
         &self.consts
+    }
+
+    /// Pass accounting of the [`Program::optimize`](crate::opt) run that
+    /// produced this program; `None` for an unoptimized program. The
+    /// batch/serve engines roll these totals into their
+    /// `ServingReport`s.
+    pub fn opt_report(&self) -> Option<&OptReport> {
+        self.opt.as_ref()
     }
 
     /// The topologically-ordered op nodes.
@@ -332,12 +384,14 @@ impl Program {
             // standard table set must be rejected here, not at run time
             // (where it would fail an engine's whole batch).
             for node in &self.nodes {
-                if let Op::Nonlinear(func) = node.op {
-                    if !onesa_cpwl::ops::TableSet::supports(func) {
-                        return Err(TensorError::InvalidArgument(
-                            "program nonlinear not in the CPWL table set",
-                        ));
-                    }
+                let func = match node.op {
+                    Op::Nonlinear(func) | Op::AffineNonlinear { func, .. } => func,
+                    _ => continue,
+                };
+                if !onesa_cpwl::ops::TableSet::supports(func) {
+                    return Err(TensorError::InvalidArgument(
+                        "program nonlinear not in the CPWL table set",
+                    ));
                 }
             }
         }
@@ -535,6 +589,10 @@ fn infer_shape(op: &Op, ins: &[&[usize]]) -> Result<Vec<usize>> {
             [c, h, w] if k.len() == c && b.len() == c => Ok(vec![c, h, w]),
             _ => Err(shape_err(ins[0], &[k.len(), 0, 0], "plan::Affine")),
         },
+        Op::AffineNonlinear { k, b, .. } => match *ins[0] {
+            [c, h, w] if k.len() == c && b.len() == c => Ok(vec![c, h, w]),
+            _ => Err(shape_err(ins[0], &[k.len(), 0, 0], "plan::AffineNonlinear")),
+        },
         Op::Scale(_) => Ok(ins[0].to_vec()),
         Op::Transpose => {
             let (m, n) = matrix(ins[0])?;
@@ -606,6 +664,13 @@ pub(crate) fn op_cost(op: &Op, in0: &[usize], out: &[usize], cfg: &ArrayConfig) 
             analytic::gemm_stats(cfg, m, k, n)
         }
         Op::Nonlinear(_) => {
+            let (m, n) = mat_or_row(in0);
+            analytic::nonlinear_stats(cfg, m, n)
+        }
+        // The fused affine+nonlinear is exactly one IPF + MHP pass: the
+        // affine's (k, b) fold into the fetched segment parameters, so
+        // the separate affine MHP the unfused pair would cost is gone.
+        Op::AffineNonlinear { .. } => {
             let (m, n) = mat_or_row(in0);
             analytic::nonlinear_stats(cfg, m, n)
         }

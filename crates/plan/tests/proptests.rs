@@ -1,0 +1,172 @@
+//! Property-based tests for the program optimizer: randomized
+//! geometries and evaluation modes, conservatively-emitted programs
+//! with duplicate boundaries / shared subexpressions, and the two
+//! contracts the pass pipeline promises —
+//!
+//! * [`OptLevel::Standard`] output is **bit-identical** to the
+//!   unoptimized program on every input;
+//! * [`OptLevel::Fusion`] output matches within 1e-6 relative.
+
+use onesa_cpwl::NonlinearFn;
+use onesa_plan::{CompileCache, EvalMode, Op, OptLevel, Program, TableCache};
+use onesa_tensor::parallel::Parallelism;
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::Tensor;
+use proptest::prelude::*;
+
+fn mode_strategy() -> impl Strategy<Value = EvalMode> {
+    prop_oneof![
+        Just(EvalMode::Exact),
+        Just(EvalMode::Cpwl {
+            granularity: 0.25,
+            quantize: true,
+        }),
+        Just(EvalMode::Cpwl {
+            granularity: 0.5,
+            quantize: false,
+        }),
+        Just(EvalMode::Cpwl {
+            granularity: 0.125,
+            quantize: true,
+        }),
+    ]
+}
+
+/// A conservatively-emitted two-layer network over a random geometry:
+/// the input is quantized once per consumer (two GEMM branches against
+/// the same weights plus their sum), exactly the redundancy the
+/// frontend emits and the optimizer is expected to clean up.
+fn conservative_mlp(mode: EvalMode, m: usize, k: usize, n: usize, seed: u64) -> Program {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let w = rng.randn(&[k, n], 1.0);
+    let w2 = rng.randn(&[n, 3], 1.0);
+    let mut b = Program::builder("prop-mlp", mode);
+    let x = b.input(&[m, k]);
+    let q1 = b.push(Op::Quantize, &[x]);
+    let q2 = b.push(Op::Quantize, &[x]);
+    let c = b.constant(w.clone());
+    let c_dup = b.constant(w); // duplicate registration: CSE sees through it
+    let g1 = b.push(Op::Gemm { bias: None }, &[q1, c]);
+    let g2 = b.push(Op::Gemm { bias: None }, &[q2, c_dup]);
+    let sum = b.push(Op::Add, &[g1, g2]);
+    let nl = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[sum]);
+    let c2 = b.constant(w2);
+    b.push(Op::Gemm { bias: None }, &[nl, c2]);
+    b.finish().expect("program builds")
+}
+
+/// A conv-shaped program ending in folded batch norm + activation — the
+/// pattern the fusion pass targets.
+fn affine_nonlinear_program(mode: EvalMode, c: usize, h: usize, seed: u64) -> Program {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let k: Vec<f32> = (0..c).map(|_| rng.randn(&[1], 1.0).as_slice()[0]).collect();
+    let bias: Vec<f32> = (0..c).map(|_| rng.randn(&[1], 0.5).as_slice()[0]).collect();
+    let mut b = Program::builder("prop-affine", mode);
+    let x = b.input(&[c, h, h]);
+    let a = b.push(Op::Affine { k, b: bias }, &[x]);
+    let r = b.push(Op::Nonlinear(NonlinearFn::Relu), &[a]);
+    b.push(Op::Scale(0.5), &[r]);
+    b.finish().expect("program builds")
+}
+
+fn run(p: &Program, x: &Tensor) -> Tensor {
+    p.run(
+        std::slice::from_ref(x),
+        Parallelism::Sequential,
+        &mut TableCache::new(),
+    )
+    .expect("program executes")
+    .output
+}
+
+proptest! {
+    // Pinned case count: CI runs are deterministic and reproducible.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Standard-level optimization is bit-identical over randomized
+    /// geometries and modes, and actually removes the emitted
+    /// redundancy (one duplicate boundary under quantized modes, one
+    /// CSE-shared GEMM always).
+    #[test]
+    fn standard_level_is_bit_identical(
+        mode in mode_strategy(),
+        m in 1usize..5,
+        k in 1usize..7,
+        n in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let p = conservative_mlp(mode, m, k, n, seed);
+        let o = p.optimize(OptLevel::Standard).expect("optimizes");
+        let report = o.opt_report().expect("report recorded");
+        prop_assert_eq!(report.totals.shared, 1);
+        if matches!(mode, EvalMode::Cpwl { quantize: true, .. }) {
+            prop_assert_eq!(report.totals.elided, 1);
+        }
+        prop_assert!(o.stages() < p.stages());
+        let x = Pcg32::seed_from_u64(seed ^ 0xABCD).randn(&[m, k], 1.0);
+        let (y0, y1) = (run(&p, &x), run(&o, &x));
+        for (a, b) in y0.as_slice().iter().zip(y1.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+        }
+        // Structural invariants survive the rewrite.
+        prop_assert_eq!(o.output_shape(), p.output_shape());
+        prop_assert_eq!(o.modeled_macs() > 0, true);
+    }
+
+    /// Fusion-level optimization matches within 1e-6 relative and cuts
+    /// the modeled MACs (the affine MHP pass folds away).
+    #[test]
+    fn fusion_level_matches_within_tolerance(
+        mode in mode_strategy(),
+        c in 1usize..4,
+        h in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let p = affine_nonlinear_program(mode, c, h, seed);
+        let o = p.optimize(OptLevel::Fusion).expect("optimizes");
+        prop_assert_eq!(o.opt_report().expect("report").totals.fused, 1);
+        prop_assert!(o.modeled_macs() < p.modeled_macs());
+        let x = Pcg32::seed_from_u64(seed ^ 0x5EED).randn(&[c, h, h], 1.0);
+        let (y0, y1) = (run(&p, &x), run(&o, &x));
+        for (a, b) in y0.as_slice().iter().zip(y1.as_slice()) {
+            let tol = 1e-6 * a.abs().max(1.0);
+            prop_assert!((a - b).abs() <= tol, "{} vs {}", a, b);
+        }
+        // Exact mode evaluates f(k·x + b) in the same op order: the
+        // fused program must be bit-identical there.
+        if matches!(mode, EvalMode::Exact) {
+            for (a, b) in y0.as_slice().iter().zip(y1.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// The compile cache hits (same `Arc`, stable fingerprint) for a
+    /// repeated geometry and misses for a fresh one.
+    #[test]
+    fn compile_cache_hits_and_invalidates(
+        mode in mode_strategy(),
+        m in 1usize..5,
+        k in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let cache = CompileCache::new();
+        let build = |m: usize| {
+            conservative_mlp(mode, m, k, 4, seed).optimize(OptLevel::Standard)
+        };
+        let a = cache
+            .get_or_compile(mode, &[m, k], 0, || build(m))
+            .expect("compiles");
+        let b = cache
+            .get_or_compile(mode, &[m, k], 0, || build(m))
+            .expect("compiles");
+        prop_assert!(std::sync::Arc::ptr_eq(&a, &b));
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let g = cache
+            .get_or_compile(mode, &[m + 1, k], 0, || build(m + 1))
+            .expect("compiles");
+        prop_assert!(!std::sync::Arc::ptr_eq(&a, &g));
+        prop_assert_eq!(cache.misses(), 2);
+    }
+}

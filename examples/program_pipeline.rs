@@ -9,7 +9,9 @@
 //! The demo:
 //!
 //! 1. compiles a residual CNN and a transformer encoder to
-//!    `onesa_core::plan::Program`s (via `onesa_nn`'s `Compile` impls),
+//!    `onesa_core::plan::Program`s (via `onesa_nn`'s `Compile` impls)
+//!    and runs the optimizer pipeline over them, printing each pass's
+//!    `PassStats` (boundary elisions, CSE shares, fusions),
 //! 2. submits several instances of each to one `BatchEngine` and shows
 //!    the per-stage kernel-group accounting — shared-weight GEMM
 //!    stacking and shared-table IPF concatenation collapse each stage's
@@ -22,7 +24,7 @@
 //! Everything is bit-identical to the models' direct layer-by-layer
 //! inference — asserted below, not just claimed.
 
-use onesa_core::plan::Compile;
+use onesa_core::plan::{Compile, OptLevel};
 use onesa_core::serve::{AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, Ticket};
 use onesa_core::{BatchEngine, OneSa, Parallelism};
 use onesa_nn::models::{SmallCnn, TinyBert};
@@ -37,12 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bert = TinyBert::new(5, 32, 12, 2, 1);
     let mut rng = Pcg32::seed_from_u64(2026);
 
-    // ---- 1. compile whole networks to Program IR --------------------
-    let cnn_program = cnn.compile((&mode, (8, 8)))?;
+    // ---- 1. compile whole networks to Program IR and optimize -------
+    let cnn_raw = cnn.compile((&mode, (8, 8)))?;
     let seq: Vec<usize> = vec![3, 1, 4, 1, 5, 9, 2, 6];
-    let bert_program = bert.compile((&mode, seq.len()))?;
+    let bert_raw = bert.compile((&mode, seq.len()))?;
     println!("compiled programs ({}):", mode.label());
-    for p in [&cnn_program, &bert_program] {
+    for p in [&cnn_raw, &bert_raw] {
         println!(
             "  {:<12} {:>3} stages, {:>8} modeled MACs, output {:?}",
             p.name(),
@@ -51,6 +53,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.output_shape()
         );
     }
+
+    // The serving wrappers run the bit-identical Standard level; the
+    // opt-in Fusion level additionally folds Affine+ReLU pairs into
+    // single MHP passes (reassociates — within 1e-6, not bit-exact).
+    let cnn_program = cnn_raw.optimize(OptLevel::Standard)?;
+    let bert_program = bert_raw.optimize(OptLevel::Standard)?;
+    println!("\noptimizer pass stats (PassStats, ops removed per pass):");
+    for (raw, level) in [
+        (&cnn_raw, OptLevel::Standard),
+        (&cnn_raw, OptLevel::Fusion),
+        (&bert_raw, OptLevel::Standard),
+    ] {
+        let optimized = raw.optimize(level)?;
+        let report = optimized.opt_report().expect("optimize records a report");
+        let passes: Vec<String> = report
+            .passes
+            .iter()
+            .map(|p| format!("{}={}", p.pass, p.removed))
+            .collect();
+        println!(
+            "  {:<12} [{:<8}] {:>2} -> {:>2} ops ({:>4.1}% cut): {}",
+            raw.name(),
+            level.label(),
+            report.ops_before,
+            report.ops_after,
+            report.ops_removed_fraction() * 100.0,
+            passes.join(", ")
+        );
+    }
+    // The >=10% op cut needs the opt-in Fusion level; the bit-identical
+    // Standard level that serving runs contributes the 4% elision.
+    let fused = cnn_raw.optimize(OptLevel::Fusion)?;
+    assert!(
+        fused.opt_report().expect("report").ops_removed_fraction() >= 0.10,
+        "fusion level must cut >=10% of the CNN's ops"
+    );
+    assert!(fused.modeled_macs() < cnn_raw.modeled_macs());
+
+    // Repeated wrapper calls hit the model's CompileCache: no re-emit,
+    // no weight copies — just an Arc clone per request.
+    let warm = rng.randn(&[1, 8, 8], 1.0);
+    let _ = cnn.logits(&warm, &mode);
+    let hits_before = cnn.compile_cache().hits();
+    let _ = cnn.logits(&warm, &mode);
+    assert_eq!(cnn.compile_cache().hits(), hits_before + 1);
+    println!(
+        "\ncompile cache: {} hit(s), {} miss(es) after repeated logits calls",
+        cnn.compile_cache().hits(),
+        cnn.compile_cache().misses()
+    );
 
     // ---- 2. concurrent programs through one BatchEngine -------------
     let images: Vec<Tensor> = (0..4).map(|_| rng.randn(&[1, 8, 8], 1.0)).collect();

@@ -15,7 +15,7 @@
 //!    stages, not just the classifier: kernel-group counts drop versus
 //!    uncoalesced solo runs.
 
-use onesa_core::plan::{Compile, TableCache};
+use onesa_core::plan::{Compile, OptLevel, TableCache};
 use onesa_core::serve::{AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, Ticket};
 use onesa_core::{BatchEngine, OneSa, Parallelism, Request};
 use onesa_data::Difficulty;
@@ -328,6 +328,156 @@ fn affinity_routed_program_windows_coalesce_on_their_shard() {
     // single coalesced kernel call instead of four.
     assert_eq!(summary.report.gemm_groups, gemm_stages);
     assert!(summary.modeled_speedup() > 1.0);
+}
+
+fn assert_close_rel(label: &str, got: &[f32], want: &[f32], tol: f32) {
+    assert_eq!(got.len(), want.len(), "{label}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let bound = tol * w.abs().max(1.0);
+        assert!(
+            (g - w).abs() <= bound,
+            "{label}: element {i} off by {} ({g} vs {w})",
+            (g - w).abs()
+        );
+    }
+}
+
+/// The tentpole contract: default-level (`Standard`) optimized programs
+/// are bit-identical to the unoptimized emission for every model family
+/// × mode × engine path, and `Fusion` matches within 1e-6 relative.
+#[test]
+fn optimized_programs_match_unoptimized_across_models_modes_and_engines() {
+    let (cnn, bert, gcn, graph) = models();
+    let x = Pcg32::seed_from_u64(7).randn(&[1, 8, 8], 1.0);
+    let seq: Vec<usize> = vec![3, 1, 4, 1, 5, 9];
+    for mode in modes() {
+        let mut cache = TableCache::new();
+        let programs: Vec<(onesa_core::Program, Vec<Tensor>, &str)> = vec![
+            (
+                cnn.compile((&mode, (8, 8))).unwrap(),
+                vec![x.clone()],
+                "cnn",
+            ),
+            (
+                bert.compile((&mode, seq.len())).unwrap(),
+                vec![TinyBert::ids_tensor(&seq)],
+                "bert",
+            ),
+            (
+                gcn.compile((&mode, &graph)).unwrap(),
+                vec![graph.x.clone()],
+                "gcn",
+            ),
+        ];
+        for (raw, inputs, name) in &programs {
+            let label = format!("{name} / {}", mode.label());
+            let std = raw.optimize(OptLevel::Standard).unwrap();
+            let fused = raw.optimize(OptLevel::Fusion).unwrap();
+            assert!(std.stages() <= raw.stages(), "{label}");
+            let want = raw
+                .run(inputs, Parallelism::Sequential, &mut cache)
+                .unwrap()
+                .output;
+
+            // Solo executor: Standard bit-identical, Fusion ≤ 1e-6 rel.
+            let got = std
+                .run(inputs, Parallelism::Sequential, &mut cache)
+                .unwrap()
+                .output;
+            assert_bits_eq(
+                &format!("{label} solo/std"),
+                got.as_slice(),
+                want.as_slice(),
+            );
+            let got = fused
+                .run(inputs, Parallelism::Sequential, &mut cache)
+                .unwrap()
+                .output;
+            assert_close_rel(
+                &format!("{label} solo/fusion"),
+                got.as_slice(),
+                want.as_slice(),
+                1e-6,
+            );
+
+            // BatchEngine: raw and optimized ride in one queue.
+            let mut serving = BatchEngine::new(OneSa::new(ArrayConfig::new(8, 16)), 0.25).unwrap();
+            serving.submit_program(raw.clone(), inputs.clone()).unwrap();
+            serving.submit_program(std.clone(), inputs.clone()).unwrap();
+            let run = serving.run().unwrap();
+            assert_bits_eq(
+                &format!("{label} engine/raw"),
+                run.outcomes[0].output.as_slice(),
+                want.as_slice(),
+            );
+            assert_bits_eq(
+                &format!("{label} engine/std"),
+                run.outcomes[1].output.as_slice(),
+                want.as_slice(),
+            );
+
+            // ServeEngine: optimized program through the async pool.
+            let pool = ServeEngine::start(ServeConfig::uniform(
+                2,
+                ArrayConfig::new(8, 16),
+                Parallelism::Sequential,
+            ))
+            .unwrap();
+            let ticket = pool.submit_program(std.clone(), inputs.clone()).unwrap();
+            let served = ticket.wait().unwrap();
+            assert_bits_eq(
+                &format!("{label} serve/std"),
+                served.output.as_slice(),
+                want.as_slice(),
+            );
+            let summary = pool.finish().unwrap();
+            // The program's optimizer totals surfaced in the summary.
+            let report = std.opt_report().unwrap();
+            assert_eq!(
+                summary.report.opt.removed(),
+                report.totals.removed(),
+                "{label}"
+            );
+        }
+    }
+}
+
+/// The acceptance numbers of the optimizer on the quantized CNN. To be
+/// explicit about which level delivers what: the bit-identical
+/// `Standard` level (what production serving runs) elides the duplicate
+/// residual boundary — a 4% cut (25 → 24 ops) — and the ≥10% headline
+/// requires the opt-in `Fusion` level, where the two folded-batch-norm
+/// and ReLU pairs additionally collapse (25 → 22 ops, 12%) at the cost
+/// of ≤1e-6 reassociation error. Both numbers are pinned here and
+/// recorded per level in `BENCH_program_optimizer.json`.
+#[test]
+fn optimizer_cuts_the_quantized_cnn_op_count_by_ten_percent() {
+    let (cnn, _, _, _) = models();
+    let mode = InferenceMode::cpwl(0.25).unwrap();
+    let raw = cnn.compile((&mode, (8, 8))).unwrap();
+    let std = raw.optimize(OptLevel::Standard).unwrap();
+    let fused = raw.optimize(OptLevel::Fusion).unwrap();
+    // Standard: the duplicated residual-skip boundary elides (4%).
+    assert_eq!(std.opt_report().unwrap().totals.elided, 1);
+    assert_eq!((raw.stages(), std.stages()), (25, 24));
+    // Fusion: both Affine+ReLU pairs collapse into single MHP passes.
+    assert_eq!(fused.opt_report().unwrap().totals.fused, 2);
+    let cut = fused.opt_report().unwrap().ops_removed_fraction();
+    assert!(
+        cut >= 0.10,
+        "optimizer cut {:.1}% of the CNN's ops ({} -> {})",
+        cut * 100.0,
+        raw.stages(),
+        fused.stages()
+    );
+    assert!(fused.modeled_macs() < raw.modeled_macs());
+
+    // The serving wrappers run the Standard level: their op counts (and
+    // outputs) match the pre-conservative-emission PR-4 graph shape.
+    let wrapped = cnn
+        .compile_optimized((&mode, (8, 8)), OptLevel::Standard)
+        .unwrap();
+    assert_eq!(wrapped.stages(), raw.stages() - 1);
 }
 
 #[test]
