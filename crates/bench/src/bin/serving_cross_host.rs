@@ -1,0 +1,166 @@
+//! Emits the `BENCH_serving_cross_host.json` perf baseline: one mixed
+//! request queue served by identical 2-shard pools under the three
+//! shard backends — in-process threads, worker processes over
+//! Unix-domain sockets, and worker processes over TCP.
+//!
+//! ```sh
+//! cargo build --release   # the worker binary must exist
+//! cargo run --release -q -p onesa-bench --bin serving_cross_host > BENCH_serving_cross_host.json
+//! ```
+//!
+//! The committed copy at the repository root records the wire overhead
+//! trajectory later serving PRs must not regress. Number families:
+//!
+//! * `modeled_*` — simulated-array makespan. **Identical across
+//!   backends by construction** (the wire moves bits, not math): the
+//!   JSON asserts this, making the file a correctness record too.
+//! * `wall_*` — host wall-clock, machine-dependent; `wire_overhead`
+//!   is each socket backend's wall time relative to in-process.
+//! * `weight_cache` — how many program sends shipped constants versus
+//!   riding a fingerprint reference, and the bytes that elision saved.
+
+use onesa_bench::time_best;
+use onesa_core::plan::Compile;
+use onesa_core::serve::{
+    AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, ShardBackend, Ticket,
+};
+use onesa_core::{
+    default_worker_path, Parallelism, ProcessConfig, Request, ServeSummary, Transport,
+};
+use onesa_cpwl::NonlinearFn;
+use onesa_nn::infer::InferenceMode;
+use onesa_nn::models::SmallCnn;
+use onesa_sim::ArrayConfig;
+use onesa_tensor::rng::Pcg32;
+use std::time::Instant;
+
+/// The queue: 12 shared-weight GEMMs, 6 nonlinears, 6 submissions of
+/// one compiled CNN program (weight-cache fodder).
+fn build_mix() -> Vec<Request> {
+    let mut rng = Pcg32::seed_from_u64(2027);
+    let w1 = rng.randn(&[128, 64], 1.0);
+    let w2 = rng.randn(&[128, 96], 1.0);
+    let mut requests = Vec::new();
+    for i in 0..12 {
+        let a = rng.randn(&[8 + (i % 4) * 8, 128], 1.0);
+        requests.push(Request::gemm(a, [&w1, &w2][i % 2].clone()));
+    }
+    for i in 0..6 {
+        let func = if i % 2 == 0 {
+            NonlinearFn::Gelu
+        } else {
+            NonlinearFn::Sigmoid
+        };
+        requests.push(Request::nonlinear(func, rng.randn(&[16, 32], 1.5)));
+    }
+    let cnn = SmallCnn::new(7, 1, 4);
+    let mode = InferenceMode::cpwl(0.25).expect("paper granularity");
+    let program = cnn.compile((&mode, (8, 8))).expect("CNN compiles");
+    for _ in 0..6 {
+        let x = rng.randn(&[1, 8, 8], 1.0);
+        requests.push(Request::program(program.clone(), vec![x]));
+    }
+    requests
+}
+
+/// One pool lifetime (paused pre-load → resume → wait → finish).
+fn serve_once(backend: &ShardBackend, requests: &[Request]) -> (ServeSummary, f64) {
+    let pool = ServeEngine::start(
+        ServeConfig::uniform(2, ArrayConfig::new(8, 16), Parallelism::Sequential)
+            .with_admission(AdmissionPolicy::Fifo { window: 8 })
+            .with_routing(RoutePolicy::RoundRobin)
+            .start_paused()
+            .with_backend(backend.clone()),
+    )
+    .expect("pool starts");
+    let tickets: Vec<Ticket> = requests
+        .iter()
+        .map(|r| pool.submit(r.clone()).expect("queue open"))
+        .collect();
+    let t0 = Instant::now();
+    pool.resume();
+    for t in tickets {
+        t.wait().expect("request served");
+    }
+    let summary = pool.finish().expect("pool drains cleanly");
+    (summary, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    assert!(
+        default_worker_path().is_some(),
+        "onesa-shard-worker binary not found; run `cargo build --release` first \
+         (or set ONESA_SHARD_WORKER)"
+    );
+    let requests = build_mix();
+    let n = requests.len();
+    let backends = [
+        ("in_process", ShardBackend::InProcess),
+        (
+            "unix_socket",
+            ShardBackend::Process(ProcessConfig::new(Transport::Unix)),
+        ),
+        (
+            "tcp_socket",
+            ShardBackend::Process(ProcessConfig::new(Transport::Tcp)),
+        ),
+    ];
+    // Best-of-3 on wall time; worker spawn + handshake are inside the
+    // pool lifetime on purpose (that IS the cross-host cost).
+    let runs: Vec<(ServeSummary, f64)> = backends
+        .iter()
+        .map(|(_, b)| time_best(3, || serve_once(b, &requests)).0)
+        .collect();
+    let makespan_0 = runs[0].0.report.batched_seconds;
+    for (summary, _) in &runs {
+        assert_eq!(
+            summary.report.batched_seconds.to_bits(),
+            makespan_0.to_bits(),
+            "modeled makespan must be identical across shard backends"
+        );
+    }
+    let wall_0 = runs[0].1;
+
+    println!("{{");
+    println!("  \"bench\": \"serving_cross_host\",");
+    println!("  \"layer\": \"onesa_core::serve::ServeEngine + onesa_core::net\",");
+    println!("  \"host_workers\": {},", Parallelism::Auto.worker_count());
+    println!("  \"array\": \"8x8 PEs x 16 MACs per shard, 2 shards\",");
+    println!("  \"admission\": \"fifo(window=8)\", \"routing\": \"round_robin\",");
+    println!(
+        "  \"mix\": {{ \"requests\": {n}, \"gemm\": 12, \"nonlinear\": 6, \
+         \"program\": 6, \"distinct_programs\": 1 }},"
+    );
+    println!("  \"backends\": [");
+    for (idx, ((name, _), (summary, wall))) in backends.iter().zip(&runs).enumerate() {
+        let cache = summary.wire_cache;
+        println!("    {{");
+        println!("      \"backend\": \"{name}\",");
+        println!(
+            "      \"wall_ms\": {:.3}, \"wall_rps\": {:.0}, \"wire_overhead\": {:.2},",
+            wall * 1e3,
+            n as f64 / wall,
+            wall / wall_0
+        );
+        println!(
+            "      \"modeled_makespan_ms\": {:.4}, \"modeled_rps\": {:.0},",
+            summary.report.batched_seconds * 1e3,
+            n as f64 / summary.report.batched_seconds
+        );
+        println!(
+            "      \"weight_cache\": {{ \"full_sends\": {}, \"ref_sends\": {}, \
+             \"hit_ratio\": {:.2}, \"const_bytes_saved\": {} }}",
+            cache.full_sends,
+            cache.ref_sends,
+            cache.hit_ratio(),
+            cache.const_bytes_saved
+        );
+        println!("    }}{}", if idx + 1 < backends.len() { "," } else { "" });
+    }
+    println!("  ],");
+    println!(
+        "  \"stable_quantity\": \"modeled_* is bit-identical across backends (asserted); \
+         wall_* and wire_overhead follow the host\""
+    );
+    println!("}}");
+}

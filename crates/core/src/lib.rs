@@ -32,6 +32,7 @@ mod flex;
 mod report;
 
 pub mod batch;
+pub mod net;
 pub mod serve;
 
 /// The operator-graph Program IR (re-export of the `onesa-plan` crate).
@@ -48,11 +49,12 @@ pub mod plan {
 pub use batch::{BatchEngine, BatchRun, Request, RequestId, RequestOutcome, ServingReport};
 pub use engine::OneSa;
 pub use flex::split_accelerator_cycles;
+pub use net::{default_worker_path, ProcessConfig, Transport, WeightCacheStats};
 pub use onesa_nn::workloads::Workload;
 pub use onesa_plan::{Compile, Program, StageGroups};
 pub use onesa_tensor::parallel::Parallelism;
 pub use report::ExecutionReport;
 pub use serve::{
     AdmissionPolicy, RoutePolicy, ServeClient, ServeConfig, ServeEngine, ServeError, ServeSummary,
-    ServedOutcome, ShardSpec, ShardStats, Ticket, TicketId, TrySubmitError,
+    ServedOutcome, ShardBackend, ShardSpec, ShardStats, Ticket, TicketId, TrySubmitError,
 };

@@ -1,0 +1,1198 @@
+//! Cross-host serving transport: shard workers as **separate
+//! processes**, programs as the wire unit.
+//!
+//! [`crate::serve::ServeEngine`] normally runs its shards as threads.
+//! This module provides the process-boundary variant: each shard is an
+//! `onesa-shard-worker` binary spawned by the host, connected over a
+//! Unix-domain socket or loopback TCP ([`Transport`]), speaking a
+//! framed protocol whose payloads are encoded with
+//! [`onesa_plan::wire`]. The worker builds the *same*
+//! [`BatchEngine`] the in-process shard would, and the wire format
+//! preserves every `f32` bit, so a process-backed pool is bit-identical
+//! to the in-process one — the cross-host integration suite asserts
+//! this for every admission × routing policy.
+//!
+//! # Protocol
+//!
+//! Every message is one `onesa-plan` wire frame, length-prefixed on the
+//! stream (`u32` LE). Handshake, then windows:
+//!
+//! ```text
+//! worker → host   Hello      { wire format version }
+//! host → worker   Configure  { granularity, ArrayConfig, Parallelism }
+//! worker → host   Ready      {}
+//! host → worker   Window     { n × (ticket, request) }
+//! worker → host   Outcomes   { n × (ticket, output, stats, op_stats), report }
+//!              or WindowError{ message }          (batch failed; engine cleared)
+//! host → worker   Ping       {}        worker → host  Pong {}
+//! host → worker   Shutdown   {}        (worker exits 0)
+//! ```
+//!
+//! # The weight-cache protocol
+//!
+//! Program consts (the weights) dominate request bytes. The host keeps,
+//! per worker, the set of program fingerprints it has already shipped:
+//! the first request for a program sends the **full** frame (consts
+//! included) and later requests send a *const-free delta* — just the
+//! fingerprint plus the input tensors. The worker caches decoded
+//! programs by fingerprint (consts `Arc`-shared, so the cache holds one
+//! copy of each weight set). [`WeightCacheStats`] counts both kinds of
+//! send and the const bytes the refs avoided; the serve layer surfaces
+//! them per shard.
+//!
+//! # Worker death
+//!
+//! A killed worker closes its socket: the host's next write or read
+//! fails (EOF / `EPIPE`), or a [`WorkerHandle::ping`] times out. The
+//! serve layer's process backend reacts by requeuing the in-flight
+//! window on a surviving shard — see `crate::serve`'s failover notes.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use onesa_plan::wire::{self, FrameBuilder, FrameView, WireError, WireReader, WireWriter};
+use onesa_plan::OptTotals;
+use onesa_sim::{ArrayConfig, ExecStats};
+use onesa_tensor::parallel::Parallelism;
+use onesa_tensor::Tensor;
+
+use crate::batch::{BatchEngine, Request};
+use crate::engine::OneSa;
+
+// ---------------------------------------------------------------------
+// configuration
+// ---------------------------------------------------------------------
+
+/// Which socket family connects host and worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Unix-domain socket (default: lowest overhead on one machine).
+    #[default]
+    Unix,
+    /// Loopback TCP (the cross-host wire; also what a real multi-host
+    /// deployment would use, pointed at a remote address).
+    Tcp,
+}
+
+impl Transport {
+    /// Human-readable name (`"unix"` / `"tcp"`), used in bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Transport::Unix => "unix",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
+
+/// Configuration of the multi-process shard backend
+/// (`crate::serve::ShardBackend::Process`).
+#[derive(Debug, Clone, Default)]
+pub struct ProcessConfig {
+    /// Socket family between host and workers.
+    pub transport: Transport,
+    /// Path of the `onesa-shard-worker` binary. `None` resolves via
+    /// [`default_worker_path`] (the `ONESA_SHARD_WORKER` environment
+    /// variable, then siblings of the current executable).
+    pub worker: Option<PathBuf>,
+}
+
+impl ProcessConfig {
+    /// Process backend over the given transport, worker resolved by
+    /// [`default_worker_path`].
+    pub fn new(transport: Transport) -> Self {
+        ProcessConfig {
+            transport,
+            worker: None,
+        }
+    }
+}
+
+/// Locates the `onesa-shard-worker` binary: the `ONESA_SHARD_WORKER`
+/// environment variable if set, otherwise a sibling of the current
+/// executable (walking up to three directories, which covers
+/// `target/<profile>/examples/` and `target/<profile>/deps/`).
+pub fn default_worker_path() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("ONESA_SHARD_WORKER") {
+        return Some(PathBuf::from(p));
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?;
+    for _ in 0..3 {
+        let cand = dir.join(format!(
+            "onesa-shard-worker{}",
+            std::env::consts::EXE_SUFFIX
+        ));
+        if cand.is_file() {
+            return Some(cand);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+/// Weight-cache accounting for one worker connection: how often program
+/// consts actually crossed the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WeightCacheStats {
+    /// Program requests that shipped the full frame (first sighting of
+    /// a fingerprint on this worker).
+    pub full_sends: usize,
+    /// Program requests that sent only the fingerprint + inputs.
+    pub ref_sends: usize,
+    /// Const payload bytes the ref sends avoided (4 bytes per weight
+    /// element, per avoided resend).
+    pub const_bytes_saved: u64,
+}
+
+impl WeightCacheStats {
+    /// Fraction of program sends served from the worker's cache.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.full_sends + self.ref_sends;
+        if total == 0 {
+            0.0
+        } else {
+            self.ref_sends as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another connection's counters.
+    pub fn merge(&mut self, other: &WeightCacheStats) {
+        self.full_sends += other.full_sends;
+        self.ref_sends += other.ref_sends;
+        self.const_bytes_saved += other.const_bytes_saved;
+    }
+}
+
+// ---------------------------------------------------------------------
+// framing over a stream
+// ---------------------------------------------------------------------
+
+/// Message kinds (the `onesa-plan` wire layer reserves kinds below
+/// `0x0100` for standalone values).
+const KIND_HELLO: u16 = 0x0100;
+const KIND_CONFIGURE: u16 = 0x0101;
+const KIND_READY: u16 = 0x0102;
+const KIND_WINDOW: u16 = 0x0103;
+const KIND_OUTCOMES: u16 = 0x0104;
+const KIND_PING: u16 = 0x0105;
+const KIND_PONG: u16 = 0x0106;
+const KIND_SHUTDOWN: u16 = 0x0107;
+const KIND_WINDOW_ERROR: u16 = 0x0108;
+
+/// Section id used for a message's single body section.
+const SEC_BODY: u32 = 1;
+
+/// Refuse frames above this size — a corrupt length prefix must not
+/// drive a giant allocation. 1 GiB comfortably holds any real window.
+const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// Either socket family, as one readable/writable stream.
+#[derive(Debug)]
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            Stream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn wire_to_io(e: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+fn write_frame(stream: &mut Stream, bytes: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds size cap",
+        ));
+    }
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(bytes)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut Stream) -> io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    stream.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length prefix exceeds size cap",
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Builds a single-body-section message frame.
+fn message(kind: u16, body: WireWriter) -> Vec<u8> {
+    let mut f = FrameBuilder::new(kind);
+    f.section(SEC_BODY, body.into_bytes());
+    f.encode()
+}
+
+fn empty_message(kind: u16) -> Vec<u8> {
+    message(kind, WireWriter::new())
+}
+
+// ---------------------------------------------------------------------
+// request / outcome codecs (built on onesa-plan's wire primitives)
+// ---------------------------------------------------------------------
+
+const REQ_GEMM: u8 = 0;
+const REQ_NONLINEAR: u8 = 1;
+const REQ_PROGRAM_FULL: u8 = 2;
+const REQ_PROGRAM_REF: u8 = 3;
+
+/// Writes one request. Program requests consult (and update) the
+/// per-worker shipped-fingerprint set: known programs go out as
+/// const-free deltas.
+fn put_request(
+    w: &mut WireWriter,
+    req: &Request,
+    shipped: &mut HashSet<u64>,
+    stats: &mut WeightCacheStats,
+) {
+    match req {
+        Request::Gemm { a, b } => {
+            w.put_u8(REQ_GEMM);
+            wire::put_tensor(w, a);
+            wire::put_tensor(w, b);
+        }
+        Request::Nonlinear { func, x } => {
+            w.put_u8(REQ_NONLINEAR);
+            wire::put_nonlinear(w, *func);
+            wire::put_tensor(w, x);
+        }
+        Request::Program { program, inputs } => {
+            let fp = program.fingerprint();
+            if shipped.contains(&fp) {
+                w.put_u8(REQ_PROGRAM_REF);
+                w.put_u64(fp);
+                stats.ref_sends += 1;
+                stats.const_bytes_saved += program
+                    .consts()
+                    .iter()
+                    .map(|c| c.as_slice().len() as u64 * 4)
+                    .sum::<u64>();
+            } else {
+                w.put_u8(REQ_PROGRAM_FULL);
+                let frame = wire::encode_program(program);
+                w.put_usize(frame.len());
+                w.put_bytes(&frame);
+                shipped.insert(fp);
+                stats.full_sends += 1;
+            }
+            w.put_usize(inputs.len());
+            for t in inputs {
+                wire::put_tensor(w, t);
+            }
+        }
+    }
+}
+
+/// Reads one request on the worker, resolving program refs against (and
+/// inserting full programs into) the worker's fingerprint cache.
+fn get_request(
+    r: &mut WireReader<'_>,
+    cache: &mut HashMap<u64, onesa_plan::Program>,
+) -> Result<Request, WireError> {
+    match r.get_u8()? {
+        REQ_GEMM => {
+            let a = wire::get_tensor(r)?;
+            let b = wire::get_tensor(r)?;
+            Ok(Request::Gemm { a, b })
+        }
+        REQ_NONLINEAR => {
+            let func = wire::get_nonlinear(r)?;
+            let x = wire::get_tensor(r)?;
+            Ok(Request::Nonlinear { func, x })
+        }
+        tag @ (REQ_PROGRAM_FULL | REQ_PROGRAM_REF) => {
+            let program = if tag == REQ_PROGRAM_FULL {
+                let len = r.get_usize()?;
+                let frame = r.get_bytes(len)?;
+                let program = wire::decode_program(frame)?;
+                cache.insert(program.fingerprint(), program.clone());
+                program
+            } else {
+                let fp = r.get_u64()?;
+                cache
+                    .get(&fp)
+                    .cloned()
+                    .ok_or(WireError::Corrupt("program ref to unshipped fingerprint"))?
+            };
+            let n = r.get_usize()?;
+            if n > 4096 {
+                return Err(WireError::Corrupt("input count exceeds cap"));
+            }
+            let mut inputs = Vec::with_capacity(n);
+            for _ in 0..n {
+                inputs.push(wire::get_tensor(r)?);
+            }
+            Ok(Request::Program {
+                program: Box::new(program),
+                inputs,
+            })
+        }
+        _ => Err(WireError::Corrupt("unknown request tag")),
+    }
+}
+
+/// One per-request result coming back from a worker.
+#[derive(Debug)]
+pub struct RemoteOutcome {
+    /// The ticket the host attached to the request.
+    pub ticket: u64,
+    /// Output tensor, bit-identical to in-process execution.
+    pub output: Tensor,
+    /// Simulated solo stats for the request's own shape.
+    pub stats: ExecStats,
+    /// Per-op stats for program requests (empty otherwise).
+    pub op_stats: Vec<ExecStats>,
+}
+
+/// Everything one `Window → Outcomes` exchange produced.
+#[derive(Debug)]
+pub struct WindowResult {
+    /// Per-request outcomes, in the order the window sent them.
+    pub outcomes: Vec<RemoteOutcome>,
+    /// Coalesced GEMM kernel calls of the worker's batch.
+    pub gemm_groups: usize,
+    /// Coalesced IPF + MHP passes of the worker's batch.
+    pub nonlinear_groups: usize,
+    /// Multiply-accumulates the batch performed.
+    pub total_macs: u64,
+    /// Simulated array seconds of the batched schedule.
+    pub batched_seconds: f64,
+    /// Optimizer totals of the batch's program requests.
+    pub opt: OptTotals,
+}
+
+/// A window's outcome: executed, or failed as a unit (the worker's
+/// engine recovered and stays serviceable).
+#[derive(Debug)]
+pub enum WindowReply {
+    /// The batch executed; per-request outcomes inside.
+    Done(WindowResult),
+    /// The worker's `BatchEngine::run` rejected the batch.
+    Failed(String),
+}
+
+fn put_window_result(w: &mut WireWriter, outcomes: &[RemoteOutcome], result: &WindowResult) {
+    w.put_usize(outcomes.len());
+    for o in outcomes {
+        w.put_u64(o.ticket);
+        wire::put_tensor(w, &o.output);
+        wire::put_exec_stats(w, &o.stats);
+        w.put_usize(o.op_stats.len());
+        for s in &o.op_stats {
+            wire::put_exec_stats(w, s);
+        }
+    }
+    w.put_usize(result.gemm_groups);
+    w.put_usize(result.nonlinear_groups);
+    w.put_u64(result.total_macs);
+    w.put_f64(result.batched_seconds);
+    w.put_usize(result.opt.elided);
+    w.put_usize(result.opt.shared);
+    w.put_usize(result.opt.fused);
+    w.put_usize(result.opt.dead);
+}
+
+fn get_window_result(r: &mut WireReader<'_>) -> Result<WindowResult, WireError> {
+    let n = r.get_usize()?;
+    if n > 1_048_576 {
+        return Err(WireError::Corrupt("outcome count exceeds cap"));
+    }
+    let mut outcomes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let ticket = r.get_u64()?;
+        let output = wire::get_tensor(r)?;
+        let stats = wire::get_exec_stats(r)?;
+        let n_ops = r.get_usize()?;
+        if n_ops > 1_048_576 {
+            return Err(WireError::Corrupt("op-stat count exceeds cap"));
+        }
+        let mut op_stats = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            op_stats.push(wire::get_exec_stats(r)?);
+        }
+        outcomes.push(RemoteOutcome {
+            ticket,
+            output,
+            stats,
+            op_stats,
+        });
+    }
+    Ok(WindowResult {
+        outcomes,
+        gemm_groups: r.get_usize()?,
+        nonlinear_groups: r.get_usize()?,
+        total_macs: r.get_u64()?,
+        batched_seconds: r.get_f64()?,
+        opt: OptTotals {
+            elided: r.get_usize()?,
+            shared: r.get_usize()?,
+            fused: r.get_usize()?,
+            dead: r.get_usize()?,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// host side: spawning and driving one worker
+// ---------------------------------------------------------------------
+
+/// Distinguishes concurrently-spawned listeners within one process.
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// How long the host waits for a spawned worker to connect and
+/// handshake before declaring the spawn failed.
+const SPAWN_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// A spawned shard worker process plus its connected, handshaken
+/// stream. Owned by one serve-engine proxy; all methods take `&mut
+/// self` and any I/O error means the worker should be treated as dead
+/// (the process is killed and reaped on drop).
+#[derive(Debug)]
+pub struct WorkerHandle {
+    child: Child,
+    stream: Stream,
+    shipped: HashSet<u64>,
+    /// Weight-cache accounting for this connection.
+    pub cache: WeightCacheStats,
+    socket_path: Option<PathBuf>,
+}
+
+impl WorkerHandle {
+    /// Spawns the worker binary, waits for it to connect over the
+    /// chosen transport and completes the Hello → Configure → Ready
+    /// handshake, leaving the connection ready for windows.
+    ///
+    /// # Errors
+    ///
+    /// Any spawn, accept-timeout, socket or handshake failure.
+    pub fn spawn(
+        shard: usize,
+        transport: Transport,
+        worker: Option<&PathBuf>,
+        config: &ArrayConfig,
+        parallelism: Parallelism,
+        granularity: f32,
+    ) -> io::Result<WorkerHandle> {
+        let worker_path = match worker {
+            Some(p) => p.clone(),
+            None => default_worker_path().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "onesa-shard-worker binary not found: build it with `cargo build --release` \
+                     or set ONESA_SHARD_WORKER",
+                )
+            })?,
+        };
+
+        enum Listener {
+            Tcp(TcpListener),
+            Unix(UnixListener, PathBuf),
+        }
+
+        let listener = match transport {
+            Transport::Tcp => {
+                let l = TcpListener::bind(("127.0.0.1", 0))?;
+                Listener::Tcp(l)
+            }
+            Transport::Unix => {
+                let path = std::env::temp_dir().join(format!(
+                    "onesa-worker-{}-{}-{}.sock",
+                    std::process::id(),
+                    shard,
+                    SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                let _ = std::fs::remove_file(&path);
+                Listener::Unix(UnixListener::bind(&path)?, path)
+            }
+        };
+        let connect_spec = match &listener {
+            Listener::Tcp(l) => format!("tcp:{}", l.local_addr()?),
+            Listener::Unix(_, path) => format!("unix:{}", path.display()),
+        };
+
+        let mut child = Command::new(&worker_path)
+            .arg("--connect")
+            .arg(&connect_spec)
+            .arg("--shard")
+            .arg(shard.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()?;
+
+        // Accept with a deadline, bailing out early if the child exits
+        // (wrong binary, bad args) instead of hanging on accept().
+        let accept_deadline = Instant::now() + SPAWN_TIMEOUT;
+        let stream = loop {
+            let accepted = match &listener {
+                Listener::Tcp(l) => {
+                    l.set_nonblocking(true)?;
+                    l.accept().map(|(s, _)| Stream::Tcp(s))
+                }
+                Listener::Unix(l, _) => {
+                    l.set_nonblocking(true)?;
+                    l.accept().map(|(s, _)| Stream::Unix(s))
+                }
+            };
+            match accepted {
+                Ok(s) => break s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Some(status) = child.try_wait()? {
+                        return Err(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            format!("shard worker exited before connecting: {status}"),
+                        ));
+                    }
+                    if Instant::now() > accept_deadline {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "shard worker did not connect in time",
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(e);
+                }
+            }
+        };
+        match &stream {
+            Stream::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                // Windows are request/reply; Nagle would serialize every
+                // frame behind a delayed ACK.
+                s.set_nodelay(true)?;
+            }
+            Stream::Unix(s) => s.set_nonblocking(false)?,
+        }
+        let socket_path = match listener {
+            Listener::Unix(_, path) => Some(path),
+            Listener::Tcp(_) => None,
+        };
+
+        let mut handle = WorkerHandle {
+            child,
+            stream,
+            shipped: HashSet::new(),
+            cache: WeightCacheStats::default(),
+            socket_path,
+        };
+
+        // Handshake (bounded: a wedged worker must not hang start()).
+        handle.stream.set_read_timeout(Some(SPAWN_TIMEOUT))?;
+        let hello = read_frame(&mut handle.stream)?;
+        let view = FrameView::parse(&hello).map_err(wire_to_io)?;
+        if view.kind() != KIND_HELLO {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "worker did not open with Hello",
+            ));
+        }
+        let mut body = WireReader::new(view.section(SEC_BODY).map_err(wire_to_io)?);
+        let version = body.get_u16().map_err(wire_to_io)?;
+        if version != wire::VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "worker speaks wire format v{version}, host speaks v{}",
+                    wire::VERSION
+                ),
+            ));
+        }
+
+        let mut cfg = WireWriter::new();
+        cfg.put_f32(granularity);
+        wire::put_array_config(&mut cfg, config);
+        wire::put_parallelism(&mut cfg, parallelism);
+        write_frame(&mut handle.stream, &message(KIND_CONFIGURE, cfg))?;
+
+        let ready = read_frame(&mut handle.stream)?;
+        let view = FrameView::parse(&ready).map_err(wire_to_io)?;
+        if view.kind() != KIND_READY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "worker did not answer Configure with Ready",
+            ));
+        }
+        handle.stream.set_read_timeout(None)?;
+        Ok(handle)
+    }
+
+    /// The worker process id (what a chaos test kills).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Ships one window and waits for its outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Any socket or decode failure — after which the worker must be
+    /// considered dead (the caller fails over).
+    pub fn run_window(&mut self, items: &[(u64, &Request)]) -> io::Result<WindowReply> {
+        let mut body = WireWriter::new();
+        body.put_usize(items.len());
+        for (ticket, request) in items {
+            body.put_u64(*ticket);
+            put_request(&mut body, request, &mut self.shipped, &mut self.cache);
+        }
+        write_frame(&mut self.stream, &message(KIND_WINDOW, body))?;
+
+        let reply = read_frame(&mut self.stream)?;
+        let view = FrameView::parse(&reply).map_err(wire_to_io)?;
+        let mut body = WireReader::new(view.section(SEC_BODY).map_err(wire_to_io)?);
+        match view.kind() {
+            KIND_OUTCOMES => {
+                let result = get_window_result(&mut body).map_err(wire_to_io)?;
+                if result.outcomes.len() != items.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "worker answered with a different outcome count",
+                    ));
+                }
+                Ok(WindowReply::Done(result))
+            }
+            KIND_WINDOW_ERROR => {
+                let msg = body.get_str().map_err(wire_to_io)?;
+                Ok(WindowReply::Failed(msg))
+            }
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected reply to Window",
+            )),
+        }
+    }
+
+    /// Liveness probe: sends Ping and waits (bounded) for Pong.
+    ///
+    /// # Errors
+    ///
+    /// Socket failure or timeout — the worker is dead or wedged.
+    pub fn ping(&mut self, timeout: Duration) -> io::Result<()> {
+        write_frame(&mut self.stream, &empty_message(KIND_PING))?;
+        self.stream.set_read_timeout(Some(timeout))?;
+        let result = (|| {
+            let reply = read_frame(&mut self.stream)?;
+            let view = FrameView::parse(&reply).map_err(wire_to_io)?;
+            if view.kind() != KIND_PONG {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected reply to Ping",
+                ));
+            }
+            Ok(())
+        })();
+        let _ = self.stream.set_read_timeout(None);
+        result
+    }
+
+    /// Asks the worker to exit and reaps it (bounded wait, then kill).
+    pub fn shutdown(mut self) {
+        let _ = write_frame(&mut self.stream, &empty_message(KIND_SHUTDOWN));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(2))
+                }
+                _ => {
+                    let _ = self.child.kill();
+                    let _ = self.child.wait();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    /// Last-resort reap: kill the child if it is still running and
+    /// remove the Unix socket file.
+    fn drop(&mut self) {
+        if let Ok(None) = self.child.try_wait() {
+            let _ = self.child.kill();
+        }
+        let _ = self.child.wait();
+        if let Some(path) = &self.socket_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// worker side
+// ---------------------------------------------------------------------
+
+/// Entry point of the `onesa-shard-worker` binary: connects back to the
+/// host, handshakes, then serves windows until Shutdown or EOF.
+///
+/// `args` are the process arguments after the binary name:
+/// `--connect unix:<path>|tcp:<addr>` (required) and `--shard <n>`
+/// (cosmetic, for diagnostics).
+///
+/// # Errors
+///
+/// A human-readable message on bad arguments, connection failure or a
+/// protocol violation. Worker-side *batch* failures are not errors —
+/// they are reported to the host as `WindowError` frames and the worker
+/// keeps serving.
+pub fn worker_main(args: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut connect: Option<String> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => connect = args.next(),
+            "--shard" => {
+                args.next();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let connect = connect.ok_or("missing --connect unix:<path>|tcp:<addr>")?;
+    let mut stream = if let Some(path) = connect.strip_prefix("unix:") {
+        Stream::Unix(UnixStream::connect(path).map_err(|e| format!("connect {connect}: {e}"))?)
+    } else if let Some(addr) = connect.strip_prefix("tcp:") {
+        let s = TcpStream::connect(addr).map_err(|e| format!("connect {connect}: {e}"))?;
+        s.set_nodelay(true)
+            .map_err(|e| format!("tcp nodelay: {e}"))?;
+        Stream::Tcp(s)
+    } else {
+        return Err(format!("bad --connect spec `{connect}`"));
+    };
+
+    let mut hello = WireWriter::new();
+    hello.put_u16(wire::VERSION);
+    write_frame(&mut stream, &message(KIND_HELLO, hello)).map_err(|e| format!("hello: {e}"))?;
+
+    let cfg_frame = read_frame(&mut stream).map_err(|e| format!("read configure: {e}"))?;
+    let view = FrameView::parse(&cfg_frame).map_err(|e| format!("parse configure: {e}"))?;
+    if view.kind() != KIND_CONFIGURE {
+        return Err("expected Configure after Hello".into());
+    }
+    let mut body = WireReader::new(
+        view.section(SEC_BODY)
+            .map_err(|e| format!("configure body: {e}"))?,
+    );
+    let (granularity, config, parallelism) = (|| -> Result<_, WireError> {
+        let g = body.get_f32()?;
+        let c = wire::get_array_config(&mut body)?;
+        let p = wire::get_parallelism(&mut body)?;
+        body.expect_end()?;
+        Ok((g, c, p))
+    })()
+    .map_err(|e| format!("decode configure: {e}"))?;
+
+    // The same construction as an in-process shard: identical engine,
+    // identical table set, bit-identical outputs.
+    let mut engine = BatchEngine::new(OneSa::with_parallelism(config, parallelism), granularity)
+        .map_err(|e| format!("build engine: {e}"))?;
+    write_frame(&mut stream, &empty_message(KIND_READY)).map_err(|e| format!("ready: {e}"))?;
+
+    let mut programs: HashMap<u64, onesa_plan::Program> = HashMap::new();
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            // Host gone (finished or crashed): a worker never outlives
+            // its host.
+            Err(_) => return Ok(()),
+        };
+        let view = FrameView::parse(&frame).map_err(|e| format!("parse message: {e}"))?;
+        match view.kind() {
+            KIND_SHUTDOWN => return Ok(()),
+            KIND_PING => {
+                write_frame(&mut stream, &empty_message(KIND_PONG))
+                    .map_err(|e| format!("pong: {e}"))?;
+            }
+            KIND_WINDOW => {
+                let mut body = WireReader::new(
+                    view.section(SEC_BODY)
+                        .map_err(|e| format!("window body: {e}"))?,
+                );
+                let reply = serve_window(&mut body, &mut engine, &mut programs);
+                write_frame(&mut stream, &reply).map_err(|e| format!("outcomes: {e}"))?;
+            }
+            _ => return Err(format!("unexpected message kind {:#06x}", view.kind())),
+        }
+    }
+}
+
+/// Decodes and executes one window, producing the reply frame. Decode
+/// and batch failures produce a `WindowError` frame — the engine is
+/// cleared and the worker stays serviceable.
+fn serve_window(
+    body: &mut WireReader<'_>,
+    engine: &mut BatchEngine,
+    programs: &mut HashMap<u64, onesa_plan::Program>,
+) -> Vec<u8> {
+    let fail = |engine: &mut BatchEngine, msg: String| {
+        engine.clear();
+        let mut w = WireWriter::new();
+        w.put_str(&msg);
+        message(KIND_WINDOW_ERROR, w)
+    };
+
+    let mut tickets: Vec<u64> = Vec::new();
+    let decoded = (|| -> Result<(), WireError> {
+        let n = body.get_usize()?;
+        if n > 1_048_576 {
+            return Err(WireError::Corrupt("window item count exceeds cap"));
+        }
+        for _ in 0..n {
+            let ticket = body.get_u64()?;
+            let request = get_request(body, programs)?;
+            // The host's admitter already validated the request (and
+            // program decode re-validated the graph), mirroring the
+            // in-process shard loop's submit_validated.
+            engine.submit_validated(request);
+            tickets.push(ticket);
+        }
+        body.expect_end()
+    })();
+    if let Err(e) = decoded {
+        return fail(engine, format!("window decode failed: {e}"));
+    }
+
+    match engine.run() {
+        Ok(run) => {
+            let outcomes: Vec<RemoteOutcome> = tickets
+                .into_iter()
+                .zip(run.outcomes)
+                .map(|(ticket, o)| RemoteOutcome {
+                    ticket,
+                    output: o.output,
+                    stats: o.stats,
+                    op_stats: o.op_stats,
+                })
+                .collect();
+            let result = WindowResult {
+                outcomes: Vec::new(),
+                gemm_groups: run.report.gemm_groups,
+                nonlinear_groups: run.report.nonlinear_groups,
+                total_macs: run.report.total_macs,
+                batched_seconds: run.report.batched_seconds,
+                opt: run.report.opt,
+            };
+            let mut w = WireWriter::new();
+            put_window_result(&mut w, &outcomes, &result);
+            message(KIND_OUTCOMES, w)
+        }
+        Err(e) => fail(engine, format!("batch execution failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onesa_cpwl::NonlinearFn;
+    use onesa_plan::{EvalMode, Op, Program};
+    use onesa_tensor::rng::Pcg32;
+
+    fn small_program() -> Program {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let w = rng.randn(&[4, 2], 1.0);
+        let mut b = Program::builder("net-test", EvalMode::Exact);
+        let x = b.input(&[1, 4]);
+        let c = b.constant(w);
+        b.push(Op::Gemm { bias: None }, &[x, c]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn request_round_trip_all_variants() {
+        let mut rng = Pcg32::seed_from_u64(6);
+        let program = small_program();
+        let reqs = vec![
+            Request::gemm(rng.randn(&[2, 3], 1.0), rng.randn(&[3, 2], 1.0)),
+            Request::nonlinear(NonlinearFn::LeakyRelu(0.1), rng.randn(&[2, 2], 1.0)),
+            Request::program(program.clone(), vec![rng.randn(&[1, 4], 1.0)]),
+            Request::program(program.clone(), vec![rng.randn(&[1, 4], 1.0)]),
+        ];
+        let mut shipped = HashSet::new();
+        let mut stats = WeightCacheStats::default();
+        let mut w = WireWriter::new();
+        for r in &reqs {
+            put_request(&mut w, r, &mut shipped, &mut stats);
+        }
+        // Second program send rode the cache.
+        assert_eq!(stats.full_sends, 1);
+        assert_eq!(stats.ref_sends, 1);
+        assert_eq!(stats.const_bytes_saved, 4 * 2 * 4);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let mut cache = HashMap::new();
+        for req in &reqs {
+            let back = get_request(&mut r, &mut cache).unwrap();
+            match (req, &back) {
+                (Request::Gemm { a, b }, Request::Gemm { a: a2, b: b2 }) => {
+                    assert_eq!(a.as_slice(), a2.as_slice());
+                    assert_eq!(b.as_slice(), b2.as_slice());
+                }
+                (Request::Nonlinear { func, x }, Request::Nonlinear { func: f2, x: x2 }) => {
+                    assert_eq!(func, f2);
+                    assert_eq!(x.as_slice(), x2.as_slice());
+                }
+                (
+                    Request::Program { program, inputs },
+                    Request::Program {
+                        program: p2,
+                        inputs: i2,
+                    },
+                ) => {
+                    assert_eq!(program.as_ref(), p2.as_ref());
+                    assert_eq!(inputs.len(), i2.len());
+                }
+                _ => panic!("variant changed across the wire"),
+            }
+        }
+        r.expect_end().unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn program_ref_without_prior_full_send_is_corrupt() {
+        let mut w = WireWriter::new();
+        w.put_u8(REQ_PROGRAM_REF);
+        w.put_u64(0xdead_beef);
+        w.put_usize(0);
+        let bytes = w.into_bytes();
+        let mut cache = HashMap::new();
+        assert!(matches!(
+            get_request(&mut WireReader::new(&bytes), &mut cache),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn window_result_round_trip() {
+        let stats = ExecStats {
+            breakdown: Default::default(),
+            macs: 7,
+            nonlinear_evals: 0,
+            clock_mhz: 200.0,
+        };
+        let outcome = RemoteOutcome {
+            ticket: 42,
+            output: Tensor::from_vec(vec![1.0, -0.0], &[1, 2]).unwrap(),
+            stats: stats.clone(),
+            op_stats: vec![stats.clone(), stats],
+        };
+        let result = WindowResult {
+            outcomes: Vec::new(),
+            gemm_groups: 3,
+            nonlinear_groups: 1,
+            total_macs: 999,
+            batched_seconds: 0.125,
+            opt: OptTotals {
+                elided: 1,
+                shared: 2,
+                fused: 0,
+                dead: 3,
+            },
+        };
+        let mut w = WireWriter::new();
+        put_window_result(&mut w, std::slice::from_ref(&outcome), &result);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = get_window_result(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.outcomes.len(), 1);
+        assert_eq!(back.outcomes[0].ticket, 42);
+        assert_eq!(back.outcomes[0].op_stats.len(), 2);
+        assert_eq!(back.gemm_groups, 3);
+        assert_eq!(back.total_macs, 999);
+        assert_eq!(back.opt.dead, 3);
+    }
+
+    #[test]
+    fn worker_main_rejects_bad_args() {
+        assert!(worker_main(std::iter::empty()).is_err());
+        assert!(worker_main(["--connect".to_string(), "bogus:x".to_string()].into_iter()).is_err());
+        assert!(worker_main(["--frobnicate".to_string()].into_iter()).is_err());
+    }
+
+    use proptest::prelude::*;
+
+    fn assert_tensor_bits_eq(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Randomized mixed request streams round trip bit-exactly
+        /// through the weight-cached request codec, and the cache
+        /// accounting matches the repeat structure exactly.
+        #[test]
+        fn request_frames_round_trip(
+            n_gemm in 0usize..4,
+            n_nl in 0usize..4,
+            n_prog in 0usize..5,
+            seed in 0u64..10_000,
+        ) {
+            let mut rng = Pcg32::seed_from_u64(seed);
+            let program = small_program();
+            let mut reqs = Vec::new();
+            for _ in 0..n_gemm {
+                reqs.push(Request::gemm(
+                    rng.randn(&[1 + seed as usize % 3, 4], 1.0),
+                    rng.randn(&[4, 2], 1.0),
+                ));
+            }
+            for i in 0..n_nl {
+                let func = if i % 2 == 0 {
+                    NonlinearFn::Gelu
+                } else {
+                    NonlinearFn::Elu(0.5)
+                };
+                reqs.push(Request::nonlinear(func, rng.randn(&[2, 3], 1.0)));
+            }
+            for _ in 0..n_prog {
+                reqs.push(Request::program(program.clone(), vec![rng.randn(&[1, 4], 1.0)]));
+            }
+            let mut shipped = HashSet::new();
+            let mut stats = WeightCacheStats::default();
+            let mut w = WireWriter::new();
+            for r in &reqs {
+                put_request(&mut w, r, &mut shipped, &mut stats);
+            }
+            prop_assert_eq!(stats.full_sends, usize::from(n_prog > 0));
+            prop_assert_eq!(stats.ref_sends, n_prog.saturating_sub(1));
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let mut cache = HashMap::new();
+            for req in &reqs {
+                let back = get_request(&mut r, &mut cache).unwrap();
+                match (req, &back) {
+                    (Request::Gemm { a, b }, Request::Gemm { a: a2, b: b2 }) => {
+                        assert_tensor_bits_eq(a, a2);
+                        assert_tensor_bits_eq(b, b2);
+                    }
+                    (Request::Nonlinear { func, x }, Request::Nonlinear { func: f2, x: x2 }) => {
+                        prop_assert_eq!(func, f2);
+                        assert_tensor_bits_eq(x, x2);
+                    }
+                    (
+                        Request::Program { program: p, inputs },
+                        Request::Program { program: p2, inputs: i2 },
+                    ) => {
+                        prop_assert_eq!(p.fingerprint(), p2.fingerprint());
+                        for (a, b) in inputs.iter().zip(i2.iter()) {
+                            assert_tensor_bits_eq(a, b);
+                        }
+                    }
+                    _ => prop_assert!(false, "variant changed across the wire"),
+                }
+            }
+            r.expect_end().unwrap();
+        }
+
+        /// Randomized outcome frames round trip every field — tickets,
+        /// output bits, per-op stats, pool totals.
+        #[test]
+        fn outcome_frames_round_trip(
+            n in 0usize..6,
+            seed in 0u64..10_000,
+        ) {
+            let mut rng = Pcg32::seed_from_u64(seed);
+            let outcomes: Vec<RemoteOutcome> = (0..n)
+                .map(|i| {
+                    let stats = ExecStats {
+                        breakdown: Default::default(),
+                        macs: seed.wrapping_mul(i as u64 + 1),
+                        nonlinear_evals: i as u64,
+                        clock_mhz: 200.0,
+                    };
+                    RemoteOutcome {
+                        ticket: seed ^ i as u64,
+                        output: rng.randn(&[1 + i % 3, 2], 1.0),
+                        stats: stats.clone(),
+                        op_stats: vec![stats; i % 3],
+                    }
+                })
+                .collect();
+            let result = WindowResult {
+                outcomes: Vec::new(),
+                gemm_groups: seed as usize % 7,
+                nonlinear_groups: seed as usize % 3,
+                total_macs: seed.wrapping_mul(31),
+                batched_seconds: (seed % 1000) as f64 / 64.0,
+                opt: OptTotals::default(),
+            };
+            let mut w = WireWriter::new();
+            put_window_result(&mut w, &outcomes, &result);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let back = get_window_result(&mut r).unwrap();
+            r.expect_end().unwrap();
+            prop_assert_eq!(back.outcomes.len(), n);
+            for (a, b) in outcomes.iter().zip(&back.outcomes) {
+                prop_assert_eq!(a.ticket, b.ticket);
+                assert_tensor_bits_eq(&a.output, &b.output);
+                prop_assert_eq!(&a.stats, &b.stats);
+                prop_assert_eq!(a.op_stats.len(), b.op_stats.len());
+            }
+            prop_assert_eq!(back.gemm_groups, result.gemm_groups);
+            prop_assert_eq!(back.total_macs, result.total_macs);
+            prop_assert_eq!(back.batched_seconds.to_bits(), result.batched_seconds.to_bits());
+        }
+    }
+}

@@ -102,12 +102,13 @@
 
 use crate::batch::{BatchEngine, Request, ServingReport};
 use crate::engine::OneSa;
+use crate::net::{self, ProcessConfig, WeightCacheStats};
 use onesa_plan::OptTotals;
 use onesa_sim::{ArrayConfig, ExecStats};
 use onesa_tensor::parallel::Parallelism;
 use onesa_tensor::{Tensor, TensorError};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TryRecvError, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -195,6 +196,26 @@ pub struct ShardSpec {
     pub parallelism: Parallelism,
 }
 
+/// How the pool's shards execute: as threads in this process, or as
+/// spawned worker processes behind the cross-host wire protocol.
+///
+/// Both backends run the *same* `BatchEngine` per shard and the wire
+/// format preserves every `f32` bit, so outputs are bit-identical
+/// across backends for every admission × routing policy (locked in by
+/// `tests/integration_cross_host.rs`).
+#[derive(Debug, Clone, Default)]
+pub enum ShardBackend {
+    /// One thread per shard inside this process (the default).
+    #[default]
+    InProcess,
+    /// One `onesa-shard-worker` process per shard, connected over a
+    /// Unix-domain or TCP socket (see [`crate::net`]). Adds worker-death
+    /// failover: a window in flight to a dead worker requeues on a
+    /// surviving shard, and [`ShardStats::worker_lost`] /
+    /// [`ServeSummary::failovers`] record the event.
+    Process(ProcessConfig),
+}
+
 /// Configuration of a [`ServeEngine`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -215,6 +236,8 @@ pub struct ServeConfig {
     /// [`ServeEngine::resume`]. Deterministic tests and benches use this
     /// to pre-load a queue and open the gate in one motion.
     pub paused: bool,
+    /// Where shards run: in-process threads or spawned worker processes.
+    pub backend: ShardBackend,
 }
 
 impl ServeConfig {
@@ -234,6 +257,7 @@ impl ServeConfig {
             admission: AdmissionPolicy::default(),
             routing: RoutePolicy::default(),
             paused: false,
+            backend: ShardBackend::default(),
         }
     }
 
@@ -259,6 +283,12 @@ impl ServeConfig {
     /// [`ServeConfig::paused`]).
     pub fn start_paused(mut self) -> Self {
         self.paused = true;
+        self
+    }
+
+    /// Replaces the shard backend (see [`ShardBackend`]).
+    pub fn with_backend(mut self, backend: ShardBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -419,6 +449,19 @@ pub struct ShardStats {
     /// Optimizer pass totals of the program requests this shard served
     /// (see `ServingReport::opt`).
     pub opt: OptTotals,
+    /// Process backend only: this shard's worker process died
+    /// (EOF/ping timeout) during the run and its in-flight windows were
+    /// requeued on surviving shards.
+    pub worker_lost: bool,
+    /// Process backend only: requests this shard's proxy re-executed on
+    /// *another* shard's worker after a connection failed (its own
+    /// worker's, or a dead peer it was asked to cover for).
+    pub requeued: usize,
+    /// Process backend only: weight-cache accounting of this shard's
+    /// worker connection — how often program consts actually crossed
+    /// the wire. All zeros for in-process shards (consts never leave
+    /// the address space) and for workers that died before shutdown.
+    pub wire_cache: WeightCacheStats,
 }
 
 /// Aggregate result of one [`ServeEngine`] lifetime.
@@ -449,6 +492,12 @@ pub struct ServeSummary {
     /// [`ServeConfig::queue_capacity`]; concurrent producers blocked in
     /// `submit` can momentarily be counted on top of a full queue.
     pub peak_queue_depth: usize,
+    /// Process backend only: shards whose worker process died during
+    /// the run (each one's in-flight windows requeued on survivors).
+    pub failovers: usize,
+    /// Process backend only: pool-wide weight-cache accounting (the
+    /// per-shard [`ShardStats::wire_cache`] counters merged).
+    pub wire_cache: WeightCacheStats,
 }
 
 impl ServeSummary {
@@ -496,6 +545,24 @@ impl fmt::Display for ServeSummary {
                 s.array_seconds * 1e3,
                 s.occupancy * 100.0,
                 s.peak_queue_depth
+            )?;
+        }
+        if self.failovers > 0 {
+            writeln!(
+                f,
+                "failovers: {} worker(s) lost, in-flight windows requeued on survivors",
+                self.failovers
+            )?;
+        }
+        let cache = &self.wire_cache;
+        if cache.full_sends + cache.ref_sends > 0 {
+            writeln!(
+                f,
+                "weight cache: {} full / {} ref sends ({:.0}% hit), {} const bytes saved",
+                cache.full_sends,
+                cache.ref_sends,
+                cache.hit_ratio() * 100.0,
+                cache.const_bytes_saved
             )?;
         }
         write!(
@@ -744,6 +811,8 @@ pub struct ServeEngine {
     n_shards: usize,
     admitter: Option<JoinHandle<AdmitOut>>,
     workers: Vec<JoinHandle<ShardOut>>,
+    /// Process backend: one pid per shard; empty in-process.
+    worker_pids: Vec<u32>,
 }
 
 /// What the admission thread reports at shutdown.
@@ -767,17 +836,7 @@ impl ServeEngine {
                 "serve pool needs at least one shard",
             ));
         }
-        let engines: Vec<BatchEngine> = cfg
-            .shards
-            .iter()
-            .map(|spec| {
-                BatchEngine::new(
-                    OneSa::with_parallelism(spec.config.clone(), spec.parallelism),
-                    cfg.granularity,
-                )
-            })
-            .collect::<Result<_, _>>()?;
-        let n = engines.len();
+        let n = cfg.shards.len();
 
         let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.queue_capacity.max(1));
         let gate = Arc::new(Gate::new(!cfg.paused));
@@ -788,16 +847,77 @@ impl ServeEngine {
 
         let mut shard_txs = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
-        for (i, engine) in engines.into_iter().enumerate() {
-            let (btx, brx) = mpsc::sync_channel::<ShardBatch>(SHARD_CHANNEL_DEPTH);
-            shard_txs.push(btx);
-            let load = Arc::clone(&loads[i]);
-            let depth = Arc::clone(&shard_depths[i]);
-            let handle = thread::Builder::new()
-                .name(format!("onesa-shard-{i}"))
-                .spawn(move || shard_loop(i, brx, engine, load, depth))
-                .expect("spawn shard worker");
-            workers.push(handle);
+        let mut worker_pids = Vec::new();
+        match &cfg.backend {
+            ShardBackend::InProcess => {
+                let engines: Vec<BatchEngine> = cfg
+                    .shards
+                    .iter()
+                    .map(|spec| {
+                        BatchEngine::new(
+                            OneSa::with_parallelism(spec.config.clone(), spec.parallelism),
+                            cfg.granularity,
+                        )
+                    })
+                    .collect::<Result<_, _>>()?;
+                for (i, engine) in engines.into_iter().enumerate() {
+                    let (btx, brx) = mpsc::sync_channel::<ShardBatch>(SHARD_CHANNEL_DEPTH);
+                    shard_txs.push(btx);
+                    let load = Arc::clone(&loads[i]);
+                    let depth = Arc::clone(&shard_depths[i]);
+                    let handle = thread::Builder::new()
+                        .name(format!("onesa-shard-{i}"))
+                        .spawn(move || shard_loop(i, brx, engine, load, depth))
+                        .expect("spawn shard worker");
+                    workers.push(handle);
+                }
+            }
+            ShardBackend::Process(pcfg) => {
+                // Spawn every worker process and complete its handshake
+                // before any thread starts: a missing binary or a
+                // version-skewed worker fails `start` instead of
+                // surfacing later as a dead shard. A failure here drops
+                // the already-spawned handles, which reaps their
+                // children.
+                let mut conns: Vec<Arc<Mutex<Option<net::WorkerHandle>>>> = Vec::with_capacity(n);
+                for (i, spec) in cfg.shards.iter().enumerate() {
+                    let handle = net::WorkerHandle::spawn(
+                        i,
+                        pcfg.transport,
+                        pcfg.worker.as_ref(),
+                        &spec.config,
+                        spec.parallelism,
+                        cfg.granularity,
+                    )
+                    .map_err(|e| {
+                        eprintln!("onesa-serve: shard {i} worker spawn failed: {e}");
+                        TensorError::InvalidArgument(
+                            "failed to spawn a shard worker process (see stderr)",
+                        )
+                    })?;
+                    worker_pids.push(handle.pid());
+                    conns.push(Arc::new(Mutex::new(Some(handle))));
+                }
+                let alive: Vec<Arc<AtomicBool>> =
+                    (0..n).map(|_| Arc::new(AtomicBool::new(true))).collect();
+                for (i, depth) in shard_depths.iter().enumerate() {
+                    let (btx, brx) = mpsc::sync_channel::<ShardBatch>(SHARD_CHANNEL_DEPTH);
+                    shard_txs.push(btx);
+                    let ctx = RemoteShardCtx {
+                        shard: i,
+                        rx: brx,
+                        conns: conns.clone(),
+                        alive: alive.clone(),
+                        loads: loads.clone(),
+                        depth: Arc::clone(depth),
+                    };
+                    let handle = thread::Builder::new()
+                        .name(format!("onesa-shard-proxy-{i}"))
+                        .spawn(move || remote_shard_loop(ctx))
+                        .expect("spawn shard proxy");
+                    workers.push(handle);
+                }
+            }
         }
 
         // The admitter validates every request before routing it, so a
@@ -836,7 +956,15 @@ impl ServeEngine {
             n_shards: n,
             admitter: Some(admitter),
             workers,
+            worker_pids,
         })
+    }
+
+    /// Process backend only: the shard workers' process ids, indexed by
+    /// shard (empty for [`ShardBackend::InProcess`]). The chaos tests
+    /// use these to kill a worker mid-run.
+    pub fn worker_pids(&self) -> &[u32] {
+        &self.worker_pids
     }
 
     /// Number of shards in the pool.
@@ -995,8 +1123,12 @@ impl ServeEngine {
         records.sort_by_key(|r| r.ticket);
 
         let mut opt = OptTotals::default();
+        let mut wire_cache = WeightCacheStats::default();
+        let mut failovers = 0usize;
         for s in &shards {
             opt.merge(&s.opt);
+            wire_cache.merge(&s.wire_cache);
+            failovers += usize::from(s.worker_lost);
         }
         let report = ServingReport {
             requests: records.len(),
@@ -1016,6 +1148,8 @@ impl ServeEngine {
             windows: admitted.windows,
             expired: admitted.expired,
             peak_queue_depth: self.client.depth.peak(),
+            failovers,
+            wire_cache,
         })
     }
 }
@@ -1226,6 +1360,9 @@ fn shard_loop(
             occupancy: 0.0,
             peak_queue_depth: 0,
             opt: OptTotals::default(),
+            worker_lost: false,
+            requeued: 0,
+            wire_cache: WeightCacheStats::default(),
         },
         records: Vec::new(),
     };
@@ -1292,6 +1429,159 @@ fn shard_loop(
         out.stats.peak_queue_depth = depth.peak();
     }
     out.stats.peak_queue_depth = depth.peak();
+    out
+}
+
+/// Plumbing of one process-backend shard proxy. Every proxy sees every
+/// worker connection (each behind its own mutex) so a proxy whose
+/// worker dies can re-execute its in-flight window on a survivor
+/// without routing back through the admitter.
+struct RemoteShardCtx {
+    shard: usize,
+    rx: Receiver<ShardBatch>,
+    conns: Vec<Arc<Mutex<Option<net::WorkerHandle>>>>,
+    alive: Vec<Arc<AtomicBool>>,
+    loads: Vec<Arc<AtomicU64>>,
+    depth: Arc<DepthGauge>,
+}
+
+/// The process-backend counterpart of [`shard_loop`]: receives batches
+/// from the admitter, ships them to this shard's worker process over
+/// the wire, and replies tickets from the decoded outcomes.
+///
+/// **Failover.** Execution is pure (no side effects beyond the reply),
+/// so a window that was in flight to a worker that died — EOF, `EPIPE`,
+/// a failed handshake frame — simply re-runs on the next alive shard's
+/// worker, in ring order from this shard. The dead worker is marked so
+/// every proxy routes around it; the batch counts into
+/// [`ShardStats::requeued`] and the shard's own death into
+/// [`ShardStats::worker_lost`] → [`ServeSummary::failovers`]. Only if
+/// *no* worker survives do the tickets resolve
+/// [`ServeError::WorkerLost`].
+fn remote_shard_loop(ctx: RemoteShardCtx) -> ShardOut {
+    let n = ctx.conns.len();
+    let mut out = ShardOut {
+        stats: ShardStats {
+            shard: ctx.shard,
+            requests: 0,
+            batches: 0,
+            gemm_groups: 0,
+            nonlinear_groups: 0,
+            macs: 0,
+            array_seconds: 0.0,
+            busy_seconds: 0.0,
+            occupancy: 0.0,
+            peak_queue_depth: 0,
+            opt: OptTotals::default(),
+            worker_lost: false,
+            requeued: 0,
+            wire_cache: WeightCacheStats::default(),
+        },
+        records: Vec::new(),
+    };
+    while let Ok(batch) = ctx.rx.recv() {
+        ctx.depth.dec();
+        let batch_macs: u64 = batch.iter().map(|w| w.request.modeled_macs()).sum();
+        let t0 = Instant::now();
+        // Queueing delay ends when the proxy starts shipping the window
+        // (the wire round trip is the execution, as `BatchEngine::run`
+        // is for an in-process shard).
+        let queue_seconds: Vec<f64> = batch
+            .iter()
+            .map(|w| w.submitted_at.elapsed().as_secs_f64())
+            .collect();
+        let mut served = false;
+        for k in 0..n {
+            let target = (ctx.shard + k) % n;
+            if !ctx.alive[target].load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut slot = ctx.conns[target].lock().expect("worker conn lock");
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            let items: Vec<(TicketId, &Request)> =
+                batch.iter().map(|w| (w.ticket, &w.request)).collect();
+            match conn.run_window(&items) {
+                Ok(net::WindowReply::Done(result)) => {
+                    out.stats.batches += 1;
+                    out.stats.requests += batch.len();
+                    out.stats.gemm_groups += result.gemm_groups;
+                    out.stats.nonlinear_groups += result.nonlinear_groups;
+                    out.stats.macs += result.total_macs;
+                    out.stats.array_seconds += result.batched_seconds;
+                    out.stats.opt.merge(&result.opt);
+                    if k > 0 {
+                        out.stats.requeued += batch.len();
+                    }
+                    for ((item, o), qs) in batch.iter().zip(result.outcomes).zip(&queue_seconds) {
+                        debug_assert_eq!(item.ticket, o.ticket, "worker echoed tickets in order");
+                        out.records.push(ReqRecord {
+                            ticket: item.ticket,
+                            seconds: o.stats.seconds(),
+                            macs: o.stats.macs,
+                            nonlinear_evals: o.stats.nonlinear_evals,
+                        });
+                        let _ = item.reply.send(Ok(ServedOutcome {
+                            ticket: item.ticket,
+                            shard: target,
+                            dispatch_seq: item.dispatch_seq,
+                            output: o.output,
+                            stats: o.stats,
+                            op_stats: o.op_stats,
+                            queue_seconds: *qs,
+                        }));
+                    }
+                    served = true;
+                    break;
+                }
+                Ok(net::WindowReply::Failed(msg)) => {
+                    // The worker's engine rejected the batch and
+                    // recovered — deterministic, so re-running elsewhere
+                    // would fail identically. Pre-validation at
+                    // admission makes this near-unreachable; surface it
+                    // without killing the worker.
+                    eprintln!("onesa-serve: shard {target} batch failed remotely: {msg}");
+                    for item in &batch {
+                        let _ =
+                            item.reply
+                                .send(Err(ServeError::Exec(TensorError::InvalidArgument(
+                                    "worker reported a batch execution error (see stderr)",
+                                ))));
+                    }
+                    served = true;
+                    break;
+                }
+                Err(_) => {
+                    // Dead worker: mark it, reap the process (dropping
+                    // the handle kills it if needed) and try the next
+                    // shard in the ring with the same batch.
+                    ctx.alive[target].store(false, Ordering::SeqCst);
+                    *slot = None;
+                }
+            }
+        }
+        if !served {
+            for item in &batch {
+                let _ = item.reply.send(Err(ServeError::WorkerLost));
+            }
+        }
+        out.stats.busy_seconds += t0.elapsed().as_secs_f64();
+        ctx.loads[ctx.shard].fetch_sub(batch_macs, Ordering::Relaxed);
+        out.stats.peak_queue_depth = ctx.depth.peak();
+    }
+    // Channel closed: the admitter is gone. Retire this shard's worker
+    // (if it survived) and keep its weight-cache accounting.
+    if let Some(conn) = ctx.conns[ctx.shard]
+        .lock()
+        .expect("worker conn lock")
+        .take()
+    {
+        out.stats.wire_cache = conn.cache;
+        conn.shutdown();
+    }
+    out.stats.worker_lost = !ctx.alive[ctx.shard].load(Ordering::SeqCst);
+    out.stats.peak_queue_depth = ctx.depth.peak();
     out
 }
 
@@ -1581,6 +1871,7 @@ mod tests {
             admission: AdmissionPolicy::default(),
             routing: RoutePolicy::default(),
             paused: false,
+            backend: ShardBackend::InProcess,
         };
         assert!(ServeEngine::start(bad).is_err());
         let engine = pool(3);

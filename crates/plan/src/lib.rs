@@ -75,6 +75,7 @@ mod cache;
 mod exec;
 pub mod opt;
 mod program;
+pub mod wire;
 
 pub use cache::CompileCache;
 pub use exec::{run_staged, ProgramRun, StageGroups, StagedRun, TableCache};

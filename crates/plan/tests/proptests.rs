@@ -1,14 +1,20 @@
-//! Property-based tests for the program optimizer: randomized
-//! geometries and evaluation modes, conservatively-emitted programs
-//! with duplicate boundaries / shared subexpressions, and the two
-//! contracts the pass pipeline promises —
+//! Property-based tests for the program optimizer and the wire format:
+//! randomized geometries and evaluation modes, conservatively-emitted
+//! programs with duplicate boundaries / shared subexpressions, and the
+//! contracts the pass pipeline and serialization promise —
 //!
 //! * [`OptLevel::Standard`] output is **bit-identical** to the
 //!   unoptimized program on every input;
-//! * [`OptLevel::Fusion`] output matches within 1e-6 relative.
+//! * [`OptLevel::Fusion`] output matches within 1e-6 relative;
+//! * `wire::encode → wire::decode` is the identity for tensors and
+//!   programs — every `f32` bit (NaN payloads, signed zeros,
+//!   subnormals) and the program fingerprint survive the round trip,
+//!   and re-encoding the decoded value reproduces the original bytes
+//!   (the encoding is canonical).
 
 use onesa_cpwl::NonlinearFn;
-use onesa_plan::{CompileCache, EvalMode, Op, OptLevel, Program, TableCache};
+use onesa_plan::{wire, CompileCache, EvalMode, Op, OptLevel, PoolKind, Program, TableCache};
+use onesa_tensor::im2col::Conv2dGeometry;
 use onesa_tensor::parallel::Parallelism;
 use onesa_tensor::rng::Pcg32;
 use onesa_tensor::Tensor;
@@ -77,6 +83,127 @@ fn run(p: &Program, x: &Tensor) -> Tensor {
     )
     .expect("program executes")
     .output
+}
+
+/// A kitchen-sink program touching **every** [`Op`] variant (both
+/// `Gemm` forms, both pool kinds): the wire round-trip below must
+/// reproduce all of them byte-exactly. Runs with two program inputs (an
+/// image branch and a token-id branch) merged by a final classifier.
+fn kitchen_sink(mode: EvalMode, c: usize, h: usize, func: NonlinearFn, seed: u64) -> Program {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let ch = 4;
+    let (l, d, vocab, max_len) = (3, 5, 6, 8);
+    let geo = Conv2dGeometry {
+        in_channels: c,
+        out_channels: ch,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let chan = |scale: f32, rng: &mut Pcg32| -> Vec<f32> {
+        (0..c)
+            .map(|_| rng.randn(&[1], scale).as_slice()[0])
+            .collect()
+    };
+    let mut b = Program::builder("prop-kitchen-sink", mode);
+    let x = b.input(&[c, h, h]);
+    let ids = b.input(&[1, l]);
+    // Image branch: quantize → affine → fused affine+relu → conv
+    // (im2col/gemm+bias/col2im) → global pool.
+    let q = b.push(Op::Quantize, &[x]);
+    let af = b.push(
+        Op::Affine {
+            k: chan(0.5, &mut rng),
+            b: chan(0.2, &mut rng),
+        },
+        &[q],
+    );
+    let anl = b.push(
+        Op::AffineNonlinear {
+            k: chan(0.5, &mut rng),
+            b: chan(0.2, &mut rng),
+            func: NonlinearFn::Relu,
+        },
+        &[af],
+    );
+    let cols = b.push(Op::Im2col(geo), &[anl]);
+    let wc = b.constant(rng.randn(&[c * 9, ch], 1.0));
+    let bias: Vec<f32> = (0..ch)
+        .map(|_| rng.randn(&[1], 0.1).as_slice()[0])
+        .collect();
+    let g = b.push(Op::Gemm { bias: Some(bias) }, &[cols, wc]);
+    let ci = b.push(
+        Op::Col2im {
+            channels: ch,
+            oh: h,
+            ow: h,
+        },
+        &[g],
+    );
+    let pooled = b.push(Op::Pool(PoolKind::GlobalAvg), &[ci]);
+    // Token branch: embed → layer norm → softmax → nonlinear → a
+    // transpose pair, self-add, scale, slice/concat, mean-rows pool.
+    let table = b.constant(rng.randn(&[vocab, d], 1.0));
+    let pos = b.constant(rng.randn(&[max_len, d], 1.0));
+    let e = b.push(Op::Embed, &[ids, table, pos]);
+    let ln = b.push(
+        Op::LayerNorm {
+            gamma: vec![1.0; d],
+            beta: vec![0.0; d],
+            eps: 1e-5,
+        },
+        &[e],
+    );
+    let sm = b.push(Op::Softmax, &[ln]);
+    let nl = b.push(Op::Nonlinear(func), &[sm]);
+    let t = b.push(Op::Transpose, &[nl]);
+    let t2 = b.push(Op::Transpose, &[t]);
+    let add = b.push(Op::Add, &[nl, t2]);
+    let sc = b.push(Op::Scale(0.7), &[add]);
+    let s1 = b.push(
+        Op::SliceCols {
+            start: 0,
+            len: d - 2,
+        },
+        &[sc],
+    );
+    let s2 = b.push(
+        Op::SliceCols {
+            start: d - 2,
+            len: 2,
+        },
+        &[sc],
+    );
+    let cc = b.push(Op::ConcatCols, &[s1, s2]);
+    let mr = b.push(Op::Pool(PoolKind::MeanRows), &[cc]);
+    // Merge and classify.
+    let merged = b.push(Op::ConcatCols, &[pooled, mr]);
+    let wf = b.constant(rng.randn(&[ch + d, 2], 1.0));
+    b.push(Op::Gemm { bias: None }, &[merged, wf]);
+    b.finish().expect("kitchen-sink builds")
+}
+
+/// Valid inputs for [`kitchen_sink`]: a random image plus in-range
+/// token ids.
+fn kitchen_sink_inputs(c: usize, h: usize, seed: u64) -> Vec<Tensor> {
+    let x = Pcg32::seed_from_u64(seed ^ 0x51_4B).randn(&[c, h, h], 1.0);
+    let ids = Tensor::from_vec(vec![0.0, 2.0, 4.0], &[1, 3]).unwrap();
+    vec![x, ids]
+}
+
+fn assert_programs_bit_identical(a: &Program, b: &Program, inputs: &[Tensor]) {
+    let ya = a
+        .run(inputs, Parallelism::Sequential, &mut TableCache::new())
+        .expect("original runs")
+        .output;
+    let yb = b
+        .run(inputs, Parallelism::Sequential, &mut TableCache::new())
+        .expect("decoded runs")
+        .output;
+    assert_eq!(ya.dims(), yb.dims());
+    for (va, vb) in ya.as_slice().iter().zip(yb.as_slice()) {
+        assert_eq!(va.to_bits(), vb.to_bits(), "{va} vs {vb}");
+    }
 }
 
 proptest! {
@@ -168,5 +295,123 @@ proptest! {
             .expect("compiles");
         prop_assert!(!std::sync::Arc::ptr_eq(&a, &g));
         prop_assert_eq!(cache.misses(), 2);
+    }
+
+    /// Tensor wire round trips are the identity on every bit — NaN
+    /// payloads, signed zeros, infinities and subnormals included — and
+    /// the encoding is canonical (re-encoding reproduces the bytes).
+    #[test]
+    fn wire_tensor_round_trip_is_bit_exact(
+        rank in 1usize..5,
+        dim in 1usize..6,
+        seed in 0u64..10_000,
+        special in 0u32..5,
+    ) {
+        let dims: Vec<usize> = (0..rank).map(|i| 1 + (dim + i) % 5).collect();
+        let mut t = Pcg32::seed_from_u64(seed).randn(&dims, 2.0);
+        // Plant a hostile bit pattern at a deterministic position: the
+        // wire must not canonicalize NaNs or drop signs/subnormals.
+        let volume = t.as_slice().len();
+        let probe = seed as usize % volume;
+        t.as_mut_slice()[probe] = match special {
+            0 => f32::from_bits(0x7FC0_DEAD), // NaN with payload
+            1 => -0.0,
+            2 => f32::NEG_INFINITY,
+            3 => f32::MIN_POSITIVE / 4.0, // subnormal
+            _ => f32::MAX,
+        };
+        let bytes = wire::encode_tensor(&t);
+        let back = wire::decode_tensor(&bytes).expect("decodes");
+        prop_assert_eq!(back.dims(), t.dims());
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+        }
+        prop_assert_eq!(wire::encode_tensor(&back), bytes);
+    }
+
+    /// Program wire round trips preserve every [`Op`] variant, the
+    /// fingerprint, the modeled cost, and runtime semantics (decoded
+    /// programs execute bit-identically); the encoding is canonical.
+    #[test]
+    fn wire_program_round_trip_covers_every_op(
+        mode in mode_strategy(),
+        c in 1usize..4,
+        h in 3usize..6,
+        func in prop_oneof![
+            Just(NonlinearFn::Gelu),
+            Just(NonlinearFn::Tanh),
+            Just(NonlinearFn::Sigmoid),
+        ],
+        seed in 0u64..1000,
+    ) {
+        let p = kitchen_sink(mode, c, h, func, seed);
+        let bytes = wire::encode_program(&p);
+        let back = wire::decode_program(&bytes).expect("decodes");
+        prop_assert_eq!(back.fingerprint(), p.fingerprint());
+        prop_assert_eq!(back.name(), p.name());
+        prop_assert_eq!(back.stages(), p.stages());
+        prop_assert_eq!(back.modeled_macs(), p.modeled_macs());
+        prop_assert_eq!(back.output_shape(), p.output_shape());
+        prop_assert_eq!(wire::encode_program(&back), bytes);
+        assert_programs_bit_identical(&p, &back, &kitchen_sink_inputs(c, h, seed));
+    }
+
+    /// Optimized programs survive the wire with their optimization
+    /// report (pass names and totals) intact, still bit-identical at
+    /// runtime.
+    #[test]
+    fn wire_round_trip_preserves_opt_report(
+        mode in mode_strategy(),
+        m in 1usize..5,
+        k in 1usize..7,
+        n in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let o = conservative_mlp(mode, m, k, n, seed)
+            .optimize(OptLevel::Standard)
+            .expect("optimizes");
+        let bytes = wire::encode_program(&o);
+        let back = wire::decode_program(&bytes).expect("decodes");
+        let (ra, rb) = (o.opt_report().expect("report"), back.opt_report().expect("report kept"));
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(wire::encode_program(&back), bytes);
+        let x = Pcg32::seed_from_u64(seed ^ 0xD0_0D).randn(&[m, k], 1.0);
+        let (ya, yb) = (run(&o, &x), run(&back, &x));
+        for (a, b) in ya.as_slice().iter().zip(yb.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The parameter-carrying nonlinears (`Elu`, `LeakyRelu`) keep
+    /// their `f32` parameters bit-exactly across the wire (Exact mode:
+    /// the CPWL table set does not cache them).
+    #[test]
+    fn wire_round_trip_keeps_parametric_nonlinears(
+        alpha in -2.0f32..2.0,
+        slope in -1.0f32..1.0,
+        m in 1usize..4,
+        n in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut b = Program::builder("prop-parametric", EvalMode::Exact);
+        let x = b.input(&[m, n]);
+        let e = b.push(Op::Nonlinear(NonlinearFn::Elu(alpha)), &[x]);
+        b.push(Op::Nonlinear(NonlinearFn::LeakyRelu(slope)), &[e]);
+        let p = b.finish().expect("builds");
+        let bytes = wire::encode_program(&p);
+        let back = wire::decode_program(&bytes).expect("decodes");
+        prop_assert_eq!(back.fingerprint(), p.fingerprint());
+        match (&back.nodes()[0].op, &back.nodes()[1].op) {
+            (Op::Nonlinear(NonlinearFn::Elu(a)), Op::Nonlinear(NonlinearFn::LeakyRelu(s))) => {
+                prop_assert_eq!(a.to_bits(), alpha.to_bits());
+                prop_assert_eq!(s.to_bits(), slope.to_bits());
+            }
+            other => prop_assert!(false, "ops changed shape on the wire: {:?}", other),
+        }
+        let xin = Pcg32::seed_from_u64(seed).randn(&[m, n], 1.5);
+        let (ya, yb) = (run(&p, &xin), run(&back, &xin));
+        for (a, b) in ya.as_slice().iter().zip(yb.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -1,0 +1,213 @@
+//! Golden-frame tests for the wire format: committed byte fixtures
+//! (`tests/fixtures/*.bin`) pin the **exact** encoding of format
+//! version 1.
+//!
+//! Two directions are locked in:
+//!
+//! * **encode compatibility** — today's encoder reproduces the
+//!   committed bytes exactly. Any codec change that alters the stream,
+//!   however innocent, fails here and forces a deliberate
+//!   format-version bump (plus fresh fixtures) instead of a silent
+//!   break.
+//! * **decode compatibility** — today's decoder accepts the committed
+//!   bytes and reconstructs semantically identical values, which is
+//!   what keeps old peers talking to new hosts within a version.
+//!
+//! Negative cases prove malformed frames surface as typed
+//! [`WireError`]s, never panics: truncation at every prefix length, a
+//! wrong magic, a bumped format version, and a corrupted payload bit
+//! (fingerprint mismatch).
+//!
+//! Regenerating (only with a conscious version bump):
+//! `ONESA_BLESS_FIXTURES=1 cargo test -p onesa-plan --test wire_golden`.
+
+use onesa_cpwl::NonlinearFn;
+use onesa_plan::wire::{self, WireError};
+use onesa_plan::{EvalMode, Op, OptLevel, Program};
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::Tensor;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compares `encoded` against the committed fixture, or rewrites the
+/// fixture when `ONESA_BLESS_FIXTURES` is set (version-bump workflow).
+fn check_golden(name: &str, encoded: &[u8]) -> Vec<u8> {
+    let path = fixture_path(name);
+    if std::env::var_os("ONESA_BLESS_FIXTURES").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, encoded).unwrap();
+    }
+    let committed = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable ({e}); bless it first"));
+    assert_eq!(
+        committed,
+        encoded,
+        "{name}: encoder output drifted from the committed v{} frame — \
+         a wire change needs a format-version bump and fresh fixtures",
+        wire::VERSION
+    );
+    committed
+}
+
+/// The tensor fixture: hostile values on purpose (NaN with payload,
+/// signed zero, infinities, a subnormal) so byte-exactness covers the
+/// full `f32` bit space, not just round numbers.
+fn golden_tensor() -> Tensor {
+    Tensor::from_vec(
+        vec![
+            1.5,
+            -2.25,
+            f32::from_bits(0x7FC0_DEAD),
+            -0.0,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE / 2.0,
+        ],
+        &[2, 3],
+    )
+    .unwrap()
+}
+
+/// The program fixture: a two-layer CPWL-mode MLP with a biased GEMM —
+/// constants, bias vectors, mode flags and fingerprint all on the wire.
+fn golden_program() -> Program {
+    let mut rng = Pcg32::seed_from_u64(42);
+    let mut b = Program::builder(
+        "golden-mlp",
+        EvalMode::Cpwl {
+            granularity: 0.25,
+            quantize: true,
+        },
+    );
+    let x = b.input(&[2, 4]);
+    let w1 = b.constant(rng.randn(&[4, 3], 1.0));
+    let g1 = b.push(
+        Op::Gemm {
+            bias: Some(vec![0.1, -0.2, 0.3]),
+        },
+        &[x, w1],
+    );
+    let nl = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[g1]);
+    let w2 = b.constant(rng.randn(&[3, 2], 1.0));
+    b.push(Op::Gemm { bias: None }, &[nl, w2]);
+    b.finish().unwrap()
+}
+
+/// The optimized-program fixture: carries an `OptReport` section.
+fn golden_optimized() -> Program {
+    let mut rng = Pcg32::seed_from_u64(7);
+    let w = rng.randn(&[4, 3], 1.0);
+    let mut b = Program::builder(
+        "golden-opt",
+        EvalMode::Cpwl {
+            granularity: 0.25,
+            quantize: true,
+        },
+    );
+    let x = b.input(&[2, 4]);
+    let q1 = b.push(Op::Quantize, &[x]);
+    let q2 = b.push(Op::Quantize, &[x]);
+    let c1 = b.constant(w.clone());
+    let c2 = b.constant(w);
+    let g1 = b.push(Op::Gemm { bias: None }, &[q1, c1]);
+    let g2 = b.push(Op::Gemm { bias: None }, &[q2, c2]);
+    b.push(Op::Add, &[g1, g2]);
+    b.finish().unwrap().optimize(OptLevel::Standard).unwrap()
+}
+
+#[test]
+fn tensor_fixture_is_byte_exact_and_decodes() {
+    let t = golden_tensor();
+    let committed = check_golden("tensor_v1.bin", &wire::encode_tensor(&t));
+    let back = wire::decode_tensor(&committed).expect("committed tensor frame decodes");
+    assert_eq!(back.dims(), t.dims());
+    for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+    }
+}
+
+#[test]
+fn program_fixture_is_byte_exact_and_decodes() {
+    let p = golden_program();
+    let committed = check_golden("program_v1.bin", &wire::encode_program(&p));
+    let back = wire::decode_program(&committed).expect("committed program frame decodes");
+    assert_eq!(back.fingerprint(), p.fingerprint());
+    assert_eq!(back.name(), "golden-mlp");
+    assert_eq!(back.stages(), 3);
+    assert_eq!(back.modeled_macs(), p.modeled_macs());
+}
+
+#[test]
+fn optimized_program_fixture_keeps_its_report() {
+    let p = golden_optimized();
+    let committed = check_golden("program_opt_v1.bin", &wire::encode_program(&p));
+    let back = wire::decode_program(&committed).expect("committed frame decodes");
+    assert_eq!(back.fingerprint(), p.fingerprint());
+    let report = back.opt_report().expect("opt report survives the wire");
+    assert_eq!(report, p.opt_report().unwrap());
+}
+
+#[test]
+fn truncated_fixture_frames_error_and_never_panic() {
+    for name in ["tensor_v1.bin", "program_v1.bin", "program_opt_v1.bin"] {
+        let bytes = std::fs::read(fixture_path(name)).unwrap();
+        for cut in 0..bytes.len() {
+            let r = if name.starts_with("tensor") {
+                wire::decode_tensor(&bytes[..cut]).map(drop)
+            } else {
+                wire::decode_program(&bytes[..cut]).map(drop)
+            };
+            assert!(
+                r.is_err(),
+                "{name} truncated to {cut} bytes must not decode"
+            );
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_a_typed_error() {
+    let mut bytes = std::fs::read(fixture_path("program_v1.bin")).unwrap();
+    bytes[0] = b'X';
+    match wire::decode_program(&bytes) {
+        Err(WireError::BadMagic { found }) => assert_eq!(found[0], b'X'),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn bumped_format_version_is_rejected_not_panicked() {
+    let mut bytes = std::fs::read(fixture_path("program_v1.bin")).unwrap();
+    // Version field sits right after the 4-byte magic, little-endian.
+    let future = (wire::VERSION + 1).to_le_bytes();
+    bytes[4] = future[0];
+    bytes[5] = future[1];
+    match wire::decode_program(&bytes) {
+        Err(WireError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, wire::VERSION + 1);
+            assert_eq!(supported, wire::VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_const_payload_trips_the_fingerprint_check() {
+    let bytes = std::fs::read(fixture_path("program_v1.bin")).unwrap();
+    // Flip one bit in the last const f32 (the tail of the consts
+    // section): structure still parses, semantics changed — the
+    // recomputed fingerprint must disagree with the recorded one.
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x01;
+    match wire::decode_program(&corrupt) {
+        Err(WireError::FingerprintMismatch { recorded, computed }) => {
+            assert_ne!(recorded, computed);
+        }
+        other => panic!("expected FingerprintMismatch, got {other:?}"),
+    }
+}

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Fail CI on broken intra-repo markdown links.
 
-Scans README.md, ROADMAP.md, tests/README.md and every markdown file
-under docs/ for inline links/images whose target is a repository path
-(external URLs and pure #anchors are skipped), and checks that each
+Scans every root-level markdown file, tests/README.md and every markdown
+file under docs/ for inline links/images whose target is a repository
+path (external URLs and pure #anchors are skipped), and checks that each
 target exists relative to the linking file. Anchors are stripped before
 the existence check — this guards file moves, not heading renames.
 
@@ -22,7 +22,8 @@ SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
 
 
 def files_to_scan() -> list[Path]:
-    files = [REPO / "README.md", REPO / "ROADMAP.md", REPO / "tests" / "README.md"]
+    files = sorted(REPO.glob("*.md"))
+    files.append(REPO / "tests" / "README.md")
     files.extend(sorted((REPO / "docs").rglob("*.md")))
     return [f for f in files if f.is_file()]
 

@@ -1,0 +1,15 @@
+//! Shard worker process of the cross-host serving backend.
+//!
+//! Spawned by `onesa_core::serve::ShardBackend::Process`: connects back
+//! to the host over the socket named by `--connect`, handshakes, builds
+//! the same `BatchEngine` an in-process shard would, and serves windows
+//! until the host says Shutdown (or hangs up). All protocol logic lives
+//! in `onesa_core::net::worker_main`; this binary is just the process
+//! shell around it.
+
+fn main() {
+    if let Err(msg) = onesa_core::net::worker_main(std::env::args().skip(1)) {
+        eprintln!("onesa-shard-worker: {msg}");
+        std::process::exit(2);
+    }
+}

@@ -21,7 +21,8 @@
 //! deterministic windows regardless of host timing.
 
 use onesa_core::serve::{
-    AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, ShardSpec, Ticket, TrySubmitError,
+    AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, ShardBackend, ShardSpec, Ticket,
+    TrySubmitError,
 };
 use onesa_core::{Parallelism, Request};
 use onesa_cpwl::ops::TableSet;
@@ -152,6 +153,7 @@ fn heterogeneous_shards_still_bit_identical() {
         admission: AdmissionPolicy::Fifo { window: 6 },
         routing: RoutePolicy::RoundRobin,
         paused: false,
+        backend: ShardBackend::InProcess,
     })
     .unwrap();
     let tickets: Vec<Ticket> = requests
