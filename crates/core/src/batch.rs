@@ -227,6 +227,12 @@ pub struct RequestOutcome {
     /// Per-op solo stats of a program request, in stage order (empty
     /// for plain GEMM/nonlinear requests).
     pub op_stats: Vec<ExecStats>,
+    /// Session-state tensors a program request produced (the grown
+    /// per-layer KV caches of a decoder prefill/decode step), in the
+    /// program's `session_outputs` order. Empty for stateless programs
+    /// and plain GEMM/nonlinear requests. The serving layer
+    /// ([`crate::serve`]) writes these back into the session table.
+    pub session_outputs: Vec<Tensor>,
 }
 
 /// Aggregate statistics of one [`BatchEngine::run`] (or, aggregated
@@ -679,6 +685,7 @@ impl BatchEngine {
                     output: Tensor::from_vec(rows, &[m, n])?,
                     stats: analytic::gemm_stats(&cfg, m, k, n),
                     op_stats: Vec::new(),
+                    session_outputs: Vec::new(),
                 });
             }
         }
@@ -717,6 +724,7 @@ impl BatchEngine {
                     output: Tensor::from_vec(vals, x.dims())?,
                     stats: analytic::nonlinear_stats(&cfg, m, n),
                     op_stats: Vec::new(),
+                    session_outputs: Vec::new(),
                 });
             }
         }
@@ -765,6 +773,7 @@ impl BatchEngine {
                     output: run.output,
                     stats: solo,
                     op_stats: run.op_stats,
+                    session_outputs: run.session_outputs,
                 });
             }
         }

@@ -392,6 +392,12 @@ pub struct RemoteOutcome {
     pub stats: ExecStats,
     /// Per-op stats for program requests (empty otherwise).
     pub op_stats: Vec<ExecStats>,
+    /// Session-state tensors of a session-bearing program request (the
+    /// grown per-layer KV caches), bit-identical across the wire. The
+    /// host's serve layer writes them back into its session table —
+    /// workers stay stateless, which is what makes failover re-execution
+    /// exact.
+    pub session_outputs: Vec<Tensor>,
 }
 
 /// Everything one `Window → Outcomes` exchange produced.
@@ -431,6 +437,10 @@ fn put_window_result(w: &mut WireWriter, outcomes: &[RemoteOutcome], result: &Wi
         for s in &o.op_stats {
             wire::put_exec_stats(w, s);
         }
+        w.put_usize(o.session_outputs.len());
+        for t in &o.session_outputs {
+            wire::put_tensor(w, t);
+        }
     }
     w.put_usize(result.gemm_groups);
     w.put_usize(result.nonlinear_groups);
@@ -460,11 +470,20 @@ fn get_window_result(r: &mut WireReader<'_>) -> Result<WindowResult, WireError> 
         for _ in 0..n_ops {
             op_stats.push(wire::get_exec_stats(r)?);
         }
+        let n_sess = r.get_usize()?;
+        if n_sess > 4096 {
+            return Err(WireError::Corrupt("session output count exceeds cap"));
+        }
+        let mut session_outputs = Vec::with_capacity(n_sess);
+        for _ in 0..n_sess {
+            session_outputs.push(wire::get_tensor(r)?);
+        }
         outcomes.push(RemoteOutcome {
             ticket,
             output,
             stats,
             op_stats,
+            session_outputs,
         });
     }
     Ok(WindowResult {
@@ -916,6 +935,7 @@ fn serve_window(
                     output: o.output,
                     stats: o.stats,
                     op_stats: o.op_stats,
+                    session_outputs: o.session_outputs,
                 })
                 .collect();
             let result = WindowResult {
@@ -1031,6 +1051,7 @@ mod tests {
             output: Tensor::from_vec(vec![1.0, -0.0], &[1, 2]).unwrap(),
             stats: stats.clone(),
             op_stats: vec![stats.clone(), stats],
+            session_outputs: vec![Tensor::from_vec(vec![0.5, 2.0, -3.0, 0.25], &[2, 2]).unwrap()],
         };
         let result = WindowResult {
             outcomes: Vec::new(),
@@ -1054,6 +1075,11 @@ mod tests {
         assert_eq!(back.outcomes.len(), 1);
         assert_eq!(back.outcomes[0].ticket, 42);
         assert_eq!(back.outcomes[0].op_stats.len(), 2);
+        assert_eq!(back.outcomes[0].session_outputs.len(), 1);
+        assert_tensor_bits_eq(
+            &back.outcomes[0].session_outputs[0],
+            &outcome.session_outputs[0],
+        );
         assert_eq!(back.gemm_groups, 3);
         assert_eq!(back.total_macs, 999);
         assert_eq!(back.opt.dead, 3);
@@ -1166,6 +1192,9 @@ mod tests {
                         output: rng.randn(&[1 + i % 3, 2], 1.0),
                         stats: stats.clone(),
                         op_stats: vec![stats; i % 3],
+                        session_outputs: (0..i % 4)
+                            .map(|l| rng.randn(&[1 + i, 2 + l % 2], 1.0))
+                            .collect(),
                     }
                 })
                 .collect();
@@ -1189,6 +1218,10 @@ mod tests {
                 assert_tensor_bits_eq(&a.output, &b.output);
                 prop_assert_eq!(&a.stats, &b.stats);
                 prop_assert_eq!(a.op_stats.len(), b.op_stats.len());
+                prop_assert_eq!(a.session_outputs.len(), b.session_outputs.len());
+                for (s, t) in a.session_outputs.iter().zip(&b.session_outputs) {
+                    assert_tensor_bits_eq(s, t);
+                }
             }
             prop_assert_eq!(back.gemm_groups, result.gemm_groups);
             prop_assert_eq!(back.total_macs, result.total_macs);

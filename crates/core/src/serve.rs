@@ -186,6 +186,288 @@ pub enum RoutePolicy {
     WeightAffinity,
 }
 
+/// Identifier of a decoding session (from [`ServeClient::open_session`]).
+pub type SessionId = u64;
+
+/// Which autoregressive phase a session-tagged request is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// The prompt pass: one program over the whole prompt that produces
+    /// the session's initial KV cache.
+    Prefill,
+    /// One token step against the session-resident KV cache.
+    Decode,
+}
+
+/// How a closed admission window orders prefill and decode steps before
+/// routing. Reordering happens *within* one window (after the deadline
+/// sort, which it preserves within each phase class) and never changes
+/// any request's output — only which requests share a shard batch, and
+/// therefore the continuous-batching coalescing opportunities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterleavePolicy {
+    /// Keep arrival order: prefill and decode steps mix freely (the
+    /// default).
+    #[default]
+    Mixed,
+    /// Prompt passes dispatch ahead of decode steps — favors time to
+    /// first token for newly admitted sessions.
+    PrefillFirst,
+    /// Decode steps dispatch ahead of prompt passes — favors inter-token
+    /// latency of already-running sessions.
+    DecodeFirst,
+}
+
+/// Lifetime counters of the session table, reported in
+/// [`ServeSummary::sessions`]. `live` counts entries still resident at
+/// finish — an evicted session's KV tensors are freed at eviction, so
+/// `opened == closed + evicted_deadline + evicted_overflow + live`
+/// always holds (no orphaned cache entries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// Sessions opened over the engine lifetime.
+    pub opened: u64,
+    /// Sessions the client closed ([`ServeClient::close_session`]).
+    pub closed: u64,
+    /// Whole sessions evicted because a step expired under
+    /// [`AdmissionPolicy::Deadline`] with `drop_expired` — the KV
+    /// tensors are freed with the entry, not just the in-flight step.
+    pub evicted_deadline: u64,
+    /// Sessions evicted least-recently-used to admit a new one past
+    /// [`ServeConfig::session_capacity`].
+    pub evicted_overflow: u64,
+    /// Sessions still resident when the engine finished.
+    pub live: u64,
+}
+
+/// Latency/throughput accounting of one phase ([`ServeSummary::prefill`]
+/// / [`ServeSummary::decode`]). Only session-tagged requests are
+/// counted; plain GEMM/nonlinear/program tickets belong to neither
+/// phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    /// Requests served in this phase.
+    pub requests: usize,
+    /// Tokens those requests covered: the prompt length for a prefill,
+    /// one per decode step.
+    pub tokens: u64,
+    /// Simulated per-request latencies in seconds, ordered by ticket id.
+    pub latencies: Vec<f64>,
+}
+
+impl PhaseStats {
+    /// Nearest-rank latency percentile (`q` in `0..=100`) over this
+    /// phase's requests; 0.0 when the phase served nothing.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Tokens per second against the given wall-clock interval.
+    pub fn tokens_per_second(&self, wall_seconds: f64) -> f64 {
+        if wall_seconds > 0.0 {
+            self.tokens as f64 / wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One live decoding session: host-resident KV tensors plus scheduling
+/// state. The tensors are whatever the session's programs declare as
+/// session outputs — for `TinyCausalLm`, per-layer `[ctx, d]` K and V
+/// matrices, K then V in block order.
+#[derive(Debug)]
+struct SessionState {
+    /// Current per-layer cache tensors (empty until prefill completes).
+    kv: Vec<Tensor>,
+    /// The shard the session's first step landed on; every later step
+    /// routes here so the session's weight state stays shard-local.
+    shard: Option<usize>,
+    /// A step is queued or executing: the session admits one step at a
+    /// time, which is what keeps cache read-modify-write linearizable.
+    in_flight: bool,
+    /// LRU clock value of the last checkout (overflow eviction key).
+    last_used: u64,
+    /// Decode steps completed (== tokens generated so far).
+    tokens: u64,
+}
+
+#[derive(Debug, Default)]
+struct SessionTableInner {
+    map: std::collections::HashMap<SessionId, SessionState>,
+    next: SessionId,
+    clock: u64,
+    opened: u64,
+    closed: u64,
+    evicted_deadline: u64,
+    evicted_overflow: u64,
+}
+
+/// The host-side session table, shared by clients (checkout at submit),
+/// the admitter (pinning, deadline eviction) and the shard workers
+/// (write-back before the ticket reply).
+#[derive(Debug)]
+struct SessionTable {
+    inner: Mutex<SessionTableInner>,
+    capacity: usize,
+}
+
+impl SessionTable {
+    fn new(capacity: usize) -> Self {
+        SessionTable {
+            inner: Mutex::new(SessionTableInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionTableInner> {
+        self.inner.lock().expect("session table lock")
+    }
+
+    /// Opens a session, evicting the least-recently-used idle session
+    /// first if the table is at capacity (an in-flight session is never
+    /// evicted — its write-back is pending; if every resident session is
+    /// in flight the table temporarily exceeds capacity instead).
+    fn open(&self) -> SessionId {
+        let mut t = self.lock();
+        if t.map.len() >= self.capacity {
+            let victim = t
+                .map
+                .iter()
+                .filter(|(_, s)| !s.in_flight)
+                .min_by_key(|(id, s)| (s.last_used, **id))
+                .map(|(id, _)| *id);
+            if let Some(id) = victim {
+                t.map.remove(&id);
+                t.evicted_overflow += 1;
+            }
+        }
+        let id = t.next;
+        t.next += 1;
+        t.opened += 1;
+        let clock = t.clock;
+        t.clock += 1;
+        t.map.insert(
+            id,
+            SessionState {
+                kv: Vec::new(),
+                shard: None,
+                in_flight: false,
+                last_used: clock,
+                tokens: 0,
+            },
+        );
+        id
+    }
+
+    fn close(&self, id: SessionId) -> bool {
+        let mut t = self.lock();
+        let existed = t.map.remove(&id).is_some();
+        if existed {
+            t.closed += 1;
+        }
+        existed
+    }
+
+    /// Marks the session in flight and returns a clone of its KV
+    /// tensors for input binding.
+    fn checkout(&self, id: SessionId) -> Result<Vec<Tensor>, ServeError> {
+        let mut t = self.lock();
+        let clock = t.clock;
+        t.clock += 1;
+        let s = t.map.get_mut(&id).ok_or(ServeError::SessionUnknown(id))?;
+        if s.in_flight {
+            return Err(ServeError::SessionBusy(id));
+        }
+        s.in_flight = true;
+        s.last_used = clock;
+        Ok(s.kv.clone())
+    }
+
+    /// Installs a completed step's session outputs and reopens the
+    /// session for its next step. A session evicted or closed while the
+    /// step was in flight is left gone — the stale tensors are dropped.
+    fn writeback(&self, id: SessionId, kv: Vec<Tensor>, phase: Phase) {
+        let mut t = self.lock();
+        if let Some(s) = t.map.get_mut(&id) {
+            s.kv = kv;
+            s.in_flight = false;
+            if phase == Phase::Decode {
+                s.tokens += 1;
+            }
+        }
+    }
+
+    /// Clears the in-flight marker without touching the cache (error
+    /// paths: validation rejection, shard failure, queue teardown).
+    fn release(&self, id: SessionId) {
+        let mut t = self.lock();
+        if let Some(s) = t.map.get_mut(&id) {
+            s.in_flight = false;
+        }
+    }
+
+    fn pin_of(&self, id: SessionId) -> Option<usize> {
+        self.lock().map.get(&id).and_then(|s| s.shard)
+    }
+
+    fn set_pin(&self, id: SessionId, shard: usize) {
+        let mut t = self.lock();
+        if let Some(s) = t.map.get_mut(&id) {
+            if s.shard.is_none() {
+                s.shard = Some(shard);
+            }
+        }
+    }
+
+    /// Evicts the whole session because one of its steps expired: the
+    /// entry — KV tensors included — is freed, not just the in-flight
+    /// step (the regression pinned by
+    /// `deadline_expiry_evicts_the_whole_session`).
+    fn evict_deadline(&self, id: SessionId) {
+        let mut t = self.lock();
+        if t.map.remove(&id).is_some() {
+            t.evicted_deadline += 1;
+        }
+    }
+
+    fn kv(&self, id: SessionId) -> Option<Vec<Tensor>> {
+        self.lock().map.get(&id).map(|s| s.kv.clone())
+    }
+
+    fn context_rows(&self, id: SessionId) -> Option<usize> {
+        self.lock()
+            .map
+            .get(&id)
+            .map(|s| s.kv.first().map_or(0, |t| t.dims()[0]))
+    }
+
+    fn tokens(&self, id: SessionId) -> Option<u64> {
+        self.lock().map.get(&id).map(|s| s.tokens)
+    }
+
+    fn live(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    fn summary(&self) -> SessionSummary {
+        let t = self.lock();
+        SessionSummary {
+            opened: t.opened,
+            closed: t.closed,
+            evicted_deadline: t.evicted_deadline,
+            evicted_overflow: t.evicted_overflow,
+            live: t.map.len() as u64,
+        }
+    }
+}
+
 /// One simulated array in the pool: an [`ArrayConfig`] plus the host
 /// execution policy its kernels run under.
 #[derive(Debug, Clone)]
@@ -238,6 +520,13 @@ pub struct ServeConfig {
     pub paused: bool,
     /// Where shards run: in-process threads or spawned worker processes.
     pub backend: ShardBackend,
+    /// How a closed window orders prefill vs decode steps before
+    /// routing (see [`InterleavePolicy`]).
+    pub interleave: InterleavePolicy,
+    /// Most sessions resident at once (`0` is treated as `1`): opening
+    /// one past the cap evicts the least-recently-used idle session,
+    /// counted in [`SessionSummary::evicted_overflow`].
+    pub session_capacity: usize,
 }
 
 impl ServeConfig {
@@ -258,6 +547,8 @@ impl ServeConfig {
             routing: RoutePolicy::default(),
             paused: false,
             backend: ShardBackend::default(),
+            interleave: InterleavePolicy::default(),
+            session_capacity: 64,
         }
     }
 
@@ -291,6 +582,18 @@ impl ServeConfig {
         self.backend = backend;
         self
     }
+
+    /// Replaces the prefill/decode interleave policy.
+    pub fn with_interleave(mut self, interleave: InterleavePolicy) -> Self {
+        self.interleave = interleave;
+        self
+    }
+
+    /// Replaces the session-table capacity.
+    pub fn with_session_capacity(mut self, capacity: usize) -> Self {
+        self.session_capacity = capacity;
+        self
+    }
 }
 
 /// Errors of the serving layer.
@@ -314,6 +617,12 @@ pub enum ServeError {
     /// for a submission racing with `finish()` — the engine tore down
     /// before the reply could be produced).
     WorkerLost,
+    /// The session id is not in the table: never opened, closed, or
+    /// evicted (deadline expiry / capacity overflow).
+    SessionUnknown(SessionId),
+    /// The session already has a step queued or executing; a session
+    /// admits one step at a time (wait the previous ticket first).
+    SessionBusy(SessionId),
 }
 
 impl fmt::Display for ServeError {
@@ -329,6 +638,12 @@ impl fmt::Display for ServeError {
                 "request expired before dispatch (deadline {deadline_us} us, window closed at {now_us} us)"
             ),
             ServeError::WorkerLost => write!(f, "serve worker lost before replying"),
+            ServeError::SessionUnknown(id) => {
+                write!(f, "session {id} is unknown (never opened, closed, or evicted)")
+            }
+            ServeError::SessionBusy(id) => {
+                write!(f, "session {id} already has a step in flight")
+            }
         }
     }
 }
@@ -498,6 +813,15 @@ pub struct ServeSummary {
     /// Process backend only: pool-wide weight-cache accounting (the
     /// per-shard [`ShardStats::wire_cache`] counters merged).
     pub wire_cache: WeightCacheStats,
+    /// Latency/throughput accounting of the prompt passes of decoding
+    /// sessions (empty for a session-free run).
+    pub prefill: PhaseStats,
+    /// Latency/throughput accounting of the decode steps of decoding
+    /// sessions (empty for a session-free run).
+    pub decode: PhaseStats,
+    /// Session-table lifetime counters; see [`SessionSummary`] for the
+    /// no-orphaned-entries invariant.
+    pub sessions: SessionSummary,
 }
 
 impl ServeSummary {
@@ -508,6 +832,12 @@ impl ServeSummary {
     /// wall-clock. Returns 1.0 for an empty run.
     pub fn modeled_speedup(&self) -> f64 {
         self.report.batching_speedup()
+    }
+
+    /// Generated tokens per host wall-clock second across every
+    /// session's decode steps (0.0 for a session-free run).
+    pub fn decode_tokens_per_second(&self) -> f64 {
+        self.decode.tokens_per_second(self.report.wall_seconds)
     }
 }
 
@@ -565,6 +895,28 @@ impl fmt::Display for ServeSummary {
                 cache.const_bytes_saved
             )?;
         }
+        if self.sessions.opened > 0 {
+            writeln!(
+                f,
+                "sessions: {} opened, {} closed, {} expired, {} overflowed, {} live",
+                self.sessions.opened,
+                self.sessions.closed,
+                self.sessions.evicted_deadline,
+                self.sessions.evicted_overflow,
+                self.sessions.live
+            )?;
+            writeln!(
+                f,
+                "phases: prefill {} req ({} tokens) p50 {:.1} us | decode {} steps p50 {:.1} us, \
+                 {:.0} tokens/s",
+                self.prefill.requests,
+                self.prefill.tokens,
+                self.prefill.latency_percentile(50.0) * 1e6,
+                self.decode.requests,
+                self.decode.latency_percentile(50.0) * 1e6,
+                self.decode_tokens_per_second()
+            )?;
+        }
         write!(
             f,
             "latency p50/p95/p99: {:.1} / {:.1} / {:.1} us",
@@ -587,11 +939,21 @@ enum Msg {
     Drain,
 }
 
+/// Session tag riding on a submission: which session, which phase, and
+/// how many tokens the step covers (prompt length / 1).
+#[derive(Debug, Clone, Copy)]
+struct SessionTag {
+    id: SessionId,
+    phase: Phase,
+    tokens: u64,
+}
+
 struct Submission {
     ticket: TicketId,
     deadline: Option<u64>,
     submitted_at: Instant,
     request: Request,
+    session: Option<SessionTag>,
     reply: Sender<Result<ServedOutcome, ServeError>>,
 }
 
@@ -600,6 +962,7 @@ struct WorkItem {
     dispatch_seq: u64,
     submitted_at: Instant,
     request: Request,
+    session: Option<SessionTag>,
     reply: Sender<Result<ServedOutcome, ServeError>>,
 }
 
@@ -664,6 +1027,11 @@ impl Gate {
         self.cv.notify_all();
     }
 
+    fn close(&self) {
+        let mut open = self.open.lock().expect("gate lock");
+        *open = false;
+    }
+
     fn wait_open(&self) {
         let mut open = self.open.lock().expect("gate lock");
         while !*open {
@@ -680,10 +1048,16 @@ pub struct ServeClient {
     tx: SyncSender<Msg>,
     next: Arc<AtomicU64>,
     depth: Arc<DepthGauge>,
+    sessions: Arc<SessionTable>,
 }
 
 impl ServeClient {
-    fn make(&self, request: Request, deadline: Option<u64>) -> (Submission, Ticket) {
+    fn make(
+        &self,
+        request: Request,
+        deadline: Option<u64>,
+        session: Option<SessionTag>,
+    ) -> (Submission, Ticket) {
         let id = self.next.fetch_add(1, Ordering::SeqCst);
         let (reply, rx) = mpsc::channel();
         (
@@ -692,6 +1066,7 @@ impl ServeClient {
                 deadline,
                 submitted_at: Instant::now(),
                 request,
+                session,
                 reply,
             },
             Ticket { id, rx },
@@ -723,7 +1098,16 @@ impl ServeClient {
     }
 
     fn submit_inner(&self, request: Request, deadline: Option<u64>) -> Result<Ticket, ServeError> {
-        let (sub, ticket) = self.make(request, deadline);
+        self.submit_tagged(request, deadline, None)
+    }
+
+    fn submit_tagged(
+        &self,
+        request: Request,
+        deadline: Option<u64>,
+        session: Option<SessionTag>,
+    ) -> Result<Ticket, ServeError> {
+        let (sub, ticket) = self.make(request, deadline, session);
         self.depth.inc_tentative();
         match self.tx.send(Msg::Work(sub)) {
             Ok(()) => {
@@ -732,6 +1116,9 @@ impl ServeClient {
             }
             Err(_) => {
                 self.depth.dec();
+                if let Some(tag) = session {
+                    self.sessions.release(tag.id);
+                }
                 Err(ServeError::QueueClosed)
             }
         }
@@ -745,7 +1132,7 @@ impl ServeClient {
     /// [`TrySubmitError::Full`] at capacity, [`TrySubmitError::Closed`]
     /// after [`ServeEngine::finish`]; both return the request.
     pub fn try_submit(&self, request: Request) -> Result<Ticket, TrySubmitError> {
-        let (sub, ticket) = self.make(request, None);
+        let (sub, ticket) = self.make(request, None, None);
         self.depth.inc_tentative();
         match self.tx.try_send(Msg::Work(sub)) {
             Ok(()) => {
@@ -782,6 +1169,139 @@ impl ServeClient {
     pub fn queued(&self) -> usize {
         self.depth.current()
     }
+
+    // -- decoding sessions ------------------------------------------------
+
+    /// Opens a decoding session: an entry in the host-resident session
+    /// table that will hold the session's KV tensors across admission
+    /// windows until [`ServeClient::close_session`] or eviction. At
+    /// [`ServeConfig::session_capacity`] the least-recently-used idle
+    /// session is evicted to make room.
+    pub fn open_session(&self) -> SessionId {
+        self.sessions.open()
+    }
+
+    /// Closes a session, freeing its KV tensors. Returns whether the
+    /// session was still resident (false: already closed or evicted).
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.sessions.close(id)
+    }
+
+    /// Submits a session's prompt pass: a session-bearing program (its
+    /// session outputs become the cache) over the whole prompt.
+    /// `prompt_tokens` is the prompt length, counted into
+    /// [`PhaseStats::tokens`]. The session admits one step at a time.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SessionUnknown`] / [`ServeError::SessionBusy`] at
+    /// the table, otherwise as for [`ServeClient::submit`].
+    pub fn submit_prefill(
+        &self,
+        id: SessionId,
+        program: crate::Program,
+        inputs: Vec<Tensor>,
+        prompt_tokens: usize,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_prefill_with_deadline(id, program, inputs, prompt_tokens, None)
+    }
+
+    /// [`ServeClient::submit_prefill`] with a deadline priority key
+    /// (see [`ServeClient::submit_with_deadline`]; under drop-on-expiry
+    /// an expired step evicts the **whole session**).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::submit_prefill`].
+    pub fn submit_prefill_with_deadline(
+        &self,
+        id: SessionId,
+        program: crate::Program,
+        inputs: Vec<Tensor>,
+        prompt_tokens: usize,
+        deadline: Option<u64>,
+    ) -> Result<Ticket, ServeError> {
+        let _ = self.sessions.checkout(id)?; // a prefill binds no cache
+        self.submit_tagged(
+            Request::program(program, inputs),
+            deadline,
+            Some(SessionTag {
+                id,
+                phase: Phase::Prefill,
+                tokens: prompt_tokens as u64,
+            }),
+        )
+    }
+
+    /// Submits one decode step: the session's current KV tensors are
+    /// bound as the program's session inputs **after** `step_inputs`
+    /// (matching `Program::session_input` declaration order), and the
+    /// step's session outputs are written back into the table before
+    /// the ticket resolves — so a caller that has seen the reply can
+    /// immediately submit the next step.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::submit_prefill`].
+    pub fn submit_decode(
+        &self,
+        id: SessionId,
+        program: crate::Program,
+        step_inputs: Vec<Tensor>,
+    ) -> Result<Ticket, ServeError> {
+        self.submit_decode_with_deadline(id, program, step_inputs, None)
+    }
+
+    /// [`ServeClient::submit_decode`] with a deadline priority key
+    /// (see [`ServeClient::submit_with_deadline`]; under drop-on-expiry
+    /// an expired step evicts the **whole session**).
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::submit_prefill`].
+    pub fn submit_decode_with_deadline(
+        &self,
+        id: SessionId,
+        program: crate::Program,
+        step_inputs: Vec<Tensor>,
+        deadline: Option<u64>,
+    ) -> Result<Ticket, ServeError> {
+        let kv = self.sessions.checkout(id)?;
+        let mut inputs = step_inputs;
+        inputs.extend(kv);
+        self.submit_tagged(
+            Request::program(program, inputs),
+            deadline,
+            Some(SessionTag {
+                id,
+                phase: Phase::Decode,
+                tokens: 1,
+            }),
+        )
+    }
+
+    /// The session's current KV tensors (a clone), in the program's
+    /// session-output order. `None` if the session is gone; empty before
+    /// its prefill completes.
+    pub fn session_kv(&self, id: SessionId) -> Option<Vec<Tensor>> {
+        self.sessions.kv(id)
+    }
+
+    /// Rows of the session's first cache tensor — the attended context
+    /// length. `None` if the session is gone, 0 before prefill.
+    pub fn session_context_rows(&self, id: SessionId) -> Option<usize> {
+        self.sessions.context_rows(id)
+    }
+
+    /// Decode steps the session has completed (tokens generated).
+    pub fn session_tokens(&self, id: SessionId) -> Option<u64> {
+        self.sessions.tokens(id)
+    }
+
+    /// Sessions currently resident in the table.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.live()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -795,6 +1315,10 @@ struct ReqRecord {
     seconds: f64,
     macs: u64,
     nonlinear_evals: u64,
+    /// Session phase of the request (`None` for plain requests).
+    phase: Option<Phase>,
+    /// Tokens the request covered (0 for plain requests).
+    tokens: u64,
 }
 
 struct ShardOut {
@@ -813,6 +1337,7 @@ pub struct ServeEngine {
     workers: Vec<JoinHandle<ShardOut>>,
     /// Process backend: one pid per shard; empty in-process.
     worker_pids: Vec<u32>,
+    sessions: Arc<SessionTable>,
 }
 
 /// What the admission thread reports at shutdown.
@@ -840,6 +1365,7 @@ impl ServeEngine {
 
         let (tx, rx) = mpsc::sync_channel::<Msg>(cfg.queue_capacity.max(1));
         let gate = Arc::new(Gate::new(!cfg.paused));
+        let sessions = Arc::new(SessionTable::new(cfg.session_capacity));
         let queue_depth = Arc::new(DepthGauge::default());
         let loads: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let shard_depths: Vec<Arc<DepthGauge>> =
@@ -865,9 +1391,10 @@ impl ServeEngine {
                     shard_txs.push(btx);
                     let load = Arc::clone(&loads[i]);
                     let depth = Arc::clone(&shard_depths[i]);
+                    let sess = Arc::clone(&sessions);
                     let handle = thread::Builder::new()
                         .name(format!("onesa-shard-{i}"))
-                        .spawn(move || shard_loop(i, brx, engine, load, depth))
+                        .spawn(move || shard_loop(i, brx, engine, load, depth, sess))
                         .expect("spawn shard worker");
                     workers.push(handle);
                 }
@@ -910,6 +1437,7 @@ impl ServeEngine {
                         alive: alive.clone(),
                         loads: loads.clone(),
                         depth: Arc::clone(depth),
+                        sessions: Arc::clone(&sessions),
                     };
                     let handle = thread::Builder::new()
                         .name(format!("onesa-shard-proxy-{i}"))
@@ -934,10 +1462,12 @@ impl ServeEngine {
                 loads,
                 admission: cfg.admission,
                 routing: cfg.routing,
+                interleave: cfg.interleave,
                 gate: Arc::clone(&gate),
                 queue_depth: Arc::clone(&queue_depth),
                 validator,
                 epoch: Instant::now(),
+                sessions: Arc::clone(&sessions),
             };
             thread::Builder::new()
                 .name("onesa-admitter".to_string())
@@ -950,6 +1480,7 @@ impl ServeEngine {
                 tx,
                 next: Arc::new(AtomicU64::new(0)),
                 depth: queue_depth,
+                sessions: Arc::clone(&sessions),
             },
             gate,
             started: Instant::now(),
@@ -957,6 +1488,7 @@ impl ServeEngine {
             admitter: Some(admitter),
             workers,
             worker_pids,
+            sessions,
         })
     }
 
@@ -981,6 +1513,21 @@ impl ServeEngine {
     /// (idempotent).
     pub fn resume(&self) {
         self.gate.open();
+    }
+
+    /// Closes the admission gate again, so a wave of submissions can be
+    /// staged into **one** admission window mid-run: `pause()`, submit
+    /// the wave, `resume()`. While paused, the admitter still dequeues
+    /// the head request of the next window but blocks before filling or
+    /// dispatching it; a window already being filled or executing is
+    /// unaffected. This is how a continuous-batching driver keeps the
+    /// decode steps of many sessions coalescing even though each round's
+    /// inputs only exist after the previous round's outputs: without the
+    /// pause, the admitter's greedy fill would dispatch the first step
+    /// of a round alone. [`ServeEngine::finish`] reopens the gate, so a
+    /// paused engine still drains.
+    pub fn pause(&self) {
+        self.gate.close();
     }
 
     /// See [`ServeClient::submit`].
@@ -1035,6 +1582,66 @@ impl ServeEngine {
     /// Requests currently waiting in the submission queue.
     pub fn pending(&self) -> usize {
         self.client.queued()
+    }
+
+    /// See [`ServeClient::open_session`].
+    pub fn open_session(&self) -> SessionId {
+        self.client.open_session()
+    }
+
+    /// See [`ServeClient::close_session`].
+    pub fn close_session(&self, id: SessionId) -> bool {
+        self.client.close_session(id)
+    }
+
+    /// See [`ServeClient::submit_prefill`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::submit_prefill`].
+    pub fn submit_prefill(
+        &self,
+        id: SessionId,
+        program: crate::Program,
+        inputs: Vec<Tensor>,
+        prompt_tokens: usize,
+    ) -> Result<Ticket, ServeError> {
+        self.client
+            .submit_prefill(id, program, inputs, prompt_tokens)
+    }
+
+    /// See [`ServeClient::submit_decode`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeClient::submit_decode`].
+    pub fn submit_decode(
+        &self,
+        id: SessionId,
+        program: crate::Program,
+        step_inputs: Vec<Tensor>,
+    ) -> Result<Ticket, ServeError> {
+        self.client.submit_decode(id, program, step_inputs)
+    }
+
+    /// See [`ServeClient::session_kv`].
+    pub fn session_kv(&self, id: SessionId) -> Option<Vec<Tensor>> {
+        self.client.session_kv(id)
+    }
+
+    /// See [`ServeClient::session_context_rows`].
+    pub fn session_context_rows(&self, id: SessionId) -> Option<usize> {
+        self.client.session_context_rows(id)
+    }
+
+    /// See [`ServeClient::session_tokens`].
+    pub fn session_tokens(&self, id: SessionId) -> Option<u64> {
+        self.client.session_tokens(id)
+    }
+
+    /// See [`ServeClient::live_sessions`].
+    pub fn live_sessions(&self) -> usize {
+        self.client.live_sessions()
     }
 
     /// Routes a batch of pooled feature vectors through the pool as
@@ -1122,6 +1729,19 @@ impl ServeEngine {
         }
         records.sort_by_key(|r| r.ticket);
 
+        let mut prefill = PhaseStats::default();
+        let mut decode = PhaseStats::default();
+        for r in &records {
+            let bucket = match r.phase {
+                Some(Phase::Prefill) => &mut prefill,
+                Some(Phase::Decode) => &mut decode,
+                None => continue,
+            };
+            bucket.requests += 1;
+            bucket.tokens += r.tokens;
+            bucket.latencies.push(r.seconds);
+        }
+
         let mut opt = OptTotals::default();
         let mut wire_cache = WeightCacheStats::default();
         let mut failovers = 0usize;
@@ -1150,6 +1770,9 @@ impl ServeEngine {
             peak_queue_depth: self.client.depth.peak(),
             failovers,
             wire_cache,
+            prefill,
+            decode,
+            sessions: self.sessions.summary(),
         })
     }
 }
@@ -1175,12 +1798,14 @@ struct AdmitterCtx {
     loads: Vec<Arc<AtomicU64>>,
     admission: AdmissionPolicy,
     routing: RoutePolicy,
+    interleave: InterleavePolicy,
     gate: Arc<Gate>,
     queue_depth: Arc<DepthGauge>,
     /// Validation template (same table set as every shard).
     validator: BatchEngine,
     /// Epoch of the drop-on-expiry deadline clock.
     epoch: Instant,
+    sessions: Arc<SessionTable>,
 }
 
 /// Returns the windows dispatched and requests expired.
@@ -1197,6 +1822,9 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
         match ctx.validator.validate(&sub.request) {
             Ok(()) => Some(sub),
             Err(e) => {
+                if let Some(tag) = sub.session {
+                    ctx.sessions.release(tag.id);
+                }
                 let _ = sub.reply.send(Err(ServeError::Exec(e)));
                 None
             }
@@ -1224,6 +1852,9 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
             }
         };
         ctx.queue_depth.dec();
+        // A paused gate holds the window here, head in hand, until the
+        // client finishes staging its wave (see [`ServeEngine::pause`]).
+        ctx.gate.wait_open();
         // Only *admitted* requests consume the window budget — a
         // rejected request must not close a size-capped window early
         // and split the valid requests' coalescing opportunity.
@@ -1260,6 +1891,13 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
                 window.retain(|s| match s.deadline {
                     Some(d) if d < now_us => {
                         expired += 1;
+                        // An expired step takes its whole session with
+                        // it: the KV cache is useless once the stream
+                        // misses its deadline, so evict rather than
+                        // strand the tensors until overflow pressure.
+                        if let Some(tag) = s.session {
+                            ctx.sessions.evict_deadline(tag.id);
+                        }
                         let _ = s.reply.send(Err(ServeError::DeadlineExpired {
                             deadline_us: d,
                             now_us,
@@ -1273,11 +1911,18 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
             // arrival order.
             window.sort_by_key(|s| s.deadline.unwrap_or(u64::MAX));
         }
+        interleave_window(ctx.interleave, &mut window);
 
         let n = ctx.shard_txs.len();
         let mut per_shard: Vec<ShardBatch> = (0..n).map(|_| Vec::new()).collect();
         for sub in window {
-            let shard = match ctx.routing {
+            // A session is pinned to the shard that served its prefill:
+            // later steps must land where the policy first put it, or
+            // WeightAffinity-per-context-length would scatter one
+            // stream's steps (and its write-back ordering) across the
+            // pool.
+            let pinned = sub.session.and_then(|t| ctx.sessions.pin_of(t.id));
+            let shard = pinned.unwrap_or_else(|| match ctx.routing {
                 RoutePolicy::RoundRobin => {
                     let s = rr % n;
                     rr += 1;
@@ -1291,7 +1936,10 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
                     .map(|(i, _)| i)
                     .unwrap_or(0),
                 RoutePolicy::WeightAffinity => (sub.request.affinity_key() % n as u64) as usize,
-            };
+            });
+            if let Some(tag) = sub.session {
+                ctx.sessions.set_pin(tag.id, shard);
+            }
             ctx.loads[shard].fetch_add(sub.request.modeled_macs(), Ordering::Relaxed);
             per_shard[shard].push(WorkItem {
                 ticket: sub.ticket,
@@ -1299,6 +1947,7 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
                 submitted_at: sub.submitted_at,
                 request: sub.request,
                 reply: sub.reply,
+                session: sub.session,
             });
             dispatch_seq += 1;
         }
@@ -1318,10 +1967,27 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
     while let Ok(msg) = ctx.rx.try_recv() {
         if let Msg::Work(sub) = msg {
             ctx.queue_depth.dec();
+            if let Some(tag) = sub.session {
+                ctx.sessions.release(tag.id);
+            }
             let _ = sub.reply.send(Err(ServeError::QueueClosed));
         }
     }
     AdmitOut { windows, expired }
+}
+
+/// Reorders an admission window by phase class. Stable sorts keep
+/// deadline (or arrival) order within a class, so the policy only
+/// decides which phase's requests front the window — with it, prefill
+/// bursts can't starve in-flight decode streams (or vice versa).
+/// Sessionless requests sort with prefill.
+fn interleave_window(policy: InterleavePolicy, window: &mut [Submission]) {
+    let is_decode = |s: &Submission| matches!(s.session.map(|t| t.phase), Some(Phase::Decode));
+    match policy {
+        InterleavePolicy::Mixed => {}
+        InterleavePolicy::PrefillFirst => window.sort_by_key(|s| u8::from(is_decode(s))),
+        InterleavePolicy::DecodeFirst => window.sort_by_key(|s| u8::from(!is_decode(s))),
+    }
 }
 
 fn window_full(policy: AdmissionPolicy, len: usize, work: u64) -> bool {
@@ -1339,12 +2005,14 @@ fn shard_loop(
     mut engine: BatchEngine,
     load: Arc<AtomicU64>,
     depth: Arc<DepthGauge>,
+    sessions: Arc<SessionTable>,
 ) -> ShardOut {
     struct PendingReply {
         ticket: TicketId,
         dispatch_seq: u64,
         queue_seconds: f64,
         reply: Sender<Result<ServedOutcome, ServeError>>,
+        session: Option<SessionTag>,
     }
 
     let mut out = ShardOut {
@@ -1386,6 +2054,7 @@ fn shard_loop(
                 dispatch_seq: item.dispatch_seq,
                 queue_seconds: item.submitted_at.elapsed().as_secs_f64(),
                 reply: item.reply,
+                session: item.session,
             });
         }
         match engine.run() {
@@ -1397,12 +2066,21 @@ fn shard_loop(
                 out.stats.macs += run.report.total_macs;
                 out.stats.array_seconds += run.report.batched_seconds;
                 out.stats.opt.merge(&run.report.opt);
-                for (p, outcome) in pending.into_iter().zip(run.outcomes) {
+                for (p, mut outcome) in pending.into_iter().zip(run.outcomes) {
+                    // Write the grown KV cache back *before* the ticket
+                    // resolves, so a caller chaining decode steps on the
+                    // ticket's completion always reads the new context.
+                    if let Some(tag) = p.session {
+                        let kv = std::mem::take(&mut outcome.session_outputs);
+                        sessions.writeback(tag.id, kv, tag.phase);
+                    }
                     out.records.push(ReqRecord {
                         ticket: p.ticket,
                         seconds: outcome.stats.seconds(),
                         macs: outcome.stats.macs,
                         nonlinear_evals: outcome.stats.nonlinear_evals,
+                        phase: p.session.map(|t| t.phase),
+                        tokens: p.session.map_or(0, |t| t.tokens),
                     });
                     let _ = p.reply.send(Ok(ServedOutcome {
                         ticket: p.ticket,
@@ -1420,6 +2098,9 @@ fn shard_loop(
                 // anyway: fail the batch, leave the shard serviceable.
                 engine.clear();
                 for p in pending {
+                    if let Some(tag) = p.session {
+                        sessions.release(tag.id);
+                    }
                     let _ = p.reply.send(Err(ServeError::Exec(e.clone())));
                 }
             }
@@ -1443,6 +2124,7 @@ struct RemoteShardCtx {
     alive: Vec<Arc<AtomicBool>>,
     loads: Vec<Arc<AtomicU64>>,
     depth: Arc<DepthGauge>,
+    sessions: Arc<SessionTable>,
 }
 
 /// The process-backend counterpart of [`shard_loop`]: receives batches
@@ -1516,11 +2198,21 @@ fn remote_shard_loop(ctx: RemoteShardCtx) -> ShardOut {
                     }
                     for ((item, o), qs) in batch.iter().zip(result.outcomes).zip(&queue_seconds) {
                         debug_assert_eq!(item.ticket, o.ticket, "worker echoed tickets in order");
+                        // As in `shard_loop`: the session sees its grown
+                        // cache before the ticket resolves. The KV lives
+                        // host-side, so a worker death between steps
+                        // loses nothing a survivor can't recompute from
+                        // the same inputs.
+                        if let Some(tag) = item.session {
+                            ctx.sessions.writeback(tag.id, o.session_outputs, tag.phase);
+                        }
                         out.records.push(ReqRecord {
                             ticket: item.ticket,
                             seconds: o.stats.seconds(),
                             macs: o.stats.macs,
                             nonlinear_evals: o.stats.nonlinear_evals,
+                            phase: item.session.map(|t| t.phase),
+                            tokens: item.session.map_or(0, |t| t.tokens),
                         });
                         let _ = item.reply.send(Ok(ServedOutcome {
                             ticket: item.ticket,
@@ -1543,6 +2235,9 @@ fn remote_shard_loop(ctx: RemoteShardCtx) -> ShardOut {
                     // without killing the worker.
                     eprintln!("onesa-serve: shard {target} batch failed remotely: {msg}");
                     for item in &batch {
+                        if let Some(tag) = item.session {
+                            ctx.sessions.release(tag.id);
+                        }
                         let _ =
                             item.reply
                                 .send(Err(ServeError::Exec(TensorError::InvalidArgument(
@@ -1563,6 +2258,9 @@ fn remote_shard_loop(ctx: RemoteShardCtx) -> ShardOut {
         }
         if !served {
             for item in &batch {
+                if let Some(tag) = item.session {
+                    ctx.sessions.release(tag.id);
+                }
                 let _ = item.reply.send(Err(ServeError::WorkerLost));
             }
         }
@@ -1870,6 +2568,8 @@ mod tests {
             queue_capacity: 4,
             admission: AdmissionPolicy::default(),
             routing: RoutePolicy::default(),
+            interleave: InterleavePolicy::default(),
+            session_capacity: 64,
             paused: false,
             backend: ShardBackend::InProcess,
         };
@@ -1892,5 +2592,278 @@ mod tests {
             .to_string()
             .contains("full"));
         assert!(TrySubmitError::Closed(req).to_string().contains("closed"));
+    }
+
+    // -- decoding sessions ------------------------------------------------
+
+    /// Minimal session-bearing prefill: scales the prompt rows by 2 and
+    /// declares the result as the cache.
+    fn cache_prefill(rows: usize, d: usize) -> crate::Program {
+        use onesa_plan::{EvalMode, Op, Program};
+        let mut b = Program::builder("cache-prefill", EvalMode::Exact);
+        let x = b.input(&[rows, d]);
+        let cache = b.push(Op::Scale(2.0), &[x]);
+        b.mark_session_output(cache);
+        b.finish().unwrap()
+    }
+
+    /// Matching decode step at context `ctx`: appends one scaled row to
+    /// the session cache.
+    fn cache_decode(ctx: usize, d: usize) -> crate::Program {
+        use onesa_plan::{EvalMode, Op, Program};
+        let mut b = Program::builder("cache-decode", EvalMode::Exact);
+        let x = b.input(&[1, d]);
+        let cache = b.session_input(&[ctx, d]);
+        let scaled = b.push(Op::Scale(2.0), &[x]);
+        let grown = b.push(Op::ConcatRows, &[cache, scaled]);
+        b.mark_session_output(grown);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn session_decode_steps_grow_the_cache_and_count_tokens() {
+        let mut rng = Pcg32::seed_from_u64(41);
+        let d = 4usize;
+        let prompt = rng.randn(&[3, d], 1.0);
+        let engine = pool(2);
+
+        let id = engine.open_session();
+        assert_eq!(engine.live_sessions(), 1);
+        assert_eq!(engine.session_context_rows(id), Some(0));
+        engine
+            .submit_prefill(id, cache_prefill(3, d), vec![prompt.clone()], 3)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(engine.session_context_rows(id), Some(3));
+        assert_eq!(engine.session_tokens(id), Some(0));
+
+        let mut expect: Vec<f32> = prompt.as_slice().iter().map(|v| 2.0 * v).collect();
+        for step in 0..2 {
+            let x = rng.randn(&[1, d], 1.0);
+            engine
+                .submit_decode(id, cache_decode(3 + step, d), vec![x.clone()])
+                .unwrap()
+                .wait()
+                .unwrap();
+            expect.extend(x.as_slice().iter().map(|v| 2.0 * v));
+            assert_eq!(engine.session_context_rows(id), Some(4 + step));
+        }
+        assert_eq!(engine.session_tokens(id), Some(2));
+        let kv = engine.session_kv(id).unwrap();
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv[0].shape().dims(), &[5, d]);
+        assert_eq!(kv[0].as_slice(), &expect[..]);
+
+        assert!(engine.close_session(id));
+        assert!(!engine.close_session(id));
+        assert_eq!(engine.live_sessions(), 0);
+
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.sessions.opened, 1);
+        assert_eq!(summary.sessions.closed, 1);
+        assert_eq!(summary.sessions.live, 0);
+        assert_eq!(summary.prefill.requests, 1);
+        assert_eq!(summary.prefill.tokens, 3);
+        assert_eq!(summary.decode.requests, 2);
+        assert_eq!(summary.decode.tokens, 2);
+        assert_eq!(summary.decode.latencies.len(), 2);
+        assert!(summary.decode.latency_percentile(50.0) > 0.0);
+        assert!(summary.decode_tokens_per_second().is_finite());
+        assert!(format!("{summary}").contains("sessions"));
+    }
+
+    /// Satellite regression: under drop-on-expiry, an expired step must
+    /// evict the *whole session* — KV tensors freed, no orphaned table
+    /// entry — not just the in-flight step.
+    #[test]
+    fn deadline_expiry_evicts_the_whole_session() {
+        let mut rng = Pcg32::seed_from_u64(42);
+        let d = 4usize;
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Deadline {
+                    window: 1,
+                    drop_expired: true,
+                }),
+        )
+        .unwrap();
+
+        let id = engine.open_session();
+        engine
+            .submit_prefill(id, cache_prefill(2, d), vec![rng.randn(&[2, d], 1.0)], 2)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(engine.session_context_rows(id), Some(2));
+
+        // Deadline 0 µs is already past when the window closes.
+        let t = engine
+            .client()
+            .submit_decode_with_deadline(
+                id,
+                cache_decode(2, d),
+                vec![rng.randn(&[1, d], 1.0)],
+                Some(0),
+            )
+            .unwrap();
+        match t.wait() {
+            Err(ServeError::DeadlineExpired { .. }) => {}
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        assert!(engine.session_kv(id).is_none(), "session must be evicted");
+        assert_eq!(engine.live_sessions(), 0);
+        match engine.submit_decode(id, cache_decode(2, d), vec![rng.randn(&[1, d], 1.0)]) {
+            Err(ServeError::SessionUnknown(evicted)) => assert_eq!(evicted, id),
+            other => panic!("expected SessionUnknown, got {other:?}"),
+        }
+
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.expired, 1);
+        assert_eq!(summary.sessions.opened, 1);
+        assert_eq!(summary.sessions.evicted_deadline, 1);
+        assert_eq!(summary.sessions.closed, 0);
+        assert_eq!(summary.sessions.live, 0);
+        // No orphaned cache entries: every opened session is accounted
+        // for by close/eviction/live.
+        assert_eq!(
+            summary.sessions.opened,
+            summary.sessions.closed
+                + summary.sessions.evicted_deadline
+                + summary.sessions.evicted_overflow
+                + summary.sessions.live
+        );
+        // The expired step never ran, so it counts into no phase.
+        assert_eq!(summary.decode.requests, 0);
+    }
+
+    #[test]
+    fn session_overflow_evicts_least_recently_used_idle() {
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_session_capacity(2),
+        )
+        .unwrap();
+        let a = engine.open_session();
+        let b = engine.open_session();
+        let c = engine.open_session();
+        assert_eq!(engine.live_sessions(), 2);
+        assert!(
+            engine.session_kv(a).is_none(),
+            "oldest idle session evicted"
+        );
+        assert!(engine.session_kv(b).is_some());
+        assert!(engine.session_kv(c).is_some());
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.sessions.opened, 3);
+        assert_eq!(summary.sessions.evicted_overflow, 1);
+        assert_eq!(summary.sessions.live, 2);
+    }
+
+    #[test]
+    fn busy_and_unknown_sessions_are_rejected() {
+        let mut rng = Pcg32::seed_from_u64(43);
+        let d = 4usize;
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .start_paused(),
+        )
+        .unwrap();
+        match engine.submit_prefill(7, cache_prefill(2, d), vec![rng.randn(&[2, d], 1.0)], 2) {
+            Err(ServeError::SessionUnknown(7)) => {}
+            other => panic!("expected SessionUnknown, got {other:?}"),
+        }
+        let id = engine.open_session();
+        let t = engine
+            .submit_prefill(id, cache_prefill(2, d), vec![rng.randn(&[2, d], 1.0)], 2)
+            .unwrap();
+        // The first step is still queued behind the paused gate: the
+        // session admits one step at a time.
+        match engine.submit_prefill(id, cache_prefill(2, d), vec![rng.randn(&[2, d], 1.0)], 2) {
+            Err(ServeError::SessionBusy(busy)) => assert_eq!(busy, id),
+            other => panic!("expected SessionBusy, got {other:?}"),
+        }
+        engine.resume();
+        t.wait().unwrap();
+        assert_eq!(engine.session_context_rows(id), Some(2));
+        let _ = engine.finish().unwrap();
+    }
+
+    #[test]
+    fn interleave_window_orders_phases() {
+        let mk = |ticket: u64, phase: Option<Phase>| -> Submission {
+            let (reply, _rx) = mpsc::channel();
+            let mut rng = Pcg32::seed_from_u64(ticket);
+            Submission {
+                ticket,
+                deadline: None,
+                submitted_at: Instant::now(),
+                request: Request::gemm(rng.randn(&[1, 2], 1.0), rng.randn(&[2, 1], 1.0)),
+                session: phase.map(|p| SessionTag {
+                    id: ticket,
+                    phase: p,
+                    tokens: 1,
+                }),
+                reply,
+            }
+        };
+        let order = |w: &[Submission]| w.iter().map(|s| s.ticket).collect::<Vec<_>>();
+        let fresh = || {
+            vec![
+                mk(0, Some(Phase::Decode)),
+                mk(1, None),
+                mk(2, Some(Phase::Prefill)),
+                mk(3, Some(Phase::Decode)),
+            ]
+        };
+
+        let mut w = fresh();
+        interleave_window(InterleavePolicy::Mixed, &mut w);
+        assert_eq!(order(&w), [0, 1, 2, 3]);
+
+        // Stable within each class: arrival order is preserved.
+        let mut w = fresh();
+        interleave_window(InterleavePolicy::PrefillFirst, &mut w);
+        assert_eq!(order(&w), [1, 2, 0, 3]);
+
+        let mut w = fresh();
+        interleave_window(InterleavePolicy::DecodeFirst, &mut w);
+        assert_eq!(order(&w), [0, 3, 1, 2]);
+    }
+
+    #[test]
+    fn pause_stages_a_mid_run_wave_into_one_window() {
+        // Two waves of two shared-weight GEMMs, each staged behind a
+        // mid-run pause: every wave must land in a single admission
+        // window and coalesce to one GEMM group, even though the second
+        // wave is only submitted after the first completes (the
+        // continuous-batching round structure).
+        let mut rng = Pcg32::seed_from_u64(41);
+        let w = rng.randn(&[4, 3], 1.0);
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(4, 4), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Fifo { window: 8 }),
+        )
+        .unwrap();
+        for _ in 0..2 {
+            engine.pause();
+            let tickets: Vec<Ticket> = (0..2)
+                .map(|_| {
+                    engine
+                        .submit(Request::gemm(rng.randn(&[2, 4], 1.0), w.clone()))
+                        .unwrap()
+                })
+                .collect();
+            engine.resume();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+        }
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.windows, 2, "one window per staged wave");
+        assert_eq!(
+            summary.report.gemm_groups, 2,
+            "each wave's shared-weight GEMMs coalesce into one group"
+        );
     }
 }

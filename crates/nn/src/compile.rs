@@ -39,10 +39,10 @@
 
 use crate::infer::InferenceMode;
 use crate::layers::Linear;
-use crate::models::{EncoderBlock, Gcn, SmallCnn, TinyBert};
+use crate::models::{EncoderBlock, Gcn, SmallCnn, TinyBert, TinyCausalLm};
 use onesa_cpwl::NonlinearFn;
 use onesa_data::GraphDataset;
-use onesa_plan::{Compile, Op, Operand, PoolKind, Program, ProgramBuilder, TableCache};
+use onesa_plan::{Compile, Op, Operand, PoolKind, Program, ProgramBuilder, ProgramRun, TableCache};
 use onesa_tensor::{Result, Tensor};
 
 /// Runs a compiled program solo, seeding the executor's table cache
@@ -53,6 +53,18 @@ use onesa_tensor::{Result, Tensor};
 /// Panics if the program fails to execute — compiled programs are
 /// validated at build time, so this indicates a compiler bug.
 pub fn run_compiled(program: &Program, inputs: &[Tensor], mode: &InferenceMode) -> Tensor {
+    run_compiled_full(program, inputs, mode).output
+}
+
+/// As [`run_compiled`], but returns the whole [`ProgramRun`] — output
+/// plus session-output tensors — for callers that thread a KV cache
+/// between steps ([`TinyCausalLm::prefill`]/[`TinyCausalLm::decode_step`]).
+///
+/// # Panics
+///
+/// Panics if the program fails to execute — compiled programs are
+/// validated at build time, so this indicates a compiler bug.
+pub fn run_compiled_full(program: &Program, inputs: &[Tensor], mode: &InferenceMode) -> ProgramRun {
     let mut cache = TableCache::new();
     if let Some(tables) = mode.shared_table_set() {
         // Zero-copy: the mode's tables are Arc-shared into the cache.
@@ -65,7 +77,6 @@ pub fn run_compiled(program: &Program, inputs: &[Tensor], mode: &InferenceMode) 
             &mut cache,
         )
         .expect("compiled program executes")
-        .output
 }
 
 /// Emits `Quantize` only when the mode round-trips layer boundaries
@@ -332,6 +343,229 @@ impl Compile<(&InferenceMode, usize)> for TinyBert {
     }
 }
 
+/// Emits the causal decoder's INT16 boundary: a **row-wise**
+/// `QuantizeRows` round trip (mirrors
+/// [`crate::models::boundary_rows`]). The tensor-wide [`Op::Quantize`]
+/// would couple every token's rounding to the whole activation's
+/// maximum, breaking the bit-identicality of cached decoding against
+/// the recompute-from-scratch oracle; the row-wise form is
+/// row-decomposable, so prefill rows, decode rows and oracle rows all
+/// agree exactly. Same per-consumer emission discipline as [`boundary`].
+fn causal_boundary(b: &mut ProgramBuilder, mode: &InferenceMode, x: Operand) -> Operand {
+    match mode.eval_mode() {
+        onesa_plan::EvalMode::Cpwl { quantize: true, .. } => b.push(Op::QuantizeRows, &[x]),
+        _ => x,
+    }
+}
+
+/// What a causal block's attention attends over.
+enum CausalAttn {
+    /// Prefill: self-attention over the whole prompt under the causal
+    /// prefix mask; the raw K/V projections become the session cache.
+    Prefill,
+    /// One decode step: the cached `[ctx, d]` K/V enter as session
+    /// inputs, the new token's projections append via `ConcatRows`, and
+    /// the single query row sees the full grown context with a plain
+    /// softmax (the last causal row IS the full row).
+    Decode {
+        /// The layer's cached K rows.
+        k_cache: Operand,
+        /// The layer's cached V rows.
+        v_cache: Operand,
+    },
+}
+
+/// One causal decoder block (mirrors the causal arm of
+/// `EncoderBlock::infer_with`): as [`compile_block`], but the softmax is
+/// prefix-masked (prefill) or full-row over the grown context (decode),
+/// K/V tensors are marked as session outputs — K then V, in block order
+/// — and every INT16 boundary is the row-wise [`causal_boundary`].
+fn compile_causal_block(
+    b: &mut ProgramBuilder,
+    blk: &EncoderBlock,
+    x_pre: Operand,
+    x_at_boundary: bool,
+    mode: &InferenceMode,
+    d: usize,
+    attn: CausalAttn,
+) -> Operand {
+    let use_x = |b: &mut ProgramBuilder| -> Operand {
+        if x_at_boundary {
+            causal_boundary(b, mode, x_pre)
+        } else {
+            x_pre
+        }
+    };
+    let heads = blk.attn.heads();
+    let dk = d / heads;
+    let xq = use_x(b);
+    let q = linear(b, &blk.attn.wq, xq);
+    let xk = use_x(b);
+    let k = linear(b, &blk.attn.wk, xk);
+    let xv = use_x(b);
+    let v = linear(b, &blk.attn.wv, xv);
+    let (k_full, v_full, causal) = match attn {
+        CausalAttn::Prefill => {
+            b.mark_session_output(k);
+            b.mark_session_output(v);
+            (k, v, true)
+        }
+        CausalAttn::Decode { k_cache, v_cache } => {
+            let kf = b.push(Op::ConcatRows, &[k_cache, k]);
+            let vf = b.push(Op::ConcatRows, &[v_cache, v]);
+            b.mark_session_output(kf);
+            b.mark_session_output(vf);
+            (kf, vf, false)
+        }
+    };
+    let mut ctxs = Vec::with_capacity(heads);
+    for head in 0..heads {
+        let start = head * dk;
+        let qh = b.push(Op::SliceCols { start, len: dk }, &[q]);
+        let kh = b.push(Op::SliceCols { start, len: dk }, &[k_full]);
+        let vh = b.push(Op::SliceCols { start, len: dk }, &[v_full]);
+        let kt = b.push(Op::Transpose, &[kh]);
+        let scores = b.push(Op::Gemm { bias: None }, &[qh, kt]);
+        let scaled = b.push(Op::Scale(1.0 / (dk as f32).sqrt()), &[scores]);
+        let p = if causal {
+            b.push(Op::CausalSoftmax { offset: 0 }, &[scaled])
+        } else {
+            b.push(Op::Softmax, &[scaled])
+        };
+        ctxs.push(b.push(Op::Gemm { bias: None }, &[p, vh]));
+    }
+    let concat = b.push(Op::ConcatCols, &ctxs);
+    let a = linear(b, &blk.attn.wo, concat);
+    let x_res = use_x(b);
+    let sum1 = b.push(Op::Add, &[x_res, a]);
+    let sum1 = causal_boundary(b, mode, sum1);
+    let h = b.push(
+        Op::LayerNorm {
+            gamma: blk.ln1.gamma.value.as_slice().to_vec(),
+            beta: blk.ln1.beta.value.as_slice().to_vec(),
+            eps: blk.ln1.eps(),
+        },
+        &[sum1],
+    );
+    let f1 = linear(b, &blk.ff1, h);
+    let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[f1]);
+    let f = linear(b, &blk.ff2, g);
+    let sum2 = b.push(Op::Add, &[h, f]);
+    let sum2 = causal_boundary(b, mode, sum2);
+    b.push(
+        Op::LayerNorm {
+            gamma: blk.ln2.gamma.value.as_slice().to_vec(),
+            beta: blk.ln2.beta.value.as_slice().to_vec(),
+            eps: blk.ln2.eps(),
+        },
+        &[sum2],
+    )
+}
+
+impl TinyCausalLm {
+    /// The LM head: a biased linear for the untied case, a bias-free
+    /// GEMM against the transposed embedding table when tied.
+    fn compile_head(&self, b: &mut ProgramBuilder, x: Operand) -> Result<Operand> {
+        Ok(match &self.head {
+            Some(l) => linear(b, l, x),
+            None => {
+                let wt = b.constant(self.emb.table.value.transpose()?);
+                b.push(Op::Gemm { bias: None }, &[x, wt])
+            }
+        })
+    }
+
+    /// Compiles the prefill pass over a `len`-token prompt: causal
+    /// attention over the whole prompt, per-layer K/V projections marked
+    /// as session outputs (K then V, block order), and the last row's
+    /// next-token logits as the program output.
+    pub(crate) fn prefill_program(&self, mode: &InferenceMode, len: usize) -> Result<Program> {
+        assert!(len >= 1, "prefill needs at least one token");
+        let mut b = Program::builder("tiny_causal_lm.prefill", mode.eval_mode());
+        let ids = b.input(&[1, len]);
+        let table = b.constant(self.emb.table.value.clone());
+        let pos = b.constant(self.emb.pos.value.clone());
+        let mut h = b.push(Op::Embed, &[ids, table, pos]);
+        let mut h_at_boundary = true;
+        for block in &self.blocks {
+            h = compile_causal_block(
+                &mut b,
+                block,
+                h,
+                h_at_boundary,
+                mode,
+                self.d,
+                CausalAttn::Prefill,
+            );
+            h_at_boundary = false;
+        }
+        // Last-row extraction (transpose → column slice → transpose):
+        // only the final position's hidden state feeds the LM head.
+        let ht = b.push(Op::Transpose, &[h]);
+        let col = b.push(
+            Op::SliceCols {
+                start: len - 1,
+                len: 1,
+            },
+            &[ht],
+        );
+        let last = b.push(Op::Transpose, &[col]);
+        let last = causal_boundary(&mut b, mode, last);
+        self.compile_head(&mut b, last)?;
+        b.finish()
+    }
+
+    /// Compiles one decode step at context length `ctx`: inputs are the
+    /// `[1, 1]` token id plus per-layer session K/V tensors (`[ctx, d]`,
+    /// K then V per block, in block order — the order the serving layer
+    /// binds and writes back). The step embeds the token at absolute
+    /// position `ctx`, appends its K/V projections to each cache via
+    /// `ConcatRows` (the grown tensors are the session outputs), and
+    /// attends over the full context with a plain softmax.
+    pub(crate) fn decode_program(&self, mode: &InferenceMode, ctx: usize) -> Result<Program> {
+        assert!(ctx >= 1, "decode needs a non-empty context");
+        let mut b = Program::builder("tiny_causal_lm.decode", mode.eval_mode());
+        let ids = b.input(&[1, 1]);
+        let kv: Vec<(Operand, Operand)> = self
+            .blocks
+            .iter()
+            .map(|_| {
+                (
+                    b.session_input(&[ctx, self.d]),
+                    b.session_input(&[ctx, self.d]),
+                )
+            })
+            .collect();
+        let table = b.constant(self.emb.table.value.clone());
+        let pos = b.constant(self.emb.pos.value.clone());
+        let mut h = b.push(Op::EmbedAt { offset: ctx }, &[ids, table, pos]);
+        let mut h_at_boundary = true;
+        for (block, (k_cache, v_cache)) in self.blocks.iter().zip(kv) {
+            h = compile_causal_block(
+                &mut b,
+                block,
+                h,
+                h_at_boundary,
+                mode,
+                self.d,
+                CausalAttn::Decode { k_cache, v_cache },
+            );
+            h_at_boundary = false;
+        }
+        let last = causal_boundary(&mut b, mode, h);
+        self.compile_head(&mut b, last)?;
+        b.finish()
+    }
+}
+
+impl Compile<(&InferenceMode, usize)> for TinyCausalLm {
+    /// Compiles the prefill program for a `seq_len`-token prompt (decode
+    /// steps are per-context; see [`TinyCausalLm::compiled_decode`]).
+    fn compile(&self, (mode, seq_len): (&InferenceMode, usize)) -> Result<Program> {
+        self.prefill_program(mode, seq_len)
+    }
+}
+
 impl Gcn {
     pub(crate) fn network_program(
         &self,
@@ -473,5 +707,83 @@ mod tests {
         for seq in &tdata.test_x[..2.min(tdata.test_x.len())] {
             assert_eq!(bert.predict(seq, &mode), bert.predict_direct(seq, &mode));
         }
+    }
+
+    #[test]
+    fn causal_lm_cached_generation_bit_identical_to_direct() {
+        // The decode oracle recomputes the whole sequence from scratch
+        // every step; the cached path reuses per-layer K/V session
+        // tensors. Bit-identicality across every mode (incl. INT16
+        // quantized CPWL) is the whole point of the row-wise boundary.
+        for tied in [true, false] {
+            let lm = TinyCausalLm::new(9, 24, 16, 2, tied);
+            let prompt = [3usize, 1, 4, 1, 5];
+            for mode in modes() {
+                assert_eq!(
+                    lm.generate(&prompt, 6, &mode),
+                    lm.generate_direct(&prompt, 6, &mode),
+                    "tied={tied} {}",
+                    mode.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn causal_lm_stepwise_logits_match_oracle() {
+        let lm = TinyCausalLm::new(4, 20, 12, 3, true);
+        let prompt = [7usize, 0, 11, 2];
+        for mode in modes() {
+            let (logits, mut kv) = lm.prefill(&prompt, &mode);
+            assert_eq!(
+                logits,
+                lm.next_logits_direct(&prompt, &mode),
+                "{}",
+                mode.label()
+            );
+            assert_eq!(kv.len(), 2 * lm.layer_count());
+            let mut seq = prompt.to_vec();
+            for _ in 0..4 {
+                let next = onesa_tensor::stats::argmax(&logits).expect("non-empty vocabulary");
+                seq.push(next);
+                let (l, nkv) = lm.decode_step(next, &kv, &mode);
+                assert_eq!(l, lm.next_logits_direct(&seq, &mode), "{}", mode.label());
+                kv = nkv;
+                // Cache length tracks the number of attended tokens.
+                for t in &kv {
+                    assert_eq!(t.dims(), &[seq.len(), lm.width()]);
+                }
+                let logits = l;
+                let _ = &logits;
+            }
+        }
+    }
+
+    #[test]
+    fn causal_prefill_program_marks_session_outputs() {
+        let lm = TinyCausalLm::new(2, 16, 8, 2, false);
+        let mode = InferenceMode::cpwl(0.25).unwrap();
+        let prog = lm.compiled_prefill(&mode, 5);
+        assert!(prog.is_session());
+        assert!(prog.session_inputs().is_empty());
+        assert_eq!(prog.session_outputs().len(), 2 * lm.layer_count());
+
+        let dec = lm.compiled_decode(&mode, 5);
+        assert!(dec.is_session());
+        assert_eq!(dec.session_inputs().len(), 2 * lm.layer_count());
+        assert_eq!(dec.session_outputs().len(), 2 * lm.layer_count());
+    }
+
+    #[test]
+    fn causal_decode_programs_share_structure_across_contexts() {
+        // Continuous batching relies on decode programs at different
+        // context lengths having identical node sequences (so their
+        // shared-weight GEMMs stage-align) while fingerprinting apart.
+        let lm = TinyCausalLm::new(6, 16, 10, 1, true);
+        let mode = InferenceMode::Exact;
+        let a = lm.compiled_decode(&mode, 3);
+        let b = lm.compiled_decode(&mode, 7);
+        assert_eq!(a.nodes().len(), b.nodes().len());
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

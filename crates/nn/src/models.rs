@@ -13,16 +13,22 @@ use crate::layers::{
 use crate::train::TrainConfig;
 use onesa_data::text::TextTask;
 use onesa_data::{GraphDataset, ImageDataset, TextDataset};
-use onesa_plan::{tensor_fingerprint, CompileCache, OptLevel};
+use onesa_plan::{tensor_fingerprint, CompileCache, OptLevel, Program};
 use onesa_tensor::im2col::Conv2dGeometry;
 use onesa_tensor::parallel::Parallelism;
+use onesa_tensor::quant::QuantTensor;
 use onesa_tensor::rng::Pcg32;
 use onesa_tensor::{gemm, stats, Tensor};
+use std::sync::Arc;
 
 /// Compile-cache salts separating a model's whole-network and
 /// feature-subgraph programs (they share the same mode + geometry key).
 const SALT_NETWORK: u64 = 0;
 const SALT_FEATURES: u64 = 1;
+/// Salts separating a causal LM's prefill and per-context decode
+/// programs (keyed on the same mode + length geometry).
+const SALT_PREFILL: u64 = 2;
+const SALT_DECODE: u64 = 3;
 
 fn global_avg_pool(x: &Tensor) -> Vec<f32> {
     let dims = x.dims();
@@ -382,12 +388,25 @@ impl EncoderBlock {
     }
 
     fn infer(&self, x: &Tensor, mode: &InferenceMode) -> Tensor {
-        let sm = |s: &Tensor| mode.softmax_rows(s);
+        self.infer_with(x, mode, &|s| mode.softmax_rows(s), &|t| mode.boundary(t))
+    }
+
+    /// Inference with pluggable softmax and INT16-boundary routines: the
+    /// encoder passes the full-row softmax and the tensor-wide boundary;
+    /// the causal decoder passes the prefix-masked softmax and the
+    /// row-wise boundary (see [`TinyCausalLm`]).
+    fn infer_with(
+        &self,
+        x: &Tensor,
+        mode: &InferenceMode,
+        sm: &dyn Fn(&Tensor) -> Tensor,
+        boundary: &dyn Fn(&Tensor) -> Tensor,
+    ) -> Tensor {
         // The pluggable-softmax forward needs &mut for caching; clone the
         // attention (cheap at these sizes) to keep `infer` immutable.
         let mut attn = self.attn.clone();
-        let a = attn.forward_with(x, &sm, false);
-        let sum1 = mode.boundary(&x.add(&a).expect("same shape"));
+        let a = attn.forward_with(x, sm, false);
+        let sum1 = boundary(&x.add(&a).expect("same shape"));
         let h = mode.layernorm_rows(
             &sum1,
             self.ln1.gamma.value.as_slice(),
@@ -397,7 +416,7 @@ impl EncoderBlock {
         let f1 = self.ff1.infer(&h);
         let g = mode.gelu(&f1);
         let f = self.ff2.infer(&g);
-        let sum2 = mode.boundary(&h.add(&f).expect("same shape"));
+        let sum2 = boundary(&h.add(&f).expect("same shape"));
         mode.layernorm_rows(
             &sum2,
             self.ln2.gamma.value.as_slice(),
@@ -626,6 +645,302 @@ impl TinyBert {
     /// Number of head outputs.
     pub fn outputs(&self) -> usize {
         self.outputs
+    }
+}
+
+/// Row-wise causal softmax: row `i` of an `[M, N]` score matrix (with
+/// `N - M` context columns ahead of the first query row) softmaxes only
+/// its visible prefix `0 ..= (N - M) + i`, through the same row-softmax
+/// routine the full-row path uses — evaluated on the prefix alone — and
+/// is exact `0.0` beyond it. Bit-identical to
+/// `onesa_plan::Op::CausalSoftmax` (same per-row prefix evaluation),
+/// and, on the last row, to a plain softmax over the whole visible
+/// context — the property KV-cached decoding's correctness rests on.
+pub(crate) fn causal_softmax_rows(mode: &InferenceMode, scores: &Tensor) -> Tensor {
+    let (m, n) = scores.shape().as_matrix().expect("matrix");
+    assert!(
+        n >= m,
+        "causal scores need at least as many columns as rows"
+    );
+    let offset = n - m;
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        let visible = offset + i + 1;
+        let prefix = Tensor::from_vec(
+            scores.as_slice()[i * n..i * n + visible].to_vec(),
+            &[1, visible],
+        )
+        .expect("length matches");
+        let p = mode.softmax_rows(&prefix);
+        out.as_mut_slice()[i * n..i * n + visible].copy_from_slice(p.as_slice());
+    }
+    out
+}
+
+/// INT16 boundary for the causal decoder: per-**row** round trips (each
+/// token's activations quantize with their own scale), mirroring
+/// `onesa_plan::Op::QuantizeRows`. The tensor-wide scale of
+/// [`InferenceMode::boundary`] couples every row to the whole tensor's
+/// maximum, which would make a cached decode step differ from a
+/// recompute-from-scratch run; the row-wise form is row-decomposable,
+/// so both paths agree bit for bit. Identity when quantization is off.
+pub(crate) fn boundary_rows(mode: &InferenceMode, x: &Tensor) -> Tensor {
+    match mode {
+        InferenceMode::Cpwl { quantize: true, .. } => {
+            let (m, n) = x.shape().as_matrix().expect("matrix");
+            let mut out = Tensor::zeros(&[m, n]);
+            for i in 0..m {
+                let row = Tensor::from_vec(x.as_slice()[i * n..(i + 1) * n].to_vec(), &[1, n])
+                    .expect("length matches");
+                let q = QuantTensor::quantize(&row).dequantize();
+                out.as_mut_slice()[i * n..(i + 1) * n].copy_from_slice(q.as_slice());
+            }
+            out
+        }
+        _ => x.clone(),
+    }
+}
+
+/// A small decoder-only causal language model — the autoregressive
+/// counterpart of [`TinyBert`]: token + positional embedding, post-norm
+/// transformer blocks with causally-masked attention, and a linear LM
+/// head over the vocabulary that is either **tied** to the transposed
+/// embedding table or a separately-initialized projection. Sampling is
+/// greedy (argmax; ties resolve to the lowest token index).
+///
+/// Inference comes in two flavors, locked bit-identical by test:
+///
+/// * the retained no-cache oracle ([`TinyCausalLm::next_logits_direct`],
+///   [`TinyCausalLm::generate_direct`]) recomputes the whole prefix from
+///   scratch at every step — the decode-correctness reference;
+/// * the compiled KV-cache path ([`TinyCausalLm::prefill`],
+///   [`TinyCausalLm::decode_step`], [`TinyCausalLm::generate`]) compiles
+///   the prompt pass and each per-context decode step to
+///   session-carrying `onesa_plan::Program`s whose per-layer K/V
+///   tensors persist between steps (and, under
+///   `onesa_core::serve::ServeEngine`, between admission windows).
+///
+/// Bit-identicality holds for every [`InferenceMode`] because every op
+/// on the path is row-decomposable: GEMMs, layer norms and embeddings
+/// are row-wise, the causal softmax evaluates each row's visible prefix
+/// through the plain row-softmax routine, and INT16 boundaries
+/// round-trip **per row** (`Op::QuantizeRows`), never per tensor.
+#[derive(Debug, Clone)]
+pub struct TinyCausalLm {
+    pub(crate) emb: Embedding,
+    pub(crate) blocks: Vec<EncoderBlock>,
+    /// `None` ties the LM head to the transposed embedding table.
+    pub(crate) head: Option<Linear>,
+    pub(crate) d: usize,
+    vocab: usize,
+    max_len: usize,
+    /// Memoized compiled programs keyed on (mode, prompt/context
+    /// length), with [`SALT_PREFILL`]/[`SALT_DECODE`] separating the two
+    /// program families.
+    cache: CompileCache,
+}
+
+impl TinyCausalLm {
+    /// Builds the decoder: embedding → `layers` causal blocks → LM head.
+    /// `tied` reuses the transposed embedding table as the head weights
+    /// (no bias); untied initializes a separate `[d, vocab]` projection.
+    pub fn new(seed: u64, vocab: usize, max_len: usize, layers: usize, tied: bool) -> Self {
+        let d = 32;
+        let heads = 2;
+        let ff = 64;
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let emb = Embedding::new(&mut rng, vocab, max_len, d);
+        let blocks = (0..layers)
+            .map(|_| EncoderBlock::new(&mut rng, d, heads, ff))
+            .collect();
+        let head = if tied {
+            None
+        } else {
+            Some(Linear::new(&mut rng, d, vocab))
+        };
+        TinyCausalLm {
+            emb,
+            blocks,
+            head,
+            d,
+            vocab,
+            max_len,
+            cache: CompileCache::new(),
+        }
+    }
+
+    /// The model's compile cache (hit/miss counters for tests and
+    /// benches).
+    pub fn compile_cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// Vocabulary size (the LM head's output width).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Longest supported context (positional-table length).
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Model width `d` (each cached K/V tensor is `[ctx, d]`).
+    pub fn width(&self) -> usize {
+        self.d
+    }
+
+    /// Number of transformer blocks (the session carries `2 × layers`
+    /// cache tensors: K then V per block).
+    pub fn layer_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the LM head shares the embedding table.
+    pub fn is_tied(&self) -> bool {
+        self.head.is_none()
+    }
+
+    /// Token indices as the `[1, len]` tensor a compiled program's
+    /// `Embed`/`EmbedAt` op consumes.
+    pub fn ids_tensor(seq: &[usize]) -> Tensor {
+        Tensor::from_vec(seq.iter().map(|&i| i as f32).collect(), &[1, seq.len()])
+            .expect("length matches")
+    }
+
+    /// The LM head applied to a `[m, d]` hidden state (reference path).
+    fn head_logits_direct(&self, h: &Tensor) -> Vec<f32> {
+        match &self.head {
+            Some(l) => l.infer(h).into_vec(),
+            None => {
+                let wt = self.emb.table.value.transpose().expect("matrix");
+                gemm::matmul(h, &wt).expect("shapes agree").into_vec()
+            }
+        }
+    }
+
+    /// Hidden states `[len, d]` of the full sequence under causal
+    /// attention — the recompute-from-scratch path.
+    fn hidden_direct(&self, seq: &[usize], mode: &InferenceMode) -> Tensor {
+        let mut h = boundary_rows(mode, &self.emb.infer(seq));
+        for b in &self.blocks {
+            h = b.infer_with(&h, mode, &|s| causal_softmax_rows(mode, s), &|t| {
+                boundary_rows(mode, t)
+            });
+        }
+        h
+    }
+
+    /// Next-token logits after `seq`, recomputing the whole prefix with
+    /// no cache — the decode-correctness oracle the compiled KV path is
+    /// tested bit-identical against.
+    pub fn next_logits_direct(&self, seq: &[usize], mode: &InferenceMode) -> Vec<f32> {
+        assert!(!seq.is_empty(), "causal LM needs at least one token");
+        let h = self.hidden_direct(seq, mode);
+        let (l, d) = h.shape().as_matrix().expect("matrix");
+        let last = Tensor::from_vec(h.as_slice()[(l - 1) * d..].to_vec(), &[1, d])
+            .expect("length matches");
+        self.head_logits_direct(&boundary_rows(mode, &last))
+    }
+
+    /// Greedy generation of `n` tokens after `prompt`, recomputing from
+    /// scratch at every step (no KV cache) — the reference
+    /// [`TinyCausalLm::generate`] must match bit for bit.
+    pub fn generate_direct(&self, prompt: &[usize], n: usize, mode: &InferenceMode) -> Vec<usize> {
+        assert!(
+            prompt.len() + n <= self.max_len,
+            "prompt + generation exceeds max_len"
+        );
+        let mut seq = prompt.to_vec();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let logits = self.next_logits_direct(&seq, mode);
+            let next = stats::argmax(&logits).expect("non-empty vocabulary");
+            seq.push(next);
+            out.push(next);
+        }
+        out
+    }
+
+    /// The compiled prefill program for a `len`-token prompt: causal
+    /// attention over the whole prompt, per-layer K/V projections marked
+    /// as session outputs, next-token logits as the program output.
+    /// Memoized per (mode, len) — see [`TinyCausalLm::compile_cache`].
+    pub fn compiled_prefill(&self, mode: &InferenceMode, len: usize) -> Arc<Program> {
+        self.cache
+            .get_or_compile(mode.eval_mode(), &[len], SALT_PREFILL, || {
+                self.prefill_program(mode, len)?
+                    .optimize(OptLevel::default())
+            })
+            .expect("prefill graph compiles")
+    }
+
+    /// The compiled one-token decode step at context length `ctx`: K/V
+    /// caches enter as session inputs, grow by one row via `ConcatRows`,
+    /// and leave as session outputs alongside the next-token logits.
+    /// Memoized per (mode, ctx) — see [`TinyCausalLm::compile_cache`].
+    pub fn compiled_decode(&self, mode: &InferenceMode, ctx: usize) -> Arc<Program> {
+        self.cache
+            .get_or_compile(mode.eval_mode(), &[ctx], SALT_DECODE, || {
+                self.decode_program(mode, ctx)?
+                    .optimize(OptLevel::default())
+            })
+            .expect("decode graph compiles")
+    }
+
+    /// Runs the compiled prefill over `prompt`: returns the next-token
+    /// logits and the freshly-built per-layer KV cache (K then V per
+    /// block, each `[prompt.len(), d]`).
+    pub fn prefill(&self, prompt: &[usize], mode: &InferenceMode) -> (Vec<f32>, Vec<Tensor>) {
+        assert!(!prompt.is_empty(), "causal LM needs at least one token");
+        let program = self.compiled_prefill(mode, prompt.len());
+        let run = crate::compile::run_compiled_full(&program, &[Self::ids_tensor(prompt)], mode);
+        (run.output.into_vec(), run.session_outputs)
+    }
+
+    /// Runs one compiled decode step: feeds `token` plus the session's
+    /// KV tensors, returns the next-token logits and the grown cache
+    /// (each tensor one row longer).
+    pub fn decode_step(
+        &self,
+        token: usize,
+        kv: &[Tensor],
+        mode: &InferenceMode,
+    ) -> (Vec<f32>, Vec<Tensor>) {
+        assert_eq!(kv.len(), 2 * self.blocks.len(), "K and V per block");
+        let ctx = kv[0].dims()[0];
+        assert!(ctx < self.max_len, "context exceeds max_len");
+        let program = self.compiled_decode(mode, ctx);
+        let mut inputs = Vec::with_capacity(1 + kv.len());
+        inputs.push(Self::ids_tensor(&[token]));
+        inputs.extend(kv.iter().cloned());
+        let run = crate::compile::run_compiled_full(&program, &inputs, mode);
+        (run.output.into_vec(), run.session_outputs)
+    }
+
+    /// Greedy generation of `n` tokens through the compiled KV-cache
+    /// path: one prefill over the prompt, then one single-token decode
+    /// step per output token. Bit-identical to
+    /// [`TinyCausalLm::generate_direct`] (locked by test).
+    pub fn generate(&self, prompt: &[usize], n: usize, mode: &InferenceMode) -> Vec<usize> {
+        assert!(
+            prompt.len() + n <= self.max_len,
+            "prompt + generation exceeds max_len"
+        );
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let (logits, mut kv) = self.prefill(prompt, mode);
+        let mut next = stats::argmax(&logits).expect("non-empty vocabulary");
+        out.push(next);
+        for _ in 1..n {
+            let (logits, grown) = self.decode_step(next, &kv, mode);
+            kv = grown;
+            next = stats::argmax(&logits).expect("non-empty vocabulary");
+            out.push(next);
+        }
+        out
     }
 }
 

@@ -45,7 +45,7 @@ struct Key {
     salt: u64,
 }
 
-/// A thread-safe memo of compiled programs. See the [module docs](self).
+/// A thread-safe memo of compiled programs. See the module docs above.
 #[derive(Debug, Default)]
 pub struct CompileCache {
     entries: Mutex<Vec<(Key, Arc<Program>)>>,

@@ -88,6 +88,11 @@ impl TableCache {
 pub struct ProgramRun {
     /// The output tensor of the program's last op.
     pub output: Tensor,
+    /// Values of the program's session-output slots (appended KV
+    /// tensors), in [`Program::session_outputs`] order — empty for
+    /// stateless programs. The serving layer writes these back to the
+    /// owning session.
+    pub session_outputs: Vec<Tensor>,
     /// Modeled solo [`ExecStats`] of every op, in stage order.
     pub op_stats: Vec<ExecStats>,
 }
@@ -263,8 +268,15 @@ pub fn run_staged(
         .into_iter()
         .map(|s| {
             let out_slot = s.program.n_inputs() + s.program.stages() - 1;
+            let session_outputs = s
+                .program
+                .session_outputs()
+                .iter()
+                .map(|&slot| s.slots[slot].clone().expect("session slot executed"))
+                .collect();
             ProgramRun {
                 output: s.slots[out_slot].clone().expect("program executed"),
+                session_outputs,
                 op_stats: s.op_stats,
             }
         })
@@ -781,6 +793,20 @@ fn exec_single(
             Ok(pooled)
         }
         Op::Quantize => Ok(QuantTensor::quantize(ins[0]).dequantize()),
+        Op::QuantizeRows => {
+            // Each row round-trips through INT16 with its own scale, so
+            // the result for row i is a pure function of row i — the
+            // row-decomposability the KV-cache decode path relies on.
+            let (m, n) = ins[0].shape().as_matrix()?;
+            let mut out = Tensor::zeros(&[m, n]);
+            for i in 0..m {
+                let row =
+                    Tensor::from_vec(ins[0].as_slice()[i * n..(i + 1) * n].to_vec(), &[1, n])?;
+                let q = QuantTensor::quantize(&row).dequantize();
+                out.as_mut_slice()[i * n..(i + 1) * n].copy_from_slice(q.as_slice());
+            }
+            Ok(out)
+        }
         Op::Embed => {
             let (_, l) = ins[0].shape().as_matrix()?;
             let d = ins[1].dims()[1];
@@ -793,6 +819,55 @@ fn exec_single(
                 for j in 0..d {
                     row[j] = tok[j] + pos[j];
                 }
+            }
+            Ok(out)
+        }
+        Op::EmbedAt { offset } => {
+            let (_, l) = ins[0].shape().as_matrix()?;
+            let d = ins[1].dims()[1];
+            let mut out = Tensor::zeros(&[l, d]);
+            for i in 0..l {
+                let id = ins[0].as_slice()[i] as usize;
+                let tok = ins[1].row(id)?;
+                let pos = ins[2].row(offset + i)?;
+                let row = out.row_mut(i)?;
+                for j in 0..d {
+                    row[j] = tok[j] + pos[j];
+                }
+            }
+            Ok(out)
+        }
+        Op::ConcatRows => {
+            let (_, n) = ins[0].shape().as_matrix()?;
+            let total: usize = ins.iter().map(|t| t.dims()[0]).sum();
+            let mut vals = Vec::with_capacity(total * n);
+            for part in ins {
+                vals.extend_from_slice(part.as_slice());
+            }
+            Tensor::from_vec(vals, &[total, n])
+        }
+        Op::CausalSoftmax { offset } => {
+            // Row i softmaxes its visible prefix `0 ..= offset + i`
+            // through the SAME row-softmax routine a plain `Op::Softmax`
+            // over that prefix would use, and writes exact 0.0 beyond it
+            // — so a prefill's row is bit-identical to a later decode
+            // step's full-row softmax at the same context length.
+            let (m, n) = ins[0].shape().as_matrix()?;
+            let mut out = Tensor::zeros(&[m, n]);
+            for i in 0..m {
+                let visible = offset + i + 1;
+                let prefix = Tensor::from_vec(
+                    ins[0].as_slice()[i * n..i * n + visible].to_vec(),
+                    &[1, visible],
+                )?;
+                let soft = match mode {
+                    EvalMode::Exact => ops::softmax_rows_exact(&prefix).map_err(unwrap_cpwl)?,
+                    EvalMode::Cpwl { granularity, .. } => tables
+                        .get(granularity)?
+                        .softmax_rows(&prefix)
+                        .map_err(unwrap_cpwl)?,
+                };
+                out.as_mut_slice()[i * n..i * n + visible].copy_from_slice(soft.as_slice());
             }
             Ok(out)
         }

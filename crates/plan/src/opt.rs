@@ -290,6 +290,18 @@ fn rebuild(program: &Program, actions: Vec<Action>) -> Result<Program> {
     for &c in &kept_consts {
         b.constant_shared(std::sync::Arc::clone(&program.consts()[c]));
     }
+    // Session wiring survives every pass: input slots are never
+    // renumbered, and an aliased session-output node redirects to the
+    // surviving slot through `slot_map` (dead-slot elimination roots the
+    // live-set at session outputs, so they are never dropped).
+    for &i in program.session_inputs() {
+        b.mark_session_input(Operand::Slot(i));
+    }
+    for &s in program.session_outputs() {
+        b.mark_session_output(Operand::Slot(
+            slot_map[s].expect("session output slot survived"),
+        ));
+    }
     b.finish()
 }
 
@@ -461,6 +473,11 @@ fn eliminate_dead_slots(program: &Program) -> Result<(Program, usize)> {
     let mut live = vec![false; nodes.len()];
     if let Some(l) = live.last_mut() {
         *l = true;
+    }
+    // Session outputs are program roots too: the serving layer reads
+    // them back after every run even though no later op consumes them.
+    for &s in program.session_outputs() {
+        live[s - n_in] = true;
     }
     for i in (0..nodes.len()).rev() {
         if !live[i] {

@@ -170,6 +170,38 @@ pub enum Op {
     /// `[vocab, D]` / `[max_len, D]` tables; output `[L, D]` sums token
     /// and positional rows.
     Embed,
+    /// Embedding lookup at a positional offset: as [`Op::Embed`] but row
+    /// `i` adds positional row `offset + i` — the decode-step form,
+    /// where the single new token sits at absolute position `ctx`.
+    EmbedAt {
+        /// Absolute position of the first input token.
+        offset: usize,
+    },
+    /// Concatenates same-width matrices row-wise (KV-cache append: a
+    /// session's cached `[ctx, D]` rows followed by the step's new
+    /// rows). Any number of inputs; a data-layout movement costed at
+    /// zero array cycles.
+    ConcatRows,
+    /// Row-wise causal softmax over a `[M, offset+M]` score matrix: row
+    /// `i` softmaxes columns `0 ..= offset + i` (its own and all earlier
+    /// positions) and writes exact `0.0` elsewhere. Masked entries never
+    /// enter the lowering, so each visible prefix is bit-identical to a
+    /// plain [`Op::Softmax`] over that prefix alone — the property the
+    /// KV-cache decode path's correctness rests on.
+    CausalSoftmax {
+        /// Number of context columns preceding the first query row's own
+        /// position (`0` for pure prefill).
+        offset: usize,
+    },
+    /// Per-row INT16 quantize→dequantize round trip over a matrix: each
+    /// row is scaled independently (per-token activation quantization).
+    /// Unlike [`Op::Quantize`], whose single tensor-wide scale couples
+    /// every element to the whole tensor's maximum, the row-wise round
+    /// trip is row-decomposable — row `i`'s result is a pure function of
+    /// row `i` — which is what lets a KV-cached decode step reproduce a
+    /// recompute-from-scratch run bit for bit at any context length. The
+    /// causal-LM compiler emits this at every layer boundary.
+    QuantizeRows,
 }
 
 impl Op {
@@ -177,8 +209,8 @@ impl Op {
     fn arity(&self) -> Option<usize> {
         match self {
             Op::Gemm { .. } | Op::Add => Some(2),
-            Op::Embed => Some(3),
-            Op::ConcatCols => None,
+            Op::Embed | Op::EmbedAt { .. } => Some(3),
+            Op::ConcatCols | Op::ConcatRows => None,
             _ => Some(1),
         }
     }
@@ -207,6 +239,13 @@ pub struct Program {
     /// layer does once per request — is O(ops), not O(weights).
     consts: Vec<Arc<Tensor>>,
     nodes: Vec<OpNode>,
+    /// Input-slot indices holding session-resident state (per-layer KV
+    /// tensors), in session-state order. Empty for stateless programs.
+    session_inputs: Vec<usize>,
+    /// Slot indices whose values the serving layer writes back to the
+    /// session after a run (the appended KV tensors), in the same
+    /// session-state order as [`Program::session_inputs`].
+    session_outputs: Vec<usize>,
     /// Cached at [`ProgramBuilder::finish`]: the serving layer reads
     /// both on every admission/routing decision, and a program is
     /// immutable once built.
@@ -225,6 +264,8 @@ pub struct ProgramBuilder {
     input_shapes: Vec<Vec<usize>>,
     consts: Vec<Arc<Tensor>>,
     nodes: Vec<OpNode>,
+    session_inputs: Vec<usize>,
+    session_outputs: Vec<usize>,
 }
 
 impl ProgramBuilder {
@@ -242,6 +283,50 @@ impl ProgramBuilder {
         );
         self.input_shapes.push(shape.to_vec());
         Operand::Slot(self.input_shapes.len() - 1)
+    }
+
+    /// Declares a session-resident input (a KV-cache tensor the serving
+    /// layer binds from per-session state rather than from the request),
+    /// returning its operand. To the executor a session input is an
+    /// ordinary input; the recorded index tells the serving layer which
+    /// session tensor to bind, in session-state order.
+    ///
+    /// # Panics
+    ///
+    /// As for [`ProgramBuilder::input`].
+    pub fn session_input(&mut self, shape: &[usize]) -> Operand {
+        let op = self.input(shape);
+        if let Operand::Slot(s) = op {
+            self.session_inputs.push(s);
+        }
+        op
+    }
+
+    /// Marks an already-declared input as session-resident (the wire
+    /// decoder's path; compilers use [`ProgramBuilder::session_input`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a `Const` operand.
+    pub fn mark_session_input(&mut self, x: Operand) {
+        match x {
+            Operand::Slot(s) => self.session_inputs.push(s),
+            Operand::Const(_) => panic!("session inputs must be slots"),
+        }
+    }
+
+    /// Marks an op output as session state to write back after each run
+    /// (the appended KV tensor), in the same session-state order as the
+    /// session inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a `Const` operand.
+    pub fn mark_session_output(&mut self, x: Operand) {
+        match x {
+            Operand::Slot(s) => self.session_outputs.push(s),
+            Operand::Const(_) => panic!("session outputs must be slots"),
+        }
     }
 
     /// Registers a compile-time constant tensor, returning its operand.
@@ -280,6 +365,8 @@ impl ProgramBuilder {
             input_shapes: self.input_shapes,
             consts: self.consts,
             nodes: self.nodes,
+            session_inputs: self.session_inputs,
+            session_outputs: self.session_outputs,
             fingerprint: 0,
             modeled_macs: 0,
             opt: None,
@@ -304,6 +391,8 @@ impl Program {
             input_shapes: Vec::new(),
             consts: Vec::new(),
             nodes: Vec::new(),
+            session_inputs: Vec::new(),
+            session_outputs: Vec::new(),
         }
     }
 
@@ -339,6 +428,25 @@ impl Program {
     /// `ServingReport`s.
     pub fn opt_report(&self) -> Option<&OptReport> {
         self.opt.as_ref()
+    }
+
+    /// Input-slot indices the serving layer binds from per-session state
+    /// (per-layer KV tensors), in session-state order. Empty for
+    /// stateless programs.
+    pub fn session_inputs(&self) -> &[usize] {
+        &self.session_inputs
+    }
+
+    /// Slot indices written back to the session after each run (the
+    /// appended KV tensors), in the same order as
+    /// [`Program::session_inputs`].
+    pub fn session_outputs(&self) -> &[usize] {
+        &self.session_outputs
+    }
+
+    /// Whether the program carries session-resident state.
+    pub fn is_session(&self) -> bool {
+        !self.session_inputs.is_empty() || !self.session_outputs.is_empty()
     }
 
     /// The topologically-ordered op nodes.
@@ -399,6 +507,51 @@ impl Program {
             return Err(TensorError::InvalidArgument(
                 "program must contain at least one op",
             ));
+        }
+        // The cost model (and the array schedules it mirrors) assumes
+        // every dimension is at least 1. A zero-sized shape — typically
+        // from corrupted wire bytes — must fail typed here, not
+        // underflow inside the cycle model.
+        if self
+            .input_shapes
+            .iter()
+            .any(|s| s.is_empty() || s.contains(&0))
+        {
+            return Err(TensorError::InvalidArgument(
+                "program input has a zero dimension",
+            ));
+        }
+        if self.consts.iter().any(|c| c.dims().contains(&0)) {
+            return Err(TensorError::InvalidArgument(
+                "program constant has a zero dimension",
+            ));
+        }
+        // Session metadata (set by the builder, but also rebuilt by the
+        // wire decoder from untrusted bytes): inputs must name declared
+        // inputs, outputs must name op-output slots, no repeats.
+        for &i in &self.session_inputs {
+            if i >= self.input_shapes.len() {
+                return Err(TensorError::InvalidArgument(
+                    "session input is not a program input",
+                ));
+            }
+        }
+        for &s in &self.session_outputs {
+            if s < self.input_shapes.len() || s >= self.input_shapes.len() + self.nodes.len() {
+                return Err(TensorError::InvalidArgument(
+                    "session output is not an op output slot",
+                ));
+            }
+        }
+        for list in [&self.session_inputs, &self.session_outputs] {
+            let mut seen = list.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != list.len() {
+                return Err(TensorError::InvalidArgument(
+                    "session slot listed more than once",
+                ));
+            }
         }
         self.slot_shapes().map(|_| ())
     }
@@ -504,6 +657,27 @@ impl Program {
         for t in &self.consts {
             h = fnv_u64(h, tensor_fingerprint(t));
         }
+        // Session-bearing programs (per-context decode steps) share one
+        // op list across context lengths, so the structural hash above
+        // would alias them in fingerprint-keyed program caches; mix the
+        // input shapes and session wiring in — but only for session
+        // programs, so every stateless fingerprint (and its golden
+        // fixture) stays stable.
+        if self.is_session() {
+            h = fnv_u64(h, 0x5E55_0000);
+            for shape in &self.input_shapes {
+                h = fnv_u64(h, 0x5A4E_0000 | shape.len() as u64);
+                for &d in shape {
+                    h = fnv_u64(h, d as u64);
+                }
+            }
+            for &i in &self.session_inputs {
+                h = fnv_u64(h, 0x5E51_0000 | i as u64);
+            }
+            for &s in &self.session_outputs {
+                h = fnv_u64(h, 0x5E50_0000 | s as u64);
+            }
+        }
         h
     }
 
@@ -550,7 +724,7 @@ fn infer_shape(op: &Op, ins: &[&[usize]]) -> Result<Vec<usize>> {
             Ok(vec![m, n])
         }
         Op::Nonlinear(_) | Op::Quantize => Ok(ins[0].to_vec()),
-        Op::Softmax => {
+        Op::Softmax | Op::QuantizeRows => {
             matrix(ins[0])?;
             Ok(ins[0].to_vec())
         }
@@ -633,6 +807,33 @@ fn infer_shape(op: &Op, ins: &[&[usize]]) -> Result<Vec<usize>> {
             }
             Ok(vec![l, d])
         }
+        Op::EmbedAt { offset } => {
+            let (one, l) = matrix(ins[0])?;
+            let (_, d) = matrix(ins[1])?;
+            let (max_len, d2) = matrix(ins[2])?;
+            if one != 1 || d != d2 || l + offset > max_len {
+                return Err(shape_err(ins[0], ins[2], "plan::EmbedAt"));
+            }
+            Ok(vec![l, d])
+        }
+        Op::ConcatRows => {
+            let (mut total, n) = matrix(ins[0])?;
+            for dims in &ins[1..] {
+                let (mi, ni) = matrix(dims)?;
+                if ni != n {
+                    return Err(shape_err(ins[0], dims, "plan::ConcatRows"));
+                }
+                total += mi;
+            }
+            Ok(vec![total, n])
+        }
+        Op::CausalSoftmax { offset } => {
+            let (m, n) = matrix(ins[0])?;
+            if offset + m != n {
+                return Err(shape_err(&[m, offset + m], &[m, n], "plan::CausalSoftmax"));
+            }
+            Ok(ins[0].to_vec())
+        }
     }
 }
 
@@ -674,7 +875,11 @@ pub(crate) fn op_cost(op: &Op, in0: &[usize], out: &[usize], cfg: &ArrayConfig) 
             let (m, n) = mat_or_row(in0);
             analytic::nonlinear_stats(cfg, m, n)
         }
-        Op::Softmax => {
+        // A causal softmax is costed like a full-width softmax over its
+        // `[M, ctx+M]` scores: the width term grows with the session's
+        // context, so a decode step's modeled MACs track how much cache
+        // its attention actually reads.
+        Op::Softmax | Op::CausalSoftmax { .. } => {
             let (m, n) = mat_or_row(in0);
             analytic::softmax_stats(cfg, m, n)
         }
@@ -701,8 +906,11 @@ pub(crate) fn op_cost(op: &Op, in0: &[usize], out: &[usize], cfg: &ArrayConfig) 
         | Op::Transpose
         | Op::SliceCols { .. }
         | Op::ConcatCols
+        | Op::ConcatRows
         | Op::Quantize
-        | Op::Embed => ExecStats::new(cfg, CycleBreakdown::default(), 0, 0),
+        | Op::QuantizeRows
+        | Op::Embed
+        | Op::EmbedAt { .. } => ExecStats::new(cfg, CycleBreakdown::default(), 0, 0),
     }
 }
 

@@ -873,6 +873,16 @@ fn put_op(w: &mut WireWriter, op: &Op) {
         }
         Op::Quantize => w.put_u8(14),
         Op::Embed => w.put_u8(15),
+        Op::ConcatRows => w.put_u8(16),
+        Op::CausalSoftmax { offset } => {
+            w.put_u8(17);
+            w.put_usize(*offset);
+        }
+        Op::EmbedAt { offset } => {
+            w.put_u8(18);
+            w.put_usize(*offset);
+        }
+        Op::QuantizeRows => w.put_u8(19),
     }
 }
 
@@ -928,6 +938,14 @@ fn get_op(r: &mut WireReader<'_>) -> WireResult<Op> {
         }),
         14 => Op::Quantize,
         15 => Op::Embed,
+        16 => Op::ConcatRows,
+        17 => Op::CausalSoftmax {
+            offset: r.get_usize()?,
+        },
+        18 => Op::EmbedAt {
+            offset: r.get_usize()?,
+        },
+        19 => Op::QuantizeRows,
         _ => return Err(WireError::Corrupt("unknown Op tag")),
     })
 }
@@ -1012,6 +1030,10 @@ const SEC_PROG_META: u32 = 1;
 const SEC_PROG_NODES: u32 = 2;
 /// Section id: the constant pool (weights), tensors back to back.
 const SEC_PROG_CONSTS: u32 = 3;
+/// Section id: session wiring (session input indices + output slots).
+/// Optional — stateless programs omit it, so pre-session frames (and
+/// their golden fixtures) decode unchanged.
+const SEC_PROG_SESSION: u32 = 4;
 
 /// Encodes a whole program as one [`KIND_PROGRAM`] frame: metadata, op
 /// list and constant pool in separate sections. The program's
@@ -1057,6 +1079,18 @@ pub fn encode_program(p: &Program) -> Vec<u8> {
     f.section(SEC_PROG_META, meta.into_bytes());
     f.section(SEC_PROG_NODES, nodes.into_bytes());
     f.section(SEC_PROG_CONSTS, consts.into_bytes());
+    if p.is_session() {
+        let mut session = WireWriter::new();
+        session.put_usize(p.session_inputs().len());
+        for &i in p.session_inputs() {
+            session.put_usize(i);
+        }
+        session.put_usize(p.session_outputs().len());
+        for &s in p.session_outputs() {
+            session.put_usize(s);
+        }
+        f.section(SEC_PROG_SESSION, session.into_bytes());
+    }
     f.encode()
 }
 
@@ -1135,6 +1169,34 @@ pub fn decode_program(bytes: &[u8]) -> WireResult<Program> {
         builder.push(op, &operands);
     }
     nodes.expect_end()?;
+
+    // Optional session wiring (absent from stateless frames).
+    match frame.section(SEC_PROG_SESSION) {
+        Ok(body) => {
+            let mut session = WireReader::new(body);
+            let n_in_session = session.get_usize()?;
+            if n_in_session > 4096 {
+                return Err(WireError::Corrupt("session input count exceeds cap"));
+            }
+            for _ in 0..n_in_session {
+                builder.mark_session_input(Operand::Slot(session.get_usize()?));
+            }
+            let n_out_session = session.get_usize()?;
+            if n_out_session > 4096 {
+                return Err(WireError::Corrupt("session output count exceeds cap"));
+            }
+            for _ in 0..n_out_session {
+                let slot = session.get_usize()?;
+                if slot < n_inputs {
+                    return Err(WireError::Corrupt("session output names an input slot"));
+                }
+                builder.mark_session_output(Operand::Slot(slot));
+            }
+            session.expect_end()?;
+        }
+        Err(WireError::MissingSection { .. }) => {}
+        Err(e) => return Err(e),
+    }
 
     // `finish` re-validates and recomputes fingerprint + modeled MACs
     // from the decoded content — the wire carries no trusted derived

@@ -191,6 +191,46 @@ fn kitchen_sink_inputs(c: usize, h: usize, seed: u64) -> Vec<Tensor> {
     vec![x, ids]
 }
 
+/// A hand-rolled KV-cache decode step at context `ctx` — the
+/// session-bearing frame shape the serving layer ships: session inputs
+/// (K/V caches), `EmbedAt` at the context offset, per-row quantization,
+/// `ConcatRows` cache appends marked as session outputs, and a causal
+/// softmax over the grown context.
+fn session_decode_program(mode: EvalMode, ctx: usize, d: usize, seed: u64) -> Program {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let (vocab, max_len) = (6, 16);
+    let mut b = Program::builder("prop-decode-step", mode);
+    let ids = b.input(&[1, 1]);
+    let k_cache = b.session_input(&[ctx, d]);
+    let v_cache = b.session_input(&[ctx, d]);
+    let table = b.constant(rng.randn(&[vocab, d], 1.0));
+    let pos = b.constant(rng.randn(&[max_len, d], 1.0));
+    let e = b.push(Op::EmbedAt { offset: ctx }, &[ids, table, pos]);
+    let q = b.push(Op::QuantizeRows, &[e]);
+    let wk = b.constant(rng.randn(&[d, d], 1.0));
+    let wv = b.constant(rng.randn(&[d, d], 1.0));
+    let k_new = b.push(Op::Gemm { bias: None }, &[q, wk]);
+    let v_new = b.push(Op::Gemm { bias: None }, &[q, wv]);
+    let k_full = b.push(Op::ConcatRows, &[k_cache, k_new]);
+    let v_full = b.push(Op::ConcatRows, &[v_cache, v_new]);
+    b.mark_session_output(k_full);
+    b.mark_session_output(v_full);
+    let kt = b.push(Op::Transpose, &[k_full]);
+    let scores = b.push(Op::Gemm { bias: None }, &[q, kt]);
+    let sc = b.push(Op::Scale(0.5), &[scores]);
+    let att = b.push(Op::CausalSoftmax { offset: ctx }, &[sc]);
+    b.push(Op::Gemm { bias: None }, &[att, v_full]);
+    b.finish().expect("decode step builds")
+}
+
+/// Valid inputs for [`session_decode_program`]: one token id plus the
+/// session's current K/V cache tensors, in declaration order.
+fn session_decode_inputs(ctx: usize, d: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = Pcg32::seed_from_u64(seed ^ 0xCAFE);
+    let ids = Tensor::from_vec(vec![(seed % 6) as f32], &[1, 1]).unwrap();
+    vec![ids, rng.randn(&[ctx, d], 1.0), rng.randn(&[ctx, d], 1.0)]
+}
+
 fn assert_programs_bit_identical(a: &Program, b: &Program, inputs: &[Tensor]) {
     let ya = a
         .run(inputs, Parallelism::Sequential, &mut TableCache::new())
@@ -380,6 +420,52 @@ proptest! {
         for (a, b) in ya.as_slice().iter().zip(yb.as_slice()) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// Session/cache-bearing program frames survive the wire: the
+    /// session-input/-output slot lists, the session-conditional
+    /// fingerprint, modeled context-dependent cost and the runtime
+    /// semantics — program output **and** every appended cache tensor —
+    /// are bit-identical after decode, and the encoding is canonical.
+    #[test]
+    fn wire_session_program_round_trip_keeps_cache_frames(
+        mode in mode_strategy(),
+        ctx in 1usize..8,
+        d in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        let p = session_decode_program(mode, ctx, d, seed);
+        prop_assert!(p.is_session());
+        let bytes = wire::encode_program(&p);
+        let back = wire::decode_program(&bytes).expect("decodes");
+        prop_assert_eq!(back.fingerprint(), p.fingerprint());
+        prop_assert!(back.is_session());
+        prop_assert_eq!(back.session_inputs(), p.session_inputs());
+        prop_assert_eq!(back.session_outputs(), p.session_outputs());
+        prop_assert_eq!(back.modeled_macs(), p.modeled_macs());
+        prop_assert_eq!(wire::encode_program(&back), bytes);
+        let inputs = session_decode_inputs(ctx, d, seed);
+        let (ra, rb) = (
+            p.run(&inputs, Parallelism::Sequential, &mut TableCache::new())
+                .expect("original runs"),
+            back.run(&inputs, Parallelism::Sequential, &mut TableCache::new())
+                .expect("decoded runs"),
+        );
+        for (a, b) in ra.output.as_slice().iter().zip(rb.output.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(ra.session_outputs.len(), 2);
+        for (ta, tb) in ra.session_outputs.iter().zip(&rb.session_outputs) {
+            prop_assert_eq!(ta.dims(), &[ctx + 1, d][..]);
+            for (a, b) in ta.as_slice().iter().zip(tb.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // A decode step's cost tracks its context: the same frame one
+        // row deeper must model strictly more work.
+        let deeper = session_decode_program(mode, ctx + 1, d, seed);
+        prop_assert!(deeper.modeled_macs() > p.modeled_macs());
+        prop_assert_ne!(deeper.fingerprint(), p.fingerprint());
     }
 
     /// The parameter-carrying nonlinears (`Elu`, `LeakyRelu`) keep

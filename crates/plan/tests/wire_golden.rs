@@ -97,6 +97,44 @@ fn golden_program() -> Program {
     b.finish().unwrap()
 }
 
+/// The decode-step fixture: a session/cache-bearing frame — K/V session
+/// inputs, `EmbedAt` at a context offset, per-row quantization,
+/// `ConcatRows` cache appends marked as session outputs, causal softmax
+/// — so the optional session section and every KV-cache op tag are
+/// pinned byte-exactly.
+fn golden_decode_program() -> Program {
+    let mut rng = Pcg32::seed_from_u64(9);
+    let (ctx, d, vocab, max_len) = (3, 4, 6, 12);
+    let mut b = Program::builder(
+        "golden-decode",
+        EvalMode::Cpwl {
+            granularity: 0.25,
+            quantize: true,
+        },
+    );
+    let ids = b.input(&[1, 1]);
+    let k_cache = b.session_input(&[ctx, d]);
+    let v_cache = b.session_input(&[ctx, d]);
+    let table = b.constant(rng.randn(&[vocab, d], 1.0));
+    let pos = b.constant(rng.randn(&[max_len, d], 1.0));
+    let e = b.push(Op::EmbedAt { offset: ctx }, &[ids, table, pos]);
+    let q = b.push(Op::QuantizeRows, &[e]);
+    let wk = b.constant(rng.randn(&[d, d], 1.0));
+    let wv = b.constant(rng.randn(&[d, d], 1.0));
+    let k_new = b.push(Op::Gemm { bias: None }, &[q, wk]);
+    let v_new = b.push(Op::Gemm { bias: None }, &[q, wv]);
+    let k_full = b.push(Op::ConcatRows, &[k_cache, k_new]);
+    let v_full = b.push(Op::ConcatRows, &[v_cache, v_new]);
+    b.mark_session_output(k_full);
+    b.mark_session_output(v_full);
+    let kt = b.push(Op::Transpose, &[k_full]);
+    let scores = b.push(Op::Gemm { bias: None }, &[q, kt]);
+    let sc = b.push(Op::Scale(0.5), &[scores]);
+    let att = b.push(Op::CausalSoftmax { offset: ctx }, &[sc]);
+    b.push(Op::Gemm { bias: None }, &[att, v_full]);
+    b.finish().unwrap()
+}
+
 /// The optimized-program fixture: carries an `OptReport` section.
 fn golden_optimized() -> Program {
     let mut rng = Pcg32::seed_from_u64(7);
@@ -152,8 +190,26 @@ fn optimized_program_fixture_keeps_its_report() {
 }
 
 #[test]
+fn decode_program_fixture_is_byte_exact_and_decodes() {
+    let p = golden_decode_program();
+    let committed = check_golden("program_decode_v1.bin", &wire::encode_program(&p));
+    let back = wire::decode_program(&committed).expect("committed decode frame decodes");
+    assert_eq!(back.fingerprint(), p.fingerprint());
+    assert_eq!(back.name(), "golden-decode");
+    assert!(back.is_session(), "session section survives the wire");
+    assert_eq!(back.session_inputs(), p.session_inputs());
+    assert_eq!(back.session_outputs(), p.session_outputs());
+    assert_eq!(back.modeled_macs(), p.modeled_macs());
+}
+
+#[test]
 fn truncated_fixture_frames_error_and_never_panic() {
-    for name in ["tensor_v1.bin", "program_v1.bin", "program_opt_v1.bin"] {
+    for name in [
+        "tensor_v1.bin",
+        "program_v1.bin",
+        "program_opt_v1.bin",
+        "program_decode_v1.bin",
+    ] {
         let bytes = std::fs::read(fixture_path(name)).unwrap();
         for cut in 0..bytes.len() {
             let r = if name.starts_with("tensor") {
@@ -164,6 +220,27 @@ fn truncated_fixture_frames_error_and_never_panic() {
             assert!(
                 r.is_err(),
                 "{name} truncated to {cut} bytes must not decode"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_decode_fixture_errors_and_never_panics() {
+    // Flip every single byte of the session-bearing frame in turn:
+    // structural damage, const damage and session-section damage must
+    // all surface as typed errors or decode to the identical program —
+    // never a panic, never a silently different session contract.
+    let bytes = std::fs::read(fixture_path("program_decode_v1.bin")).unwrap();
+    let original = wire::decode_program(&bytes).unwrap();
+    for i in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x01;
+        if let Ok(p) = wire::decode_program(&corrupt) {
+            assert_eq!(
+                (p.session_inputs(), p.session_outputs()),
+                (original.session_inputs(), original.session_outputs()),
+                "byte {i}: a tolerated flip must not change the session contract"
             );
         }
     }

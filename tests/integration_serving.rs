@@ -21,8 +21,8 @@
 //! deterministic windows regardless of host timing.
 
 use onesa_core::serve::{
-    AdmissionPolicy, RoutePolicy, ServeConfig, ServeEngine, ShardBackend, ShardSpec, Ticket,
-    TrySubmitError,
+    AdmissionPolicy, InterleavePolicy, RoutePolicy, ServeConfig, ServeEngine, ShardBackend,
+    ShardSpec, Ticket, TrySubmitError,
 };
 use onesa_core::{Parallelism, Request};
 use onesa_cpwl::ops::TableSet;
@@ -152,8 +152,10 @@ fn heterogeneous_shards_still_bit_identical() {
         queue_capacity: 64,
         admission: AdmissionPolicy::Fifo { window: 6 },
         routing: RoutePolicy::RoundRobin,
+        interleave: InterleavePolicy::default(),
         paused: false,
         backend: ShardBackend::InProcess,
+        session_capacity: 64,
     })
     .unwrap();
     let tickets: Vec<Ticket> = requests
