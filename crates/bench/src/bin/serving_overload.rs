@@ -1,0 +1,282 @@
+//! Emits the `BENCH_serving_overload.json` overload baseline: a
+//! saturation sweep over past-deadline traffic comparing a plain
+//! drop-on-expiry pool against the same pool with a degrade ladder,
+//! plus a low-load energy comparison of an always-on versus an elastic
+//! ([`PoolPolicy::Elastic`]) shard pool.
+//!
+//! ```sh
+//! cargo run --release -q -p onesa-bench --bin serving_overload > BENCH_serving_overload.json
+//! ```
+//!
+//! The committed copy at the repository root records the
+//! degrade-don't-drop contract later serving PRs must not regress.
+//! Number families:
+//!
+//! * `expired` / `degraded_fraction` / `goodput_per_modeled_s` —
+//!   deterministic admission outcomes. At every saturation level > 0
+//!   the bin **asserts** the baseline expires some requests while the
+//!   ladder serves 100% of admitted traffic (`expired == 0`,
+//!   `degraded_fraction > 0`), every degraded answer bit-identical to a
+//!   solo run compiled directly at the served rung.
+//! * `energy` — modeled joules per request for the same low-load
+//!   trickle on an always-on and an elastic pool; the elastic pool is
+//!   **asserted** to cost no more, with bit-identical outputs.
+//! * `wall_ms` — host wall-clock, machine-dependent.
+
+use onesa_bench::time_best;
+use onesa_core::plan::{Compile, TableCache};
+use onesa_core::serve::{
+    AdmissionPolicy, DegradePolicy, PoolPolicy, RoutePolicy, ServeConfig, ServeEngine, ServeError,
+    ServeSummary,
+};
+use onesa_core::{Parallelism, Program, Request};
+use onesa_nn::infer::InferenceMode;
+use onesa_nn::models::SmallCnn;
+use onesa_sim::ArrayConfig;
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::Tensor;
+
+const REQUESTS: usize = 12;
+const SHARDS: usize = 2;
+const WINDOW: usize = 4;
+const LADDER: [f32; 2] = [0.5, 1.0];
+/// Fraction of the burst whose deadline is already in the past when the
+/// admission gate opens — the saturation knob.
+const LEVELS: [f64; 3] = [0.0, 0.5, 1.0];
+
+struct Run {
+    summary: ServeSummary,
+    wall: f64,
+}
+
+/// One staged burst: the first `expired_count` requests carry
+/// `deadline: 0` (already past once the gate opens), the rest none.
+/// Outputs are checked bit-identical to the solo oracle at whichever
+/// granularity each request was served.
+fn burst(
+    program: &Program,
+    coarse: &Program,
+    xs: &[Tensor],
+    expired_count: usize,
+    ladder: Option<&[f32]>,
+) -> Run {
+    let (summary, wall) = time_best(3, || {
+        let mut cfg =
+            ServeConfig::uniform(SHARDS, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Deadline {
+                    window: WINDOW,
+                    drop_expired: true,
+                })
+                .start_paused();
+        if let Some(rungs) = ladder {
+            cfg = cfg.with_degrade(DegradePolicy::new(rungs.to_vec()));
+        }
+        let pool = ServeEngine::start(cfg).expect("pool starts");
+        let tickets: Vec<_> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let request = Request::program(program.clone(), vec![x.clone()]);
+                if i < expired_count {
+                    pool.submit_with_deadline(request, 0).expect("queue open")
+                } else {
+                    pool.submit(request).expect("queue open")
+                }
+            })
+            .collect();
+        // Let the admission clock pass deadline 0 before the gate opens.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        pool.resume();
+        let mut cache = TableCache::new();
+        for (i, (t, x)) in tickets.into_iter().zip(xs).enumerate() {
+            match t.wait() {
+                Ok(served) => {
+                    let solo_program = match served.degrade {
+                        Some(d) => {
+                            assert_eq!(d.served, *LADDER.last().unwrap());
+                            coarse
+                        }
+                        None => program,
+                    };
+                    let solo = solo_program
+                        .run(std::slice::from_ref(x), Parallelism::Sequential, &mut cache)
+                        .expect("solo oracle");
+                    assert!(
+                        served
+                            .output
+                            .as_slice()
+                            .iter()
+                            .zip(solo.output.as_slice())
+                            .all(|(g, w)| g.to_bits() == w.to_bits()),
+                        "request {i} not bit-identical to its solo oracle"
+                    );
+                }
+                Err(ServeError::DeadlineExpired { .. }) => {
+                    assert!(ladder.is_none(), "the ladder must never drop a program");
+                    assert!(i < expired_count, "only past-deadline requests expire");
+                }
+                Err(e) => panic!("request {i}: {e:?}"),
+            }
+        }
+        pool.finish().expect("clean shutdown")
+    });
+    Run { summary, wall }
+}
+
+/// Serial low-load trickle through a 4-shard energy-aware pool.
+fn trickle(program: &Program, xs: &[Tensor], pool: PoolPolicy) -> (Vec<Tensor>, Run) {
+    let ((outputs, summary), wall) = time_best(3, || {
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(4, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Fifo { window: 2 })
+                .with_routing(RoutePolicy::EnergyAware)
+                .with_pool(pool),
+        )
+        .expect("pool starts");
+        let outputs: Vec<Tensor> = xs
+            .iter()
+            .map(|x| {
+                engine
+                    .submit(Request::program(program.clone(), vec![x.clone()]))
+                    .expect("queue open")
+                    .wait()
+                    .expect("served")
+                    .output
+            })
+            .collect();
+        (outputs, engine.finish().expect("clean shutdown"))
+    });
+    (outputs, Run { summary, wall })
+}
+
+fn goodput(summary: &ServeSummary) -> f64 {
+    if summary.report.batched_seconds > 0.0 {
+        summary.report.requests as f64 / summary.report.batched_seconds
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let cnn = SmallCnn::new(7, 1, 4);
+    let mode = InferenceMode::cpwl(0.25).expect("paper granularity");
+    let program = cnn.compile((&mode, (8, 8))).expect("compiles");
+    let coarse = program
+        .with_granularity(*LADDER.last().unwrap())
+        .expect("coarsest rung");
+    let mut rng = Pcg32::seed_from_u64(2026);
+    let xs: Vec<Tensor> = (0..REQUESTS).map(|_| rng.randn(&[1, 8, 8], 1.0)).collect();
+
+    println!("{{");
+    println!("  \"bench\": \"serving_overload\",");
+    println!("  \"layer\": \"onesa_core::serve::ServeEngine degrade ladder + elastic pool\",");
+    println!("  \"model\": \"SmallCnn 8x8, cpwl granularity 0.25, ladder {LADDER:?}\",");
+    println!(
+        "  \"workload\": {{ \"requests\": {REQUESTS}, \"shards\": {SHARDS}, \
+         \"window\": {WINDOW} }},"
+    );
+    println!("  \"array\": \"8x8 PEs x 16 MACs\",");
+    println!("  \"saturation_sweep\": [");
+    for (idx, &level) in LEVELS.iter().enumerate() {
+        let expired_count = (level * REQUESTS as f64).round() as usize;
+        let baseline = burst(&program, &coarse, &xs, expired_count, None);
+        let ladder = burst(&program, &coarse, &xs, expired_count, Some(&LADDER));
+
+        // The degrade-don't-drop contract, checked at every level.
+        assert_eq!(ladder.summary.expired, 0, "the ladder serves everything");
+        assert_eq!(ladder.summary.report.requests, REQUESTS);
+        assert_eq!(baseline.summary.expired, expired_count);
+        if expired_count > 0 {
+            assert!(
+                baseline.summary.expired > 0 && ladder.summary.degraded_fraction() > 0.0,
+                "at saturation the baseline drops while the ladder degrades"
+            );
+        } else {
+            assert_eq!(ladder.summary.degraded, 0, "no pressure, no degrade");
+        }
+
+        println!("    {{");
+        println!("      \"past_deadline_fraction\": {level},");
+        for (name, run, comma) in [
+            ("baseline", &baseline, ","),
+            ("degrade_ladder", &ladder, ""),
+        ] {
+            println!("      \"{name}\": {{");
+            println!(
+                "        \"served\": {}, \"expired\": {}, \"degraded\": {},",
+                run.summary.report.requests, run.summary.expired, run.summary.degraded
+            );
+            println!(
+                "        \"degraded_fraction\": {:.3}, \"goodput_per_modeled_s\": {:.0},",
+                run.summary.degraded_fraction(),
+                goodput(&run.summary)
+            );
+            println!(
+                "        \"modeled_mj_per_request\": {:.4}, \"wall_ms\": {:.3}",
+                run.summary.modeled_joules_per_request() * 1e3,
+                run.wall * 1e3
+            );
+            println!("      }}{comma}");
+        }
+        println!("    }}{}", if idx + 1 < LEVELS.len() { "," } else { "" });
+    }
+    println!("  ],");
+
+    // Low-load energy: fixed vs elastic pool on the same serial trickle.
+    let (fixed_out, fixed) = trickle(&program, &xs, PoolPolicy::AlwaysOn);
+    let (elastic_out, elastic) = trickle(
+        &program,
+        &xs,
+        PoolPolicy::Elastic {
+            min_active: 1,
+            scale_up_depth: 4,
+            idle_windows: 1,
+        },
+    );
+    for (f, e) in fixed_out.iter().zip(&elastic_out) {
+        assert!(
+            f.as_slice()
+                .iter()
+                .zip(e.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "power management must never change outputs"
+        );
+    }
+    assert!(
+        elastic.summary.power.modeled_joules <= fixed.summary.power.modeled_joules,
+        "the elastic pool must not burn more modeled energy at low load"
+    );
+    assert!(
+        elastic.summary.power.off_shard_windows > 0,
+        "unused shards must park"
+    );
+
+    println!("  \"low_load_energy\": {{");
+    println!("    \"workload\": \"serial trickle of {REQUESTS} requests, 4 shards, EnergyAware routing\",");
+    for (name, run) in [("always_on", &fixed), ("elastic", &elastic)] {
+        let p = &run.summary.power;
+        println!("    \"{name}\": {{");
+        println!(
+            "      \"modeled_mj\": {:.4}, \"modeled_mj_per_request\": {:.4},",
+            p.modeled_joules * 1e3,
+            run.summary.modeled_joules_per_request() * 1e3
+        );
+        println!(
+            "      \"shard_windows\": {{ \"active\": {}, \"idle\": {}, \"off\": {} }},",
+            p.active_shard_windows, p.idle_shard_windows, p.off_shard_windows
+        );
+        println!(
+            "      \"power_ups\": {}, \"power_downs\": {}, \"wall_ms\": {:.3}",
+            p.power_ups,
+            p.power_downs,
+            run.wall * 1e3
+        );
+        println!("    }},");
+    }
+    println!(
+        "    \"elastic_saving_fraction\": {:.3}",
+        1.0 - elastic.summary.power.modeled_joules / fixed.summary.power.modeled_joules
+    );
+    println!("  }}");
+    println!("}}");
+}

@@ -55,6 +55,7 @@ pub use onesa_plan::{Compile, Program, StageGroups};
 pub use onesa_tensor::parallel::Parallelism;
 pub use report::ExecutionReport;
 pub use serve::{
-    AdmissionPolicy, RoutePolicy, ServeClient, ServeConfig, ServeEngine, ServeError, ServeSummary,
-    ServedOutcome, ShardBackend, ShardSpec, ShardStats, Ticket, TicketId, TrySubmitError,
+    AdmissionPolicy, DegradeInfo, DegradePolicy, PoolPolicy, PowerSummary, RoutePolicy,
+    ServeClient, ServeConfig, ServeEngine, ServeError, ServeSummary, ServedOutcome, ShardBackend,
+    ShardPower, ShardSpec, ShardStats, Ticket, TicketId, TrySubmitError,
 };

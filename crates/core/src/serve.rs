@@ -103,7 +103,10 @@
 use crate::batch::{BatchEngine, Request, ServingReport};
 use crate::engine::OneSa;
 use crate::net::{self, ProcessConfig, WeightCacheStats};
-use onesa_plan::OptTotals;
+use onesa_plan::{CompileCache, EvalMode, OptTotals};
+use onesa_resources::array::ArrayResources;
+use onesa_resources::power::PowerModel;
+use onesa_resources::{Design, ModuleCost};
 use onesa_sim::{ArrayConfig, ExecStats};
 use onesa_tensor::parallel::Parallelism;
 use onesa_tensor::{Tensor, TensorError};
@@ -184,6 +187,161 @@ pub enum RoutePolicy {
     /// coalescing (shared weights still load once *per shard that sees
     /// them*, and with affinity routing that is one shard).
     WeightAffinity,
+    /// The powered shard that would finish this request for the least
+    /// additional modeled energy: each shard's full-activity energy per
+    /// MAC (its [`PowerModel`] power over its peak MAC rate) weighs its
+    /// outstanding work plus this request; ties pick the lowest shard
+    /// index. On a homogeneous pool this degenerates to
+    /// [`RoutePolicy::LeastLoaded`]; on a heterogeneous one it steers
+    /// work toward the more efficient arrays first.
+    EnergyAware,
+}
+
+/// When and how the admitter trades accuracy for survival under
+/// overload: instead of letting a queued CPWL program request expire
+/// (or letting a deep queue grow its latency unboundedly), the request
+/// is **re-compiled at a coarser CPWL granularity** — fewer table
+/// segments, a cheaper table-staging footprint, the accuracy/latency
+/// knob the paper itself highlights — and served. The recompile rides
+/// [`CompileCache`] (keyed on the coarser mode + the source program's
+/// fingerprint), and the shard's per-granularity plan `TableCache`
+/// builds each rung's tables at most once.
+///
+/// Two trigger points:
+///
+/// * **Window fill.** While the admitter fills a window, a CPWL program
+///   request degrades one ladder rung if the submission queue behind it
+///   is at least [`DegradePolicy::depth_threshold`] deep, or its
+///   deadline slack has shrunk below [`DegradePolicy::slack_us`]. The
+///   window's work budget ([`AdmissionPolicy::SizeCapped`]) counts the
+///   *recompiled* program's modeled MACs.
+/// * **Expiry rescue.** Under [`AdmissionPolicy::Deadline`] with
+///   `drop_expired`, a CPWL program request already past its deadline
+///   jumps to the **coarsest** rung and dispatches instead of resolving
+///   [`ServeError::DeadlineExpired`]. Only non-degradable requests
+///   (plain GEMM/nonlinear, exact-mode programs) or requests already at
+///   the coarsest rung still expire.
+///
+/// Degraded outputs stay bit-identical to a solo run of the same
+/// program compiled directly at the served granularity — degrading
+/// changes *which* program runs, never how it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradePolicy {
+    /// Fallback granularities, finest first, each strictly coarser
+    /// (larger) than the one before; requests degrade along it rung by
+    /// rung. Must be non-empty.
+    pub ladder: Vec<f32>,
+    /// Submission-queue depth at which window fill degrades a request
+    /// one rung (`usize::MAX` — the [`DegradePolicy::new`] default —
+    /// disables pressure degrading; `0` degrades every request).
+    pub depth_threshold: usize,
+    /// Deadline slack (µs) below which window fill degrades a
+    /// deadline-carrying request one rung (`0`, the default, disables
+    /// the slack trigger).
+    pub slack_us: u64,
+}
+
+impl DegradePolicy {
+    /// A ladder-only policy: no pressure or slack triggers, just the
+    /// expiry rescue (degrade-don't-drop).
+    pub fn new(ladder: Vec<f32>) -> Self {
+        DegradePolicy {
+            ladder,
+            depth_threshold: usize::MAX,
+            slack_us: 0,
+        }
+    }
+
+    /// Replaces the queue-depth trigger.
+    pub fn with_depth_threshold(mut self, depth: usize) -> Self {
+        self.depth_threshold = depth;
+        self
+    }
+
+    /// Replaces the deadline-slack trigger.
+    pub fn with_slack_us(mut self, slack_us: u64) -> Self {
+        self.slack_us = slack_us;
+        self
+    }
+}
+
+/// How a degraded request was actually served, riding its
+/// [`ServedOutcome`]. `None` on an outcome means the request ran
+/// exactly as submitted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeInfo {
+    /// CPWL granularity the program was compiled at when submitted.
+    pub requested: f32,
+    /// Coarser granularity it was re-compiled to and served at.
+    pub served: f32,
+    /// Ladder rungs between the two (the number of
+    /// [`DegradePolicy::ladder`] entries in `(requested, served]`).
+    pub rungs: usize,
+}
+
+/// Power state of one shard in the pool, driven per admission window by
+/// [`PoolPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPower {
+    /// Powered and routable.
+    Active,
+    /// Draining toward power-off: the router no longer targets it, but
+    /// its in-flight windows finish (and it still burns idle power), so
+    /// no admitted work is ever lost to a power-down.
+    Idle,
+    /// Powered down: consumes no modeled energy and receives no work
+    /// until queue pressure (or a pinned session) re-activates it.
+    Off,
+}
+
+/// How the pool manages shard power across the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolPolicy {
+    /// Every shard stays [`ShardPower::Active`] for the whole run (the
+    /// default).
+    #[default]
+    AlwaysOn,
+    /// Closed-loop elasticity against the admission queue: shards past
+    /// `min_active` start [`ShardPower::Off`]; a backlog powers one up
+    /// per window; a shard that routes nothing for `idle_windows`
+    /// consecutive windows drains ([`ShardPower::Idle`]) and powers off
+    /// once its channel and outstanding work are empty. A session
+    /// pinned to a parked shard re-activates it — pinning always wins.
+    Elastic {
+        /// Shards kept active at all times (clamped to `1..=pool`).
+        min_active: usize,
+        /// Submission-queue depth (beyond the closing window) at which
+        /// one more shard powers up.
+        scale_up_depth: usize,
+        /// Consecutive windows a drained shard must sit unused before
+        /// it starts draining toward [`ShardPower::Off`].
+        idle_windows: usize,
+    },
+}
+
+/// Modeled energy accounting of one engine lifetime
+/// ([`ServeSummary::power`]). Every admission window is costed over its
+/// modeled duration (the longest batch any shard executed for it):
+/// an executing shard pays [`PowerModel`] energy at its batch's actual
+/// utilization plus idle power for the window's remainder, a powered
+/// but idle shard pays idle power for the whole window, and an
+/// [`ShardPower::Off`] shard pays nothing. Deterministic — it is built
+/// from simulated batch seconds, not host wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerSummary {
+    /// Modeled joules the pool consumed across all windows.
+    pub modeled_joules: f64,
+    /// Shard-windows spent [`ShardPower::Active`].
+    pub active_shard_windows: u64,
+    /// Shard-windows spent [`ShardPower::Idle`] (draining).
+    pub idle_shard_windows: u64,
+    /// Shard-windows spent [`ShardPower::Off`].
+    pub off_shard_windows: u64,
+    /// `Off → Active` transitions (scale-ups and pinned-session
+    /// re-powers).
+    pub power_ups: u64,
+    /// `Idle → Off` transitions (completed drains).
+    pub power_downs: u64,
 }
 
 /// Identifier of a decoding session (from [`ServeClient::open_session`]).
@@ -476,6 +634,14 @@ pub struct ShardSpec {
     pub config: ArrayConfig,
     /// Host backend policy for this shard's kernels.
     pub parallelism: Parallelism,
+    /// Routing specialization: CPWL program requests compiled at this
+    /// granularity prefer this shard (after session pinning, before the
+    /// general [`RoutePolicy`]), so an SLO class — say, degraded bulk
+    /// traffic at a coarse rung — clusters on designated shards, keeps
+    /// their per-granularity table caches warm and stays out of the
+    /// fine-granularity shards' queues. Purely a routing hint: it never
+    /// changes any request's output.
+    pub granularity: Option<f32>,
 }
 
 /// How the pool's shards execute: as threads in this process, or as
@@ -527,6 +693,11 @@ pub struct ServeConfig {
     /// one past the cap evicts the least-recently-used idle session,
     /// counted in [`SessionSummary::evicted_overflow`].
     pub session_capacity: usize,
+    /// Overload degrade ladder (`None`, the default, disables
+    /// degrading; see [`DegradePolicy`]).
+    pub degrade: Option<DegradePolicy>,
+    /// Shard power management (see [`PoolPolicy`]).
+    pub pool: PoolPolicy,
 }
 
 impl ServeConfig {
@@ -539,6 +710,7 @@ impl ServeConfig {
                 .map(|_| ShardSpec {
                     config: config.clone(),
                     parallelism,
+                    granularity: None,
                 })
                 .collect(),
             granularity: 0.25,
@@ -549,6 +721,8 @@ impl ServeConfig {
             backend: ShardBackend::default(),
             interleave: InterleavePolicy::default(),
             session_capacity: 64,
+            degrade: None,
+            pool: PoolPolicy::default(),
         }
     }
 
@@ -592,6 +766,28 @@ impl ServeConfig {
     /// Replaces the session-table capacity.
     pub fn with_session_capacity(mut self, capacity: usize) -> Self {
         self.session_capacity = capacity;
+        self
+    }
+
+    /// Installs an overload degrade ladder (see [`DegradePolicy`]).
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = Some(degrade);
+        self
+    }
+
+    /// Replaces the shard power policy (see [`PoolPolicy`]).
+    pub fn with_pool(mut self, pool: PoolPolicy) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Marks shard `index` as specialized for CPWL programs compiled at
+    /// `granularity` (see [`ShardSpec::granularity`]). Out-of-range
+    /// indices are ignored.
+    pub fn with_shard_granularity(mut self, index: usize, granularity: f32) -> Self {
+        if let Some(spec) = self.shards.get_mut(index) {
+            spec.granularity = Some(granularity);
+        }
         self
     }
 }
@@ -694,6 +890,11 @@ pub struct ServedOutcome {
     /// Host seconds between submission and the start of the executing
     /// batch (admission + routing + shard queueing delay).
     pub queue_seconds: f64,
+    /// `Some` when the admitter served this request at a coarser CPWL
+    /// granularity than submitted (see [`DegradePolicy`]); the output
+    /// is bit-identical to a solo run compiled at
+    /// [`DegradeInfo::served`].
+    pub degrade: Option<DegradeInfo>,
 }
 
 /// Handle to one in-flight request (from [`ServeClient::submit`]).
@@ -800,8 +1001,17 @@ pub struct ServeSummary {
     /// Requests dropped at window close because their deadline had
     /// already passed ([`AdmissionPolicy::Deadline`] with
     /// `drop_expired`); their tickets resolved with
-    /// [`ServeError::DeadlineExpired`].
+    /// [`ServeError::DeadlineExpired`]. With a [`DegradePolicy`]
+    /// installed, only requests the ladder could not rescue count here.
     pub expired: usize,
+    /// Requests the admitter served at a coarser CPWL granularity than
+    /// submitted (their outcomes carry [`ServedOutcome::degrade`]);
+    /// every served request is either exact or degraded, never dropped
+    /// while the ladder has rungs.
+    pub degraded: usize,
+    /// Modeled pool energy accounting (see [`PowerSummary`]); all-zero
+    /// for a run that dispatched no windows.
+    pub power: PowerSummary,
     /// Most requests ever observed waiting in the submission queue at
     /// once. Single-producer submission keeps this at most
     /// [`ServeConfig::queue_capacity`]; concurrent producers blocked in
@@ -839,6 +1049,26 @@ impl ServeSummary {
     pub fn decode_tokens_per_second(&self) -> f64 {
         self.decode.tokens_per_second(self.report.wall_seconds)
     }
+
+    /// Modeled joules per served request (0.0 for an empty run) — the
+    /// efficiency number the elastic pool is judged on.
+    pub fn modeled_joules_per_request(&self) -> f64 {
+        if self.report.requests > 0 {
+            self.power.modeled_joules / self.report.requests as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of served requests that were degraded (0.0 for an
+    /// empty run).
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.report.requests > 0 {
+            self.degraded as f64 / self.report.requests as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 impl fmt::Display for ServeSummary {
@@ -855,13 +1085,29 @@ impl fmt::Display for ServeSummary {
         writeln!(
             f,
             "array makespan {:.3} ms vs {:.3} ms solo-on-one-array ({:.2}x modeled), \
-             peak queue {}, expired {}",
+             peak queue {}, expired {}, degraded {}",
             self.report.batched_seconds * 1e3,
             self.report.unbatched_seconds * 1e3,
             self.modeled_speedup(),
             self.peak_queue_depth,
-            self.expired
+            self.expired,
+            self.degraded
         )?;
+        let p = &self.power;
+        if p.active_shard_windows + p.idle_shard_windows + p.off_shard_windows > 0 {
+            writeln!(
+                f,
+                "power: {:.3} mJ modeled ({:.3} mJ/req), shard-windows {} active / {} idle / \
+                 {} off, {} power-ups, {} power-downs",
+                p.modeled_joules * 1e3,
+                self.modeled_joules_per_request() * 1e3,
+                p.active_shard_windows,
+                p.idle_shard_windows,
+                p.off_shard_windows,
+                p.power_ups,
+                p.power_downs
+            )?;
+        }
         for s in &self.shards {
             writeln!(
                 f,
@@ -954,15 +1200,22 @@ struct Submission {
     submitted_at: Instant,
     request: Request,
     session: Option<SessionTag>,
+    /// Set once the admitter re-compiles the request at a coarser
+    /// granularity; later degrades extend it (`requested` is sticky).
+    degrade: Option<DegradeInfo>,
     reply: Sender<Result<ServedOutcome, ServeError>>,
 }
 
 struct WorkItem {
     ticket: TicketId,
     dispatch_seq: u64,
+    /// Index of the admission window that dispatched this item (the
+    /// per-window energy accounting key).
+    window: usize,
     submitted_at: Instant,
     request: Request,
     session: Option<SessionTag>,
+    degrade: Option<DegradeInfo>,
     reply: Sender<Result<ServedOutcome, ServeError>>,
 }
 
@@ -1067,6 +1320,7 @@ impl ServeClient {
                 submitted_at: Instant::now(),
                 request,
                 session,
+                degrade: None,
                 reply,
             },
             Ticket { id, rx },
@@ -1321,9 +1575,47 @@ struct ReqRecord {
     tokens: u64,
 }
 
+/// Modeled execution of one admission window on one shard, for the
+/// energy accounting in `ServeEngine::shutdown`.
+struct WindowRecord {
+    window: usize,
+    seconds: f64,
+    macs: u64,
+}
+
 struct ShardOut {
     stats: ShardStats,
     records: Vec<ReqRecord>,
+    window_records: Vec<WindowRecord>,
+}
+
+/// Per-shard power-model constants, precomputed at `start`.
+#[derive(Debug)]
+struct ShardPowerSpec {
+    model: PowerModel,
+    cost: ModuleCost,
+    peak_macs_per_second: f64,
+}
+
+impl ShardPowerSpec {
+    fn new(config: &ArrayConfig) -> Self {
+        ShardPowerSpec {
+            model: PowerModel::virtex7(),
+            cost: ArrayResources::calibrated().total(Design::OneSa, config.dim, config.macs_per_pe),
+            peak_macs_per_second: config.peak_macs_per_cycle() as f64 * config.clock_mhz * 1e6,
+        }
+    }
+
+    /// Modeled joules one MAC costs at full activity — the
+    /// [`RoutePolicy::EnergyAware`] weight.
+    fn energy_per_mac(&self) -> f64 {
+        self.model.power_at_utilization(&self.cost, 1.0) / self.peak_macs_per_second
+    }
+
+    /// Modeled watts while powered but executing nothing.
+    fn idle_watts(&self) -> f64 {
+        self.model.power_at_utilization(&self.cost, 0.0)
+    }
 }
 
 /// The asynchronous sharded serving engine. See the [module docs](self).
@@ -1338,12 +1630,19 @@ pub struct ServeEngine {
     /// Process backend: one pid per shard; empty in-process.
     worker_pids: Vec<u32>,
     sessions: Arc<SessionTable>,
+    /// Per-shard power-model constants for the energy accounting.
+    power_specs: Vec<ShardPowerSpec>,
 }
 
 /// What the admission thread reports at shutdown.
 struct AdmitOut {
     windows: usize,
     expired: usize,
+    degraded: usize,
+    /// Per-window snapshot of every shard's power state at dispatch.
+    power_log: Vec<Vec<ShardPower>>,
+    power_ups: u64,
+    power_downs: u64,
 }
 
 impl ServeEngine {
@@ -1360,6 +1659,22 @@ impl ServeEngine {
             return Err(TensorError::InvalidArgument(
                 "serve pool needs at least one shard",
             ));
+        }
+        if let Some(policy) = &cfg.degrade {
+            if policy.ladder.is_empty() {
+                return Err(TensorError::InvalidArgument(
+                    "degrade ladder needs at least one rung",
+                ));
+            }
+            let mut prev = 0.0f32;
+            for &g in &policy.ladder {
+                if !(g.is_finite() && g > prev) {
+                    return Err(TensorError::InvalidArgument(
+                        "degrade ladder must be finite, positive and strictly coarsening",
+                    ));
+                }
+                prev = g;
+            }
         }
         let n = cfg.shards.len();
 
@@ -1454,6 +1769,11 @@ impl ServeEngine {
         // the table set, so any shard's geometry works as the template.
         let validator =
             BatchEngine::new(OneSa::new(cfg.shards[0].config.clone()), cfg.granularity)?;
+        let power_specs: Vec<ShardPowerSpec> = cfg
+            .shards
+            .iter()
+            .map(|spec| ShardPowerSpec::new(&spec.config))
+            .collect();
         let admitter = {
             let ctx = AdmitterCtx {
                 rx,
@@ -1463,6 +1783,11 @@ impl ServeEngine {
                 admission: cfg.admission,
                 routing: cfg.routing,
                 interleave: cfg.interleave,
+                degrade: cfg.degrade.clone(),
+                pool: cfg.pool,
+                energy_per_mac: power_specs.iter().map(|s| s.energy_per_mac()).collect(),
+                specialization: cfg.shards.iter().map(|s| s.granularity).collect(),
+                recompile: CompileCache::new(),
                 gate: Arc::clone(&gate),
                 queue_depth: Arc::clone(&queue_depth),
                 validator,
@@ -1489,6 +1814,7 @@ impl ServeEngine {
             workers,
             worker_pids,
             sessions,
+            power_specs,
         })
     }
 
@@ -1716,9 +2042,20 @@ impl ServeEngine {
         }
         let wall_seconds = self.started.elapsed().as_secs_f64();
 
+        let n_windows = admitted.power_log.len();
         let mut records: Vec<ReqRecord> = Vec::new();
         let mut shards: Vec<ShardStats> = Vec::with_capacity(outs.len());
+        // Per (shard, window) modeled batch seconds and MACs, for the
+        // energy accounting below.
+        let mut exec: Vec<Vec<(f64, u64)>> = vec![vec![(0.0, 0); n_windows]; outs.len()];
         for mut out in outs {
+            for rec in &out.window_records {
+                if rec.window < n_windows {
+                    let slot = &mut exec[out.stats.shard][rec.window];
+                    slot.0 += rec.seconds;
+                    slot.1 += rec.macs;
+                }
+            }
             records.append(&mut out.records);
             out.stats.occupancy = if wall_seconds > 0.0 {
                 out.stats.busy_seconds / wall_seconds
@@ -1728,6 +2065,44 @@ impl ServeEngine {
             shards.push(out.stats);
         }
         records.sort_by_key(|r| r.ticket);
+
+        // Modeled pool energy: each window lasts as long as its longest
+        // shard batch; executing shards pay utilization-scaled power for
+        // their batch plus idle power for the remainder, powered idle
+        // shards pay idle power throughout, Off shards pay nothing.
+        let mut power = PowerSummary {
+            power_ups: admitted.power_ups,
+            power_downs: admitted.power_downs,
+            ..PowerSummary::default()
+        };
+        for (w, states) in admitted.power_log.iter().enumerate() {
+            let window_seconds = (0..states.len())
+                .map(|s| exec[s][w].0)
+                .fold(0.0f64, f64::max);
+            for (s, state) in states.iter().enumerate() {
+                let spec = &self.power_specs[s];
+                match state {
+                    ShardPower::Off => power.off_shard_windows += 1,
+                    ShardPower::Active | ShardPower::Idle => {
+                        if *state == ShardPower::Active {
+                            power.active_shard_windows += 1;
+                        } else {
+                            power.idle_shard_windows += 1;
+                        }
+                        let (seconds, macs) = exec[s][w];
+                        if seconds > 0.0 {
+                            let utilization = macs as f64 / (seconds * spec.peak_macs_per_second);
+                            power.modeled_joules +=
+                                spec.model.energy_joules(&spec.cost, seconds, utilization);
+                            power.modeled_joules +=
+                                spec.idle_watts() * (window_seconds - seconds).max(0.0);
+                        } else {
+                            power.modeled_joules += spec.idle_watts() * window_seconds;
+                        }
+                    }
+                }
+            }
+        }
 
         let mut prefill = PhaseStats::default();
         let mut decode = PhaseStats::default();
@@ -1767,6 +2142,8 @@ impl ServeEngine {
             shards,
             windows: admitted.windows,
             expired: admitted.expired,
+            degraded: admitted.degraded,
+            power,
             peak_queue_depth: self.client.depth.peak(),
             failovers,
             wire_cache,
@@ -1799,6 +2176,17 @@ struct AdmitterCtx {
     admission: AdmissionPolicy,
     routing: RoutePolicy,
     interleave: InterleavePolicy,
+    degrade: Option<DegradePolicy>,
+    pool: PoolPolicy,
+    /// Per-shard modeled joules per MAC at full activity
+    /// ([`RoutePolicy::EnergyAware`]'s weight).
+    energy_per_mac: Vec<f64>,
+    /// Per-shard granularity specialization ([`ShardSpec::granularity`]).
+    specialization: Vec<Option<f32>>,
+    /// Memo of degrade recompiles, keyed on the coarser mode + the
+    /// source program's fingerprint: each (program, rung) pair is
+    /// re-compiled at most once per engine lifetime.
+    recompile: CompileCache,
     gate: Arc<Gate>,
     queue_depth: Arc<DepthGauge>,
     /// Validation template (same table set as every shard).
@@ -1808,14 +2196,114 @@ struct AdmitterCtx {
     sessions: Arc<SessionTable>,
 }
 
-/// Returns the windows dispatched and requests expired.
+/// Re-compiles a queued CPWL program request one ladder rung coarser
+/// (or, for the expiry rescue, at the coarsest rung), swapping the
+/// recompiled program into the submission so every later consumer — the
+/// size-capped window budget, least-loaded/energy-aware routing, the
+/// shard — sees the *degraded* request's modeled MACs. Returns whether
+/// the request changed; plain GEMM/nonlinear requests, exact-mode
+/// programs and requests already at (or past) the target rung are left
+/// untouched.
+fn degrade_submission(
+    sub: &mut Submission,
+    policy: &DegradePolicy,
+    recompile: &CompileCache,
+    to_coarsest: bool,
+) -> bool {
+    let Request::Program { program, .. } = &mut sub.request else {
+        return false;
+    };
+    let EvalMode::Cpwl {
+        granularity: current,
+        quantize,
+    } = program.mode()
+    else {
+        return false;
+    };
+    let target = if to_coarsest {
+        policy.ladder.last().copied()
+    } else {
+        policy.ladder.iter().copied().find(|&g| g > current)
+    };
+    let Some(target) = target else { return false };
+    if target <= current {
+        return false;
+    }
+    let mode = EvalMode::Cpwl {
+        granularity: target,
+        quantize,
+    };
+    let Ok(recompiled) = recompile.get_or_compile(mode, &[], program.fingerprint(), || {
+        program.with_granularity(target)
+    }) else {
+        return false; // undegradable (should not happen past start validation)
+    };
+    let requested = sub.degrade.map_or(current, |d| d.requested);
+    let rungs = policy
+        .ladder
+        .iter()
+        .filter(|&&g| g > requested && g <= target)
+        .count();
+    **program = (*recompiled).clone();
+    sub.degrade = Some(DegradeInfo {
+        requested,
+        served: target,
+        rungs,
+    });
+    true
+}
+
+/// The [`ShardSpec::granularity`] routing preference: the lowest-index
+/// powered shard specialized for this request's CPWL granularity.
+fn specialized_shard(
+    request: &Request,
+    specialization: &[Option<f32>],
+    power: &[ShardPower],
+) -> Option<usize> {
+    let Request::Program { program, .. } = request else {
+        return None;
+    };
+    let g = program.mode().granularity()?;
+    specialization
+        .iter()
+        .zip(power)
+        .position(|(spec, p)| *p == ShardPower::Active && *spec == Some(g))
+}
+
+/// Returns the windows dispatched, requests expired/degraded and the
+/// power-state log.
 fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
     ctx.gate.wait_open();
+    let n = ctx.shard_txs.len();
     let mut windows = 0usize;
     let mut expired = 0usize;
+    let mut degraded = 0usize;
     let mut rr = 0usize;
     let mut dispatch_seq = 0u64;
     let mut draining = false;
+    // Shard power states, driven per window by the pool policy. Under
+    // `AlwaysOn` every shard is routable for the whole run; `Elastic`
+    // parks everything past `min_active` until queue pressure (or a
+    // pinned session) powers it up.
+    let mut power: Vec<ShardPower> = match ctx.pool {
+        PoolPolicy::AlwaysOn => vec![ShardPower::Active; n],
+        PoolPolicy::Elastic { min_active, .. } => {
+            let min_active = min_active.clamp(1, n);
+            (0..n)
+                .map(|i| {
+                    if i < min_active {
+                        ShardPower::Active
+                    } else {
+                        ShardPower::Off
+                    }
+                })
+                .collect()
+        }
+    };
+    let mut surplus = vec![0usize; n];
+    let mut power_log: Vec<Vec<ShardPower>> = Vec::new();
+    let mut power_ups = 0u64;
+    let mut power_downs = 0u64;
     // Reject a malformed request at admission: its ticket resolves with
     // the validation error and it never reaches a shard.
     let admit = |sub: Submission| -> Option<Submission> {
@@ -1828,6 +2316,21 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
                 let _ = sub.reply.send(Err(ServeError::Exec(e)));
                 None
             }
+        }
+    };
+    // Window-fill pressure degrade: under queue-depth or deadline-slack
+    // pressure, a CPWL program request admits one rung coarser. Runs
+    // *before* the window budget accounting below, so a size-capped
+    // window's `work` counts the recompiled program's modeled MACs.
+    let pressure_degrade = |sub: &mut Submission| {
+        let Some(policy) = &ctx.degrade else { return };
+        let deep = ctx.queue_depth.current() >= policy.depth_threshold;
+        let tight = policy.slack_us > 0
+            && sub.deadline.is_some_and(|d| {
+                d.saturating_sub(ctx.epoch.elapsed().as_micros() as u64) < policy.slack_us
+            });
+        if deep || tight {
+            let _ = degrade_submission(sub, policy, &ctx.recompile, false);
         }
     };
     loop {
@@ -1860,7 +2363,8 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
         // and split the valid requests' coalescing opportunity.
         let mut work = 0u64;
         let mut window: Vec<Submission> = Vec::new();
-        if let Some(sub) = admit(head) {
+        if let Some(mut sub) = admit(head) {
+            pressure_degrade(&mut sub);
             work += sub.request.modeled_macs();
             window.push(sub);
         }
@@ -1870,7 +2374,8 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
             match ctx.rx.try_recv() {
                 Ok(Msg::Work(sub)) => {
                     ctx.queue_depth.dec();
-                    if let Some(sub) = admit(sub) {
+                    if let Some(mut sub) = admit(sub) {
+                        pressure_degrade(&mut sub);
                         work += sub.request.modeled_macs();
                         window.push(sub);
                     }
@@ -1886,10 +2391,19 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
         if let AdmissionPolicy::Deadline { drop_expired, .. } = ctx.admission {
             if drop_expired {
                 // Drop-on-expiry: anything already past its deadline at
-                // window close resolves as expired instead of running.
+                // window close resolves as expired instead of running —
+                // unless the degrade ladder can rescue it at the
+                // coarsest rung (degrade-don't-drop): a late answer at
+                // reduced accuracy beats no answer, and the session's
+                // KV cache survives.
                 let now_us = ctx.epoch.elapsed().as_micros() as u64;
-                window.retain(|s| match s.deadline {
+                window.retain_mut(|s| match s.deadline {
                     Some(d) if d < now_us => {
+                        if let Some(policy) = &ctx.degrade {
+                            if degrade_submission(s, policy, &ctx.recompile, true) {
+                                return true;
+                            }
+                        }
                         expired += 1;
                         // An expired step takes its whole session with
                         // it: the KV cache is useless once the stream
@@ -1913,7 +2427,19 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
         }
         interleave_window(ctx.interleave, &mut window);
 
-        let n = ctx.shard_txs.len();
+        // Elastic scale-up: a backlog still queued behind this window
+        // powers one more shard up before routing sees the window.
+        if let PoolPolicy::Elastic { scale_up_depth, .. } = ctx.pool {
+            if ctx.queue_depth.current() >= scale_up_depth.max(1) {
+                if let Some(s) = power.iter().position(|p| *p != ShardPower::Active) {
+                    if power[s] == ShardPower::Off {
+                        power_ups += 1;
+                    }
+                    power[s] = ShardPower::Active;
+                }
+            }
+        }
+
         let mut per_shard: Vec<ShardBatch> = (0..n).map(|_| Vec::new()).collect();
         for sub in window {
             // A session is pinned to the shard that served its prefill:
@@ -1922,35 +2448,111 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
             // stream's steps (and its write-back ordering) across the
             // pool.
             let pinned = sub.session.and_then(|t| ctx.sessions.pin_of(t.id));
-            let shard = pinned.unwrap_or_else(|| match ctx.routing {
-                RoutePolicy::RoundRobin => {
-                    let s = rr % n;
-                    rr += 1;
-                    s
+            if let Some(p) = pinned {
+                // Pinning wins over power management: a parked shard
+                // re-powers rather than scattering a session's steps.
+                if power[p] != ShardPower::Active {
+                    if power[p] == ShardPower::Off {
+                        power_ups += 1;
+                    }
+                    power[p] = ShardPower::Active;
                 }
-                RoutePolicy::LeastLoaded => ctx
-                    .loads
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(i, l)| (l.load(Ordering::Relaxed), *i))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0),
-                RoutePolicy::WeightAffinity => (sub.request.affinity_key() % n as u64) as usize,
-            });
+            }
+            let shard = pinned
+                .or_else(|| specialized_shard(&sub.request, &ctx.specialization, &power))
+                .unwrap_or_else(|| {
+                    // The general policies route over the *powered*
+                    // shards only (there is always at least one).
+                    let active: Vec<usize> = power
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| **p == ShardPower::Active)
+                        .map(|(i, _)| i)
+                        .collect();
+                    match ctx.routing {
+                        RoutePolicy::RoundRobin => {
+                            let s = active[rr % active.len()];
+                            rr += 1;
+                            s
+                        }
+                        RoutePolicy::LeastLoaded => active
+                            .iter()
+                            .copied()
+                            .min_by_key(|&i| (ctx.loads[i].load(Ordering::Relaxed), i))
+                            .unwrap_or(0),
+                        RoutePolicy::WeightAffinity => {
+                            active[(sub.request.affinity_key() % active.len() as u64) as usize]
+                        }
+                        RoutePolicy::EnergyAware => {
+                            let macs = sub.request.modeled_macs();
+                            let joules = |i: usize| {
+                                ctx.energy_per_mac[i]
+                                    * (ctx.loads[i].load(Ordering::Relaxed) + macs) as f64
+                            };
+                            active
+                                .iter()
+                                .copied()
+                                .min_by(|&a, &b| joules(a).total_cmp(&joules(b)))
+                                .unwrap_or(0)
+                        }
+                    }
+                });
             if let Some(tag) = sub.session {
                 ctx.sessions.set_pin(tag.id, shard);
             }
+            degraded += usize::from(sub.degrade.is_some());
             ctx.loads[shard].fetch_add(sub.request.modeled_macs(), Ordering::Relaxed);
             per_shard[shard].push(WorkItem {
                 ticket: sub.ticket,
                 dispatch_seq,
+                window: windows - 1,
                 submitted_at: sub.submitted_at,
                 request: sub.request,
+                degrade: sub.degrade,
                 reply: sub.reply,
                 session: sub.session,
             });
             dispatch_seq += 1;
         }
+
+        // Elastic scale-down, drain-before-power-down: an Active shard
+        // that routed nothing and holds no outstanding work ages toward
+        // Idle (unroutable, still powered); an Idle shard powers off
+        // only once its channel and modeled load are both empty, so no
+        // admitted window is ever lost to a power transition.
+        if let PoolPolicy::Elastic {
+            min_active,
+            idle_windows,
+            ..
+        } = ctx.pool
+        {
+            let min_active = min_active.clamp(1, n);
+            for s in 0..n {
+                let drained =
+                    ctx.loads[s].load(Ordering::Relaxed) == 0 && ctx.shard_depths[s].current() == 0;
+                match power[s] {
+                    ShardPower::Idle if drained => {
+                        power[s] = ShardPower::Off;
+                        power_downs += 1;
+                    }
+                    ShardPower::Active => {
+                        if per_shard[s].is_empty() && drained {
+                            surplus[s] += 1;
+                        } else {
+                            surplus[s] = 0;
+                        }
+                        let routable = power.iter().filter(|p| **p == ShardPower::Active).count();
+                        if surplus[s] >= idle_windows.max(1) && routable > min_active {
+                            power[s] = ShardPower::Idle;
+                            surplus[s] = 0;
+                        }
+                    }
+                    _ => surplus[s] = 0,
+                }
+            }
+        }
+        power_log.push(power.clone());
+
         for (i, batch) in per_shard.into_iter().enumerate() {
             if !batch.is_empty() {
                 ctx.shard_depths[i].inc();
@@ -1973,7 +2575,14 @@ fn admitter_loop(ctx: AdmitterCtx) -> AdmitOut {
             let _ = sub.reply.send(Err(ServeError::QueueClosed));
         }
     }
-    AdmitOut { windows, expired }
+    AdmitOut {
+        windows,
+        expired,
+        degraded,
+        power_log,
+        power_ups,
+        power_downs,
+    }
 }
 
 /// Reorders an admission window by phase class. Stable sorts keep
@@ -2011,6 +2620,7 @@ fn shard_loop(
         ticket: TicketId,
         dispatch_seq: u64,
         queue_seconds: f64,
+        degrade: Option<DegradeInfo>,
         reply: Sender<Result<ServedOutcome, ServeError>>,
         session: Option<SessionTag>,
     }
@@ -2033,10 +2643,12 @@ fn shard_loop(
             wire_cache: WeightCacheStats::default(),
         },
         records: Vec::new(),
+        window_records: Vec::new(),
     };
     while let Ok(batch) = rx.recv() {
         depth.dec();
         let batch_macs: u64 = batch.iter().map(|w| w.request.modeled_macs()).sum();
+        let batch_window = batch.first().map_or(0, |w| w.window);
         let t0 = Instant::now();
         let mut pending: Vec<PendingReply> = Vec::with_capacity(batch.len());
         for item in batch {
@@ -2053,6 +2665,7 @@ fn shard_loop(
                 ticket: item.ticket,
                 dispatch_seq: item.dispatch_seq,
                 queue_seconds: item.submitted_at.elapsed().as_secs_f64(),
+                degrade: item.degrade,
                 reply: item.reply,
                 session: item.session,
             });
@@ -2066,6 +2679,11 @@ fn shard_loop(
                 out.stats.macs += run.report.total_macs;
                 out.stats.array_seconds += run.report.batched_seconds;
                 out.stats.opt.merge(&run.report.opt);
+                out.window_records.push(WindowRecord {
+                    window: batch_window,
+                    seconds: run.report.batched_seconds,
+                    macs: run.report.total_macs,
+                });
                 for (p, mut outcome) in pending.into_iter().zip(run.outcomes) {
                     // Write the grown KV cache back *before* the ticket
                     // resolves, so a caller chaining decode steps on the
@@ -2090,6 +2708,7 @@ fn shard_loop(
                         stats: outcome.stats,
                         op_stats: outcome.op_stats,
                         queue_seconds: p.queue_seconds,
+                        degrade: p.degrade,
                     }));
                 }
             }
@@ -2160,10 +2779,12 @@ fn remote_shard_loop(ctx: RemoteShardCtx) -> ShardOut {
             wire_cache: WeightCacheStats::default(),
         },
         records: Vec::new(),
+        window_records: Vec::new(),
     };
     while let Ok(batch) = ctx.rx.recv() {
         ctx.depth.dec();
         let batch_macs: u64 = batch.iter().map(|w| w.request.modeled_macs()).sum();
+        let batch_window = batch.first().map_or(0, |w| w.window);
         let t0 = Instant::now();
         // Queueing delay ends when the proxy starts shipping the window
         // (the wire round trip is the execution, as `BatchEngine::run`
@@ -2193,6 +2814,16 @@ fn remote_shard_loop(ctx: RemoteShardCtx) -> ShardOut {
                     out.stats.macs += result.total_macs;
                     out.stats.array_seconds += result.batched_seconds;
                     out.stats.opt.merge(&result.opt);
+                    // Energy is attributed to this proxy's shard even
+                    // after a failover — the window was admitted and
+                    // powered here; which surviving worker's process
+                    // hosted the re-execution is a host detail the
+                    // modeled accounting deliberately ignores.
+                    out.window_records.push(WindowRecord {
+                        window: batch_window,
+                        seconds: result.batched_seconds,
+                        macs: result.total_macs,
+                    });
                     if k > 0 {
                         out.stats.requeued += batch.len();
                     }
@@ -2222,6 +2853,7 @@ fn remote_shard_loop(ctx: RemoteShardCtx) -> ShardOut {
                             stats: o.stats,
                             op_stats: o.op_stats,
                             queue_seconds: *qs,
+                            degrade: item.degrade,
                         }));
                     }
                     served = true;
@@ -2368,6 +3000,7 @@ mod tests {
                     .unwrap()
             })
             .collect();
+        let mut executed_macs = 0u64;
         for (t, x) in tickets.into_iter().zip(&xs) {
             let served = t.wait().unwrap();
             let solo = program
@@ -2383,11 +3016,12 @@ mod tests {
                 served.stats.macs,
                 solo.op_stats.iter().map(|s| s.macs).sum::<u64>()
             );
+            executed_macs += served.stats.macs;
         }
         let summary = engine.finish().unwrap();
         assert_eq!(summary.report.requests, 4);
         assert_eq!(summary.expired, 0);
-        assert_eq!(summary.report.total_macs, 4 * program.modeled_macs());
+        assert_eq!(summary.report.total_macs, executed_macs);
     }
 
     #[test]
@@ -2572,6 +3206,8 @@ mod tests {
             session_capacity: 64,
             paused: false,
             backend: ShardBackend::InProcess,
+            degrade: None,
+            pool: PoolPolicy::AlwaysOn,
         };
         assert!(ServeEngine::start(bad).is_err());
         let engine = pool(3);
@@ -2804,6 +3440,7 @@ mod tests {
                     phase: p,
                     tokens: 1,
                 }),
+                degrade: None,
                 reply,
             }
         };
@@ -2865,5 +3502,346 @@ mod tests {
             summary.report.gemm_groups, 2,
             "each wave's shared-weight GEMMs coalesce into one group"
         );
+    }
+
+    /// A tiny CPWL MLP (GEMM → Gelu → GEMM) for the degrade tests, plus
+    /// one input batch. Deterministic for a given seed.
+    fn mlp(granularity: f32, seed: u64) -> (crate::Program, Tensor) {
+        use onesa_plan::{EvalMode, Op, Program};
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let w1 = rng.randn(&[6, 4], 1.0);
+        let w2 = rng.randn(&[4, 3], 1.0);
+        let mut b = Program::builder(
+            "mlp",
+            EvalMode::Cpwl {
+                granularity,
+                quantize: false,
+            },
+        );
+        let x = b.input(&[2, 6]);
+        let (c1, c2) = (b.constant(w1), b.constant(w2));
+        let h = b.push(Op::Gemm { bias: None }, &[x, c1]);
+        let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
+        b.push(Op::Gemm { bias: None }, &[g, c2]);
+        (b.finish().unwrap(), rng.randn(&[2, 6], 1.0))
+    }
+
+    #[test]
+    fn degrade_ladder_rescues_expired_program_request() {
+        // Degrade-don't-drop: a CPWL program request already past its
+        // deadline jumps to the coarsest rung and serves, bit-identical
+        // to a solo run compiled directly at that rung.
+        let (program, x) = mlp(0.25, 50);
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Deadline {
+                    window: 8,
+                    drop_expired: true,
+                })
+                .with_degrade(DegradePolicy::new(vec![0.5, 1.0]))
+                .start_paused(),
+        )
+        .unwrap();
+        let doomed = engine
+            .submit_with_deadline(Request::program(program.clone(), vec![x.clone()]), 0)
+            .unwrap();
+        thread::sleep(std::time::Duration::from_millis(2));
+        engine.resume();
+        let served = doomed.wait().expect("rescued, not expired");
+        assert_eq!(
+            served.degrade,
+            Some(DegradeInfo {
+                requested: 0.25,
+                served: 1.0,
+                rungs: 2
+            })
+        );
+        let solo = program
+            .with_granularity(1.0)
+            .unwrap()
+            .run(
+                std::slice::from_ref(&x),
+                Parallelism::Sequential,
+                &mut onesa_plan::TableCache::new(),
+            )
+            .unwrap();
+        assert_eq!(served.output, solo.output, "bit-identical to coarse solo");
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.expired, 0);
+        assert_eq!(summary.degraded, 1);
+        assert!(summary.degraded_fraction() > 0.0);
+        assert!(format!("{summary}").contains("degraded 1"));
+    }
+
+    #[test]
+    fn size_capped_window_budget_counts_recompiled_macs() {
+        // Regression: the window-fill degrade runs *before* budget
+        // accounting, so a size-capped window is charged the degraded
+        // program's modeled MACs. Budget = one fine program: both
+        // degraded (cheaper) requests must share the single window.
+        let (program, x) = mlp(0.25, 51);
+        let coarse_macs = program.with_granularity(0.5).unwrap().modeled_macs();
+        assert!(
+            coarse_macs < program.modeled_macs(),
+            "coarser rung must model strictly less work"
+        );
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::SizeCapped {
+                    max_macs: program.modeled_macs(),
+                })
+                .with_degrade(DegradePolicy::new(vec![0.5]).with_depth_threshold(0))
+                .start_paused(),
+        )
+        .unwrap();
+        let t1 = engine
+            .submit_program(program.clone(), vec![x.clone()])
+            .unwrap();
+        let t2 = engine
+            .submit_program(program.clone(), vec![x.clone()])
+            .unwrap();
+        engine.resume();
+        let oracle = program
+            .with_granularity(0.5)
+            .unwrap()
+            .run(
+                std::slice::from_ref(&x),
+                Parallelism::Sequential,
+                &mut onesa_plan::TableCache::new(),
+            )
+            .unwrap();
+        for t in [t1, t2] {
+            let served = t.wait().unwrap();
+            assert_eq!(
+                served.degrade,
+                Some(DegradeInfo {
+                    requested: 0.25,
+                    served: 0.5,
+                    rungs: 1
+                })
+            );
+            assert_eq!(served.output, oracle.output);
+        }
+        let summary = engine.finish().unwrap();
+        assert_eq!(
+            summary.windows, 1,
+            "recompiled MACs fit both requests in one size-capped window"
+        );
+        assert_eq!(summary.degraded, 2);
+        assert_eq!(summary.expired, 0);
+    }
+
+    #[test]
+    fn non_degradable_requests_still_expire_under_ladder() {
+        // The ladder only rescues CPWL programs: plain GEMMs and
+        // exact-mode programs past their deadline still expire.
+        use onesa_plan::{EvalMode, Op, Program};
+        let mut rng = Pcg32::seed_from_u64(52);
+        let mut b = Program::builder("exact", EvalMode::Exact);
+        let x = b.input(&[2, 4]);
+        let c = b.constant(rng.randn(&[4, 2], 1.0));
+        b.push(Op::Gemm { bias: None }, &[x, c]);
+        let exact = b.finish().unwrap();
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Deadline {
+                    window: 8,
+                    drop_expired: true,
+                })
+                .with_degrade(DegradePolicy::new(vec![0.5, 1.0]))
+                .start_paused(),
+        )
+        .unwrap();
+        let gemm = engine
+            .submit_with_deadline(
+                Request::gemm(rng.randn(&[2, 4], 1.0), rng.randn(&[4, 2], 1.0)),
+                0,
+            )
+            .unwrap();
+        let prog = engine
+            .submit_with_deadline(Request::program(exact, vec![rng.randn(&[2, 4], 1.0)]), 0)
+            .unwrap();
+        thread::sleep(std::time::Duration::from_millis(2));
+        engine.resume();
+        for t in [gemm, prog] {
+            match t.wait() {
+                Err(ServeError::DeadlineExpired { .. }) => {}
+                other => panic!("expected DeadlineExpired, got {other:?}"),
+            }
+        }
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.expired, 2);
+        assert_eq!(summary.degraded, 0);
+    }
+
+    #[test]
+    fn degrade_ladder_validated_at_start() {
+        let cfg = || ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential);
+        for ladder in [
+            vec![],
+            vec![0.5, 0.5],
+            vec![0.5, 0.25],
+            vec![-0.25],
+            vec![0.0],
+            vec![f32::NAN],
+        ] {
+            assert!(
+                ServeEngine::start(cfg().with_degrade(DegradePolicy::new(ladder.clone()))).is_err(),
+                "ladder {ladder:?} must be rejected"
+            );
+        }
+        let ok =
+            ServeEngine::start(cfg().with_degrade(DegradePolicy::new(vec![0.5, 1.0]))).unwrap();
+        let _ = ok.finish().unwrap();
+    }
+
+    #[test]
+    fn elastic_pool_powers_shards_up_and_down() {
+        let mut rng = Pcg32::seed_from_u64(53);
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(2, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Fifo { window: 2 })
+                .with_pool(PoolPolicy::Elastic {
+                    min_active: 1,
+                    scale_up_depth: 1,
+                    idle_windows: 1,
+                })
+                .start_paused(),
+        )
+        .unwrap();
+        let req = |rng: &mut Pcg32| {
+            let a = rng.randn(&[2, 4], 1.0);
+            let b = rng.randn(&[4, 2], 1.0);
+            let want = gemm::matmul(&a, &b).unwrap();
+            (Request::gemm(a, b), want)
+        };
+        // Burst: a deep backlog behind the first window powers the
+        // parked shard up.
+        let burst: Vec<_> = (0..6)
+            .map(|_| {
+                let (r, want) = req(&mut rng);
+                (engine.submit(r).unwrap(), want)
+            })
+            .collect();
+        engine.resume();
+        for (t, want) in burst {
+            assert_eq!(t.wait().unwrap().output, want);
+        }
+        // Trickle: serial single-request windows leave one shard unused;
+        // it drains to Idle and then powers Off.
+        for _ in 0..6 {
+            let (r, want) = req(&mut rng);
+            let t = engine.submit(r).unwrap();
+            assert_eq!(t.wait().unwrap().output, want);
+        }
+        let summary = engine.finish().unwrap();
+        assert_eq!(summary.expired, 0);
+        assert_eq!(summary.report.requests, 12);
+        let p = summary.power;
+        assert!(p.power_ups >= 1, "backlog must power the parked shard up");
+        assert!(p.power_downs >= 1, "idle shard must drain and power off");
+        assert!(p.off_shard_windows >= 1);
+        assert!(p.active_shard_windows >= 1);
+        assert!(p.modeled_joules > 0.0);
+        assert!(format!("{summary}").contains("power-down"));
+    }
+
+    #[test]
+    fn always_on_pool_accounts_every_shard_window() {
+        let mut rng = Pcg32::seed_from_u64(54);
+        let engine = pool(2);
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| {
+                engine
+                    .submit(Request::gemm(
+                        rng.randn(&[2, 4], 1.0),
+                        rng.randn(&[4, 2], 1.0),
+                    ))
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let summary = engine.finish().unwrap();
+        let p = summary.power;
+        assert_eq!(
+            p.active_shard_windows,
+            2 * summary.windows as u64,
+            "always-on: every shard is active for every window"
+        );
+        assert_eq!(p.idle_shard_windows, 0);
+        assert_eq!(p.off_shard_windows, 0);
+        assert_eq!(p.power_ups, 0);
+        assert_eq!(p.power_downs, 0);
+        assert!(p.modeled_joules > 0.0);
+        assert!(summary.modeled_joules_per_request() > 0.0);
+        assert!(format!("{summary}").contains("power:"));
+    }
+
+    #[test]
+    fn energy_aware_routing_splits_a_homogeneous_pool() {
+        // On identical shards the energy weight degenerates to least
+        // loaded: equal-size requests alternate deterministically.
+        let mut rng = Pcg32::seed_from_u64(55);
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(2, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_routing(RoutePolicy::EnergyAware)
+                .start_paused(),
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| {
+                engine
+                    .submit(Request::gemm(
+                        rng.randn(&[2, 4], 1.0),
+                        rng.randn(&[4, 2], 1.0),
+                    ))
+                    .unwrap()
+            })
+            .collect();
+        engine.resume();
+        let shards: Vec<usize> = tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap().shard)
+            .collect();
+        assert_eq!(shards, vec![0, 1, 0, 1]);
+        let _ = engine.finish().unwrap();
+    }
+
+    #[test]
+    fn granularity_specialized_shard_attracts_matching_programs() {
+        // Specialization is a pure routing hint: programs at the
+        // specialized granularity cluster on that shard, and their
+        // outputs stay bit-identical to a solo run.
+        let (program, x) = mlp(0.25, 56);
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(2, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_shard_granularity(1, 0.25)
+                .start_paused(),
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|_| {
+                engine
+                    .submit_program(program.clone(), vec![x.clone()])
+                    .unwrap()
+            })
+            .collect();
+        engine.resume();
+        let solo = program
+            .run(
+                std::slice::from_ref(&x),
+                Parallelism::Sequential,
+                &mut onesa_plan::TableCache::new(),
+            )
+            .unwrap();
+        for t in tickets {
+            let served = t.wait().unwrap();
+            assert_eq!(served.shard, 1, "programs cluster on the specialized shard");
+            assert_eq!(served.output, solo.output);
+            assert_eq!(served.degrade, None);
+        }
+        let _ = engine.finish().unwrap();
     }
 }

@@ -49,35 +49,46 @@ impl TableSet {
     ///
     /// Propagates table-construction failures (e.g. absurd granularity).
     pub fn for_granularity(granularity: f32) -> Result<Self> {
+        let build = |func: NonlinearFn| {
+            let mut b = PwlTable::builder(func).granularity(granularity);
+            if let Some((lo, hi)) = Self::standard_range(func) {
+                b = b.range(lo, hi).max_segments(32_768);
+            }
+            b.build()
+        };
         Ok(TableSet {
             granularity,
-            gelu: PwlTable::builder(NonlinearFn::Gelu)
-                .granularity(granularity)
-                .build()?,
-            exp: PwlTable::builder(NonlinearFn::Exp)
-                .granularity(granularity)
-                .range(-16.0, 0.0)
-                .build()?,
-            reciprocal: PwlTable::builder(NonlinearFn::Reciprocal)
-                .granularity(granularity)
-                .range(1.0, 257.0)
-                .max_segments(32_768)
-                .build()?,
-            rsqrt: PwlTable::builder(NonlinearFn::Rsqrt)
-                .granularity(granularity)
-                .range(0.0625, 64.0625)
-                .max_segments(32_768)
-                .build()?,
-            tanh: PwlTable::builder(NonlinearFn::Tanh)
-                .granularity(granularity)
-                .build()?,
-            sigmoid: PwlTable::builder(NonlinearFn::Sigmoid)
-                .granularity(granularity)
-                .build()?,
-            relu: PwlTable::builder(NonlinearFn::Relu)
-                .granularity(granularity)
-                .build()?,
+            gelu: build(NonlinearFn::Gelu)?,
+            exp: build(NonlinearFn::Exp)?,
+            reciprocal: build(NonlinearFn::Reciprocal)?,
+            rsqrt: build(NonlinearFn::Rsqrt)?,
+            tanh: build(NonlinearFn::Tanh)?,
+            sigmoid: build(NonlinearFn::Sigmoid)?,
+            relu: build(NonlinearFn::Relu)?,
         })
+    }
+
+    /// Range overrides the standard set applies on top of
+    /// [`NonlinearFn::default_range`] (`None` = the default range).
+    fn standard_range(func: NonlinearFn) -> Option<(f32, f32)> {
+        match func {
+            NonlinearFn::Exp => Some((-16.0, 0.0)),
+            NonlinearFn::Reciprocal => Some((1.0, 257.0)),
+            NonlinearFn::Rsqrt => Some((0.0625, 64.0625)),
+            _ => None,
+        }
+    }
+
+    /// Number of segments the standard set's table for `func` holds at
+    /// `granularity` — the L3 k/b preload footprint — computed without
+    /// building the table (same formula as the table builder). `None`
+    /// when the set does not tabulate `func`.
+    pub fn preload_segments(func: NonlinearFn, granularity: f32) -> Option<usize> {
+        if !(Self::supports(func) && granularity.is_finite() && granularity > 0.0) {
+            return None;
+        }
+        let (lo, hi) = Self::standard_range(func).unwrap_or_else(|| func.default_range());
+        Some((((hi - lo) / granularity).round() as usize).max(1))
     }
 
     /// The shared granularity.
@@ -420,5 +431,34 @@ mod tests {
         let tables = TableSet::for_granularity(0.25).unwrap();
         assert!(tables.table(NonlinearFn::Gelu).is_some());
         assert!(tables.table(NonlinearFn::Mish).is_none());
+    }
+
+    #[test]
+    fn preload_segments_match_the_built_tables() {
+        let funcs = [
+            NonlinearFn::Gelu,
+            NonlinearFn::Exp,
+            NonlinearFn::Reciprocal,
+            NonlinearFn::Rsqrt,
+            NonlinearFn::Tanh,
+            NonlinearFn::Sigmoid,
+            NonlinearFn::Relu,
+        ];
+        for g in [0.0625, 0.25, 0.5, 1.0] {
+            let tables = TableSet::for_granularity(g).unwrap();
+            for func in funcs {
+                assert_eq!(
+                    TableSet::preload_segments(func, g),
+                    Some(tables.table(func).unwrap().n_segments()),
+                    "{func:?} at {g}"
+                );
+            }
+        }
+        // Coarser granularity => strictly smaller preload footprint.
+        let fine = TableSet::preload_segments(NonlinearFn::Gelu, 0.25).unwrap();
+        let coarse = TableSet::preload_segments(NonlinearFn::Gelu, 1.0).unwrap();
+        assert!(coarse < fine);
+        assert_eq!(TableSet::preload_segments(NonlinearFn::Mish, 0.25), None);
+        assert_eq!(TableSet::preload_segments(NonlinearFn::Gelu, 0.0), None);
     }
 }

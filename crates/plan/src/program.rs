@@ -2,6 +2,9 @@
 
 use crate::opt::OptReport;
 use onesa_cpwl::NonlinearFn;
+use onesa_resources::array::ArrayResources;
+use onesa_resources::power::PowerModel;
+use onesa_resources::Design;
 use onesa_sim::{analytic, ArrayConfig, CycleBreakdown, ExecStats};
 use onesa_tensor::im2col::Conv2dGeometry;
 use onesa_tensor::{Result, Tensor, TensorError};
@@ -371,13 +374,7 @@ impl ProgramBuilder {
             modeled_macs: 0,
             opt: None,
         };
-        program.validate()?;
-        program.fingerprint = program.compute_fingerprint();
-        // MAC counts depend only on shapes, not on the array config.
-        program.modeled_macs = program
-            .op_stats(&ArrayConfig::default())
-            .map(|stats| stats.iter().map(|s| s.macs).sum())
-            .unwrap_or(0);
+        program.seal()?;
         Ok(program)
     }
 }
@@ -625,8 +622,120 @@ impl Program {
     /// Total modeled array work in MAC-equivalents — the admission and
     /// routing weight of a whole-network request (the program analogue
     /// of `Request::modeled_macs`). Cached at build time.
+    ///
+    /// The weight is the per-op MAC count of [`Program::op_stats`] plus,
+    /// under a CPWL mode, the L3 table-preload footprint: two words
+    /// (`k`, `b`) per segment per table the program stages (see
+    /// `TableSet::preload_segments`). The footprint shrinks with coarser
+    /// granularity, so a degraded recompile of the same program models
+    /// strictly less admission work — which is what lets overloaded
+    /// admission windows fit more degraded requests.
     pub fn modeled_macs(&self) -> u64 {
         self.modeled_macs
+    }
+
+    /// The CPWL table-preload MAC-equivalents folded into
+    /// [`Program::modeled_macs`]: `2 · segments(func, g)` summed over
+    /// every table-staging op. Zero for exact-mode programs.
+    pub fn staging_macs(&self) -> u64 {
+        let Some(g) = self.mode.granularity() else {
+            return 0;
+        };
+        let preload = |func: NonlinearFn| {
+            onesa_cpwl::ops::TableSet::preload_segments(func, g).unwrap_or(0) as u64 * 2
+        };
+        self.nodes
+            .iter()
+            .map(|node| match node.op {
+                Op::Nonlinear(func) | Op::AffineNonlinear { func, .. } => preload(func),
+                Op::Softmax | Op::CausalSoftmax { .. } => {
+                    preload(NonlinearFn::Exp) + preload(NonlinearFn::Reciprocal)
+                }
+                Op::LayerNorm { .. } => preload(NonlinearFn::Rsqrt),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Validates the program and fills the cached build-time metadata
+    /// (fingerprint + modeled MAC-equivalents).
+    fn seal(&mut self) -> Result<()> {
+        self.validate()?;
+        self.fingerprint = self.compute_fingerprint();
+        // MAC counts depend only on shapes, not on the array config.
+        let op_macs: u64 = self
+            .op_stats(&ArrayConfig::default())?
+            .iter()
+            .map(|s| s.macs)
+            .sum();
+        self.modeled_macs = op_macs + self.staging_macs();
+        Ok(())
+    }
+
+    /// Re-compiles the program at a different CPWL granularity — the
+    /// serving layer's degrade ladder. The op list is cloned and every
+    /// constant stays `Arc`-shared (O(ops), zero weight copies); the
+    /// fingerprint and modeled MAC-equivalents are recomputed, so the
+    /// result coalesces, caches and admission-weighs exactly like a
+    /// program compiled at `granularity` from scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::InvalidArgument`] for an exact-mode program (there
+    /// is no table granularity to change) or a non-positive/non-finite
+    /// `granularity`.
+    pub fn with_granularity(&self, granularity: f32) -> Result<Program> {
+        let EvalMode::Cpwl { quantize, .. } = self.mode else {
+            return Err(TensorError::InvalidArgument(
+                "cannot re-granularize an exact-mode program",
+            ));
+        };
+        let mut program = Program {
+            name: self.name.clone(),
+            mode: EvalMode::Cpwl {
+                granularity,
+                quantize,
+            },
+            input_shapes: self.input_shapes.clone(),
+            consts: self.consts.clone(),
+            nodes: self.nodes.clone(),
+            session_inputs: self.session_inputs.clone(),
+            session_outputs: self.session_outputs.clone(),
+            fingerprint: 0,
+            modeled_macs: 0,
+            opt: self.opt.clone(),
+        };
+        program.seal()?;
+        Ok(program)
+    }
+
+    /// Modeled energy of each op in joules on `cfg`'s array: the
+    /// calibrated Virtex-7 power model (`onesa_resources::power`)
+    /// evaluated at the op's MAC utilization for the op's solo seconds,
+    /// over the resource cost of a `cfg`-sized ONE-SA. Zero-cycle data
+    /// movements cost zero energy.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Program::validate`].
+    pub fn op_energy(&self, cfg: &ArrayConfig) -> Result<Vec<f64>> {
+        let model = PowerModel::virtex7();
+        let cost = ArrayResources::calibrated().total(Design::OneSa, cfg.dim, cfg.macs_per_pe);
+        Ok(self
+            .op_stats(cfg)?
+            .iter()
+            .map(|s| model.energy_joules(&cost, s.seconds(), s.utilization(cfg)))
+            .collect())
+    }
+
+    /// Total modeled energy in joules of a solo run on `cfg`
+    /// (the sum of [`Program::op_energy`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Program::validate`].
+    pub fn modeled_energy(&self, cfg: &ArrayConfig) -> Result<f64> {
+        Ok(self.op_energy(cfg)?.iter().sum())
     }
 
     /// Structural fingerprint: programs compiled from the same model
@@ -971,11 +1080,91 @@ mod tests {
         assert_eq!(p.output_shape(), &[2, 3]);
         let shapes = p.slot_shapes().unwrap();
         assert_eq!(shapes, vec![vec![2, 6], vec![2, 4], vec![2, 4], vec![2, 3]]);
-        // 2·6·4 + 2·(2·4) nonlinear MACs + 2·4·3.
+        // 2·6·4 + 2·(2·4) nonlinear MACs + 2·4·3 (exact mode: no
+        // table-preload term).
         assert_eq!(p.modeled_macs(), 48 + 16 + 24);
+        assert_eq!(p.staging_macs(), 0);
         let stats = p.op_stats(&ArrayConfig::default()).unwrap();
         assert_eq!(stats.len(), 3);
         assert_eq!(stats[1].nonlinear_evals, 8);
+    }
+
+    #[test]
+    fn cpwl_modeled_macs_include_the_table_preload_footprint() {
+        let cpwl = |g| {
+            mlp(EvalMode::Cpwl {
+                granularity: g,
+                quantize: true,
+            })
+        };
+        let exact = mlp(EvalMode::Exact);
+        let fine = cpwl(0.25);
+        let coarse = cpwl(1.0);
+        // One GELU table staged: 2 words per segment.
+        let segs = |g| onesa_cpwl::ops::TableSet::preload_segments(NonlinearFn::Gelu, g).unwrap();
+        assert_eq!(fine.staging_macs(), 2 * segs(0.25) as u64);
+        assert_eq!(
+            fine.modeled_macs(),
+            exact.modeled_macs() + fine.staging_macs()
+        );
+        // Coarser granularity models strictly less admission work.
+        assert!(coarse.modeled_macs() < fine.modeled_macs());
+        assert!(coarse.modeled_macs() > exact.modeled_macs());
+        // The preload term is a modeled admission weight, not an op
+        // cost: per-op stats are unchanged.
+        assert_eq!(
+            fine.op_stats(&ArrayConfig::default()).unwrap(),
+            exact.op_stats(&ArrayConfig::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn with_granularity_recompiles_sharing_consts() {
+        let p = mlp(EvalMode::Cpwl {
+            granularity: 0.25,
+            quantize: true,
+        });
+        let d = p.with_granularity(1.0).unwrap();
+        assert_eq!(d.mode().granularity(), Some(1.0));
+        assert_eq!(d.stages(), p.stages());
+        assert_eq!(d.name(), p.name());
+        // Consts are Arc-shared, not copied.
+        for (a, b) in p.consts().iter().zip(d.consts()) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        // The recompile is indistinguishable from compiling at the
+        // coarser granularity directly.
+        let oracle = mlp(EvalMode::Cpwl {
+            granularity: 1.0,
+            quantize: true,
+        });
+        assert_eq!(d.fingerprint(), oracle.fingerprint());
+        assert_eq!(d.modeled_macs(), oracle.modeled_macs());
+        assert!(d.modeled_macs() < p.modeled_macs());
+        // Quantize flag carries over; exact-mode programs are not
+        // degradable; bad granularities are rejected.
+        assert_eq!(d.mode(), oracle.mode());
+        assert!(mlp(EvalMode::Exact).with_granularity(1.0).is_err());
+        assert!(p.with_granularity(0.0).is_err());
+        assert!(p.with_granularity(f32::NAN).is_err());
+    }
+
+    #[test]
+    fn op_energy_tracks_the_power_model() {
+        let p = mlp(EvalMode::Exact);
+        let cfg = ArrayConfig::default();
+        let energy = p.op_energy(&cfg).unwrap();
+        assert_eq!(energy.len(), p.stages());
+        assert!(energy.iter().all(|&e| e > 0.0));
+        let total = p.modeled_energy(&cfg).unwrap();
+        assert!((total - energy.iter().sum::<f64>()).abs() < 1e-18);
+        // Energy = power × time, bounded by the design's full-activity
+        // power over the program's modeled seconds.
+        let model = PowerModel::virtex7();
+        let cost = ArrayResources::calibrated().total(Design::OneSa, cfg.dim, cfg.macs_per_pe);
+        let seconds: f64 = p.op_stats(&cfg).unwrap().iter().map(|s| s.seconds()).sum();
+        assert!(total <= model.power_watts(&cost) * seconds + 1e-18);
+        assert!(total >= model.power_at_utilization(&cost, 0.0) * seconds - 1e-18);
     }
 
     #[test]

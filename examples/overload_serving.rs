@@ -1,0 +1,193 @@
+//! Degrade-don't-drop overload serving and the energy-aware elastic
+//! shard pool.
+//!
+//! ```sh
+//! cargo run --release --example overload_serving
+//! ```
+//!
+//! Part 1 saturates a pool with CPWL program requests whose deadlines
+//! are already in the past when the admission gate opens (the
+//! deterministic stand-in for a queue that has blown its SLO):
+//!
+//! * the **baseline** pool (no degrade ladder) expires every one of
+//!   them — answers are simply dropped;
+//! * the **degrading** pool re-compiles each at the coarsest ladder
+//!   rung and serves 100% of the admitted requests: `expired == 0`,
+//!   `degraded_fraction > 0`, and every degraded answer is
+//!   bit-identical to a solo run of the same network compiled directly
+//!   at that granularity — degrading trades table resolution, never
+//!   numerical reproducibility.
+//!
+//! Part 2 runs the same light trickle through an always-on pool and an
+//! elastic pool ([`PoolPolicy::Elastic`]). The elastic pool parks the
+//! shards the trickle doesn't need, pays idle/zero power for them, and
+//! must land at or below the always-on pool's modeled energy with
+//! bit-identical outputs.
+
+use onesa_core::plan::{Compile, TableCache};
+use onesa_core::serve::{
+    AdmissionPolicy, DegradePolicy, PoolPolicy, RoutePolicy, ServeConfig, ServeEngine, ServeError,
+    Ticket,
+};
+use onesa_core::{Parallelism, Request};
+use onesa_nn::infer::InferenceMode;
+use onesa_nn::models::SmallCnn;
+use onesa_sim::ArrayConfig;
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::Tensor;
+
+const LADDER: [f32; 2] = [0.5, 1.0];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cnn = SmallCnn::new(7, 1, 4);
+    let mode = InferenceMode::cpwl(0.25)?;
+    let program = cnn.compile((&mode, (8, 8)))?;
+    let coarse = program.with_granularity(*LADDER.last().unwrap())?;
+    let mut rng = Pcg32::seed_from_u64(2026);
+    let xs: Vec<Tensor> = (0..12).map(|_| rng.randn(&[1, 8, 8], 1.0)).collect();
+
+    println!(
+        "== Part 1: saturation — {} CNN requests past their deadline ==",
+        xs.len()
+    );
+    let config = || {
+        ServeConfig::uniform(2, ArrayConfig::new(8, 16), Parallelism::Sequential)
+            .with_admission(AdmissionPolicy::Deadline {
+                window: 4,
+                drop_expired: true,
+            })
+            .start_paused()
+    };
+    let submit_all = |pool: &ServeEngine| -> Vec<Ticket> {
+        let tickets = xs
+            .iter()
+            .map(|x| {
+                pool.submit_with_deadline(Request::program(program.clone(), vec![x.clone()]), 0)
+                    .expect("queue open")
+            })
+            .collect();
+        // Let the admission clock pass deadline 0 before the gate opens.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        pool.resume();
+        tickets
+    };
+
+    // Baseline: no ladder — the saturated queue sheds every request.
+    let baseline = ServeEngine::start(config())?;
+    let mut dropped = 0usize;
+    for t in submit_all(&baseline) {
+        match t.wait() {
+            Err(ServeError::DeadlineExpired { .. }) => dropped += 1,
+            other => panic!("baseline should expire, got {other:?}"),
+        }
+    }
+    let baseline_summary = baseline.finish()?;
+    println!(
+        "baseline (no ladder):  served {:>2}, expired {:>2}",
+        baseline_summary.report.requests, baseline_summary.expired
+    );
+    assert!(
+        baseline_summary.expired > 0,
+        "the baseline must be saturated"
+    );
+
+    // Degrade ladder: the same traffic is rescued at the coarsest rung.
+    let degrading = ServeEngine::start(config().with_degrade(DegradePolicy::new(LADDER.to_vec())))?;
+    let tickets = submit_all(&degrading);
+    let mut cache = TableCache::new();
+    for (t, x) in tickets.into_iter().zip(&xs) {
+        let served = t.wait().expect("degrade-don't-drop");
+        let info = served.degrade.expect("saturated request degrades");
+        let solo = coarse.run(std::slice::from_ref(x), Parallelism::Sequential, &mut cache)?;
+        assert!(
+            served
+                .output
+                .as_slice()
+                .iter()
+                .zip(solo.output.as_slice())
+                .all(|(g, w)| g.to_bits() == w.to_bits()),
+            "degraded output must be bit-identical to the solo run at g={}",
+            info.served
+        );
+    }
+    let summary = degrading.finish()?;
+    println!(
+        "degrade ladder {:?}: served {:>2}, expired {:>2}, degraded fraction {:.0}%",
+        LADDER,
+        summary.report.requests,
+        summary.expired,
+        summary.degraded_fraction() * 100.0
+    );
+    assert_eq!(summary.expired, 0, "the ladder must serve everything");
+    assert!(summary.degraded_fraction() > 0.0);
+    assert_eq!(
+        summary.report.requests,
+        xs.len(),
+        "100% of admitted requests served"
+    );
+    println!(
+        "-> same saturation: baseline drops {} answers, the ladder serves all {} \
+         (accuracy traded at granularity {})",
+        dropped,
+        xs.len(),
+        LADDER.last().unwrap()
+    );
+
+    println!("\n== Part 2: low load — always-on vs elastic 4-shard pool ==");
+    let trickle = |pool: PoolPolicy| -> Result<_, Box<dyn std::error::Error>> {
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(4, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::Fifo { window: 2 })
+                .with_routing(RoutePolicy::EnergyAware)
+                .with_pool(pool),
+        )?;
+        let mut outputs = Vec::new();
+        for x in &xs {
+            // Serial submits: a trickle that never needs the whole pool.
+            let t = engine.submit(Request::program(program.clone(), vec![x.clone()]))?;
+            outputs.push(t.wait().expect("served").output);
+        }
+        Ok((outputs, engine.finish()?))
+    };
+    let (fixed_out, fixed) = trickle(PoolPolicy::AlwaysOn)?;
+    let (elastic_out, elastic) = trickle(PoolPolicy::Elastic {
+        min_active: 1,
+        scale_up_depth: 4,
+        idle_windows: 1,
+    })?;
+    for (f, e) in fixed_out.iter().zip(&elastic_out) {
+        assert!(
+            f.as_slice()
+                .iter()
+                .zip(e.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "power management must never change outputs"
+        );
+    }
+    let report = |name: &str, s: &onesa_core::ServeSummary| {
+        println!(
+            "{name:<10} modeled {:>8.3} mJ ({:>6.3} mJ/req), shard-windows \
+             {} active / {} idle / {} off",
+            s.power.modeled_joules * 1e3,
+            s.modeled_joules_per_request() * 1e3,
+            s.power.active_shard_windows,
+            s.power.idle_shard_windows,
+            s.power.off_shard_windows
+        );
+    };
+    report("always-on", &fixed);
+    report("elastic", &elastic);
+    assert!(
+        elastic.power.modeled_joules <= fixed.power.modeled_joules,
+        "the elastic pool must not burn more modeled energy at low load"
+    );
+    assert!(
+        elastic.power.off_shard_windows > 0,
+        "unused shards must park"
+    );
+    println!(
+        "-> elastic pool saves {:.0}% modeled energy on this trickle, outputs bit-identical",
+        (1.0 - elastic.power.modeled_joules / fixed.power.modeled_joules) * 100.0
+    );
+    Ok(())
+}

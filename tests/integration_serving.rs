@@ -21,8 +21,8 @@
 //! deterministic windows regardless of host timing.
 
 use onesa_core::serve::{
-    AdmissionPolicy, InterleavePolicy, RoutePolicy, ServeConfig, ServeEngine, ShardBackend,
-    ShardSpec, Ticket, TrySubmitError,
+    AdmissionPolicy, InterleavePolicy, PoolPolicy, RoutePolicy, ServeConfig, ServeEngine,
+    ShardBackend, ShardSpec, Ticket, TrySubmitError,
 };
 use onesa_core::{Parallelism, Request};
 use onesa_cpwl::ops::TableSet;
@@ -138,14 +138,17 @@ fn heterogeneous_shards_still_bit_identical() {
             ShardSpec {
                 config: ArrayConfig::new(4, 16),
                 parallelism: Parallelism::Sequential,
+                granularity: None,
             },
             ShardSpec {
                 config: ArrayConfig::new(8, 16),
                 parallelism: Parallelism::Threads(2),
+                granularity: None,
             },
             ShardSpec {
                 config: ArrayConfig::new(16, 8),
                 parallelism: Parallelism::Auto,
+                granularity: None,
             },
         ],
         granularity: 0.25,
@@ -156,6 +159,8 @@ fn heterogeneous_shards_still_bit_identical() {
         paused: false,
         backend: ShardBackend::InProcess,
         session_capacity: 64,
+        degrade: None,
+        pool: PoolPolicy::AlwaysOn,
     })
     .unwrap();
     let tickets: Vec<Ticket> = requests
