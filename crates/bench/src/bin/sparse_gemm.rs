@@ -1,0 +1,115 @@
+//! Emits the `BENCH_sparse_gemm.json` perf baseline: dense versus
+//! packed column-block-sparse GEMM at three sizes and a block-density
+//! sweep.
+//!
+//! ```sh
+//! cargo run --release -q -p onesa-bench --bin sparse_gemm > BENCH_sparse_gemm.json
+//! ```
+//!
+//! The committed copy at the repository root records the trajectory
+//! later performance PRs must beat. Wall-clock numbers are
+//! machine-dependent; the `speedup_sparse` ratios and the modeled
+//! `mac_credit` column are the stable quantities. The bin asserts its
+//! own acceptance floor so the CI bench-smoke job enforces it:
+//!
+//! * at 512³ and ≤ 50% block density, the sparse kernel is ≥ 1.5×
+//!   the dense kernel;
+//! * the modeled-MAC credit (what `Op::Gemm`'s sparsity attribute
+//!   takes off `modeled_macs`) is at least the measured block-skip
+//!   fraction — admission budgets never under-credit pruned work.
+
+use onesa_bench::time_best;
+use onesa_plan::PRUNE_BLOCK_COLS;
+use onesa_tensor::parallel::Parallelism;
+use onesa_tensor::rng::Pcg32;
+use onesa_tensor::sparse::{self, column_block_stats, SparseTensor};
+use onesa_tensor::Tensor;
+
+/// Zeroes column blocks of `b` so roughly `density` of them stay live
+/// (block `i` survives iff `i % 4 < density·4`, so quarters sweep
+/// exactly).
+fn thin(b: &mut Tensor, density: f64) {
+    let dims = b.dims().to_vec();
+    let (rows, cols) = (dims[0], dims[1]);
+    let live_per_4 = (density * 4.0).round() as usize;
+    let data = b.as_mut_slice();
+    for blk in 0..cols / PRUNE_BLOCK_COLS {
+        if blk % 4 < live_per_4 {
+            continue;
+        }
+        let j0 = blk * PRUNE_BLOCK_COLS;
+        for r in 0..rows {
+            data[r * cols + j0..r * cols + j0 + PRUNE_BLOCK_COLS].fill(0.0);
+        }
+    }
+}
+
+fn main() {
+    let mut rng = Pcg32::seed_from_u64(2026);
+    let sizes = [128usize, 256, 512];
+    let densities = [1.0f64, 0.75, 0.5, 0.25];
+    println!("{{");
+    println!("  \"bench\": \"sparse_gemm\",");
+    println!("  \"kernel\": \"onesa_tensor::sparse::matmul\",");
+    println!("  \"block_cols\": {PRUNE_BLOCK_COLS},");
+    println!("  \"sweep\": [");
+    let entries = sizes.len() * densities.len();
+    let mut emitted = 0;
+    for &d in &sizes {
+        let a = rng.randn(&[d, d], 1.0);
+        let dense_b = rng.randn(&[d, d], 1.0);
+        for &density in &densities {
+            let mut b = dense_b.clone();
+            thin(&mut b, density);
+            let (nnz_blocks, total_blocks, nnz_cols) =
+                column_block_stats(&b, PRUNE_BLOCK_COLS).expect("matrix");
+            let packed = SparseTensor::from_dense(&b, PRUNE_BLOCK_COLS).expect("packs");
+            let (dense_out, dense_s) = time_best(5, || {
+                onesa_tensor::parallel::matmul(&a, &b, Parallelism::Sequential).expect("gemm")
+            });
+            let (sparse_out, sparse_s) = time_best(5, || {
+                sparse::matmul(&a, &packed, Parallelism::Sequential).expect("sparse gemm")
+            });
+            assert_eq!(
+                dense_out.as_slice(),
+                sparse_out.as_slice(),
+                "sparse kernel must stay bit-identical to dense"
+            );
+            // Skipped share of the modeled cost vs of the blocks: the
+            // plan layer credits macs by nnz_cols, so the credit can
+            // only exceed the block fraction (ragged last block).
+            let mac_credit = 1.0 - nnz_cols as f64 / d as f64;
+            let block_skip = 1.0 - nnz_blocks as f64 / total_blocks as f64;
+            assert!(
+                mac_credit + 1e-12 >= block_skip,
+                "modeled credit {mac_credit} under-credits skip fraction {block_skip}"
+            );
+            let speedup = dense_s / sparse_s;
+            if d == 512 && density <= 0.5 {
+                assert!(
+                    speedup >= 1.5,
+                    "sparse kernel only {speedup:.2}x at {density} density, need 1.5x"
+                );
+            }
+            emitted += 1;
+            println!("    {{");
+            println!("      \"m\": {d}, \"k\": {d}, \"n\": {d},");
+            println!(
+                "      \"block_density\": {density}, \"nnz_blocks\": {nnz_blocks}, \"total_blocks\": {total_blocks},"
+            );
+            println!(
+                "      \"dense_ms\": {:.3}, \"sparse_ms\": {:.3},",
+                dense_s * 1e3,
+                sparse_s * 1e3
+            );
+            println!(
+                "      \"mac_credit\": {:.4}, \"block_skip_fraction\": {:.4},",
+                mac_credit, block_skip
+            );
+            println!("      \"speedup_sparse\": {:.2}", speedup);
+            println!("    }}{}", if emitted < entries { "," } else { "" });
+        }
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -285,6 +285,18 @@ pub struct ServingReport {
     /// program served N times contributes N times, which is the point —
     /// they measure work the optimizer saved this run.
     pub opt: OptTotals,
+    /// Weight column blocks the sparsity-aware GEMM kernel skipped
+    /// across the run's program requests, summed from each program's
+    /// [`Program::sparse_blocks`](onesa_plan::Program::sparse_blocks).
+    /// Per *request*, like [`ServingReport::opt`]: a pruned program
+    /// served N times credits its skipped blocks N times — work the
+    /// prune-pack pass saved this run. Zero when no served program
+    /// carried a sparsity attribute.
+    pub blocks_skipped: u64,
+    /// Total weight column blocks of the sparsity-attributed GEMMs the
+    /// run served (the denominator of the skip fraction; dense GEMMs
+    /// contribute nothing to either count).
+    pub blocks_total: u64,
 }
 
 impl ServingReport {
@@ -350,6 +362,15 @@ impl fmt::Display for ServingReport {
                 f,
                 "optimizer: {} boundaries elided, {} ops shared, {} fused, {} dead",
                 self.opt.elided, self.opt.shared, self.opt.fused, self.opt.dead
+            )?;
+        }
+        if self.blocks_total > 0 {
+            writeln!(
+                f,
+                "sparsity: skipped {} of {} weight column blocks ({:.0}%)",
+                self.blocks_skipped,
+                self.blocks_total,
+                100.0 * self.blocks_skipped as f64 / self.blocks_total as f64
             )?;
         }
         write!(
@@ -734,6 +755,7 @@ impl BatchEngine {
         let mut program_stages: Vec<StageGroups> = Vec::new();
         let mut program_group_counts = (0usize, 0usize);
         let mut opt = OptTotals::default();
+        let mut blocks = (0u64, 0u64);
         if !program_ids.is_empty() {
             for &id in &program_ids {
                 let Request::Program { program, .. } = &queue[id] else {
@@ -742,6 +764,9 @@ impl BatchEngine {
                 if let Some(report) = program.opt_report() {
                     opt.merge(&report.totals);
                 }
+                let (skipped, total) = program.sparse_blocks();
+                blocks.0 += skipped;
+                blocks.1 += total;
             }
             let jobs: Vec<(&Program, &[Tensor])> = program_ids
                 .iter()
@@ -799,6 +824,8 @@ impl BatchEngine {
             nonlinear_groups: nl_groups.len() + program_group_counts.1,
             latencies: outcomes.iter().map(|o| o.stats.seconds()).collect(),
             opt,
+            blocks_skipped: blocks.0,
+            blocks_total: blocks.1,
         };
         Ok(BatchRun {
             outcomes,
@@ -1049,9 +1076,21 @@ mod tests {
         );
         let x = b.input(&[2, 6]);
         let (w1, w2) = (b.constant(w1.clone()), b.constant(w2.clone()));
-        let h = b.push(Op::Gemm { bias: None }, &[x, w1]);
+        let h = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, w1],
+        );
         let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
-        b.push(Op::Gemm { bias: None }, &[g, w2]);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[g, w2],
+        );
         b.finish().unwrap()
     }
 
@@ -1196,9 +1235,21 @@ mod tests {
             );
             let x = b.input(&[2, 6]);
             let (c1, c2) = (b.constant(w1), b.constant(w2));
-            let h = b.push(Op::Gemm { bias: None }, &[x, c1]);
+            let h = b.push(
+                Op::Gemm {
+                    bias: None,
+                    sparsity: None,
+                },
+                &[x, c1],
+            );
             let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
-            b.push(Op::Gemm { bias: None }, &[g, c2]);
+            b.push(
+                Op::Gemm {
+                    bias: None,
+                    sparsity: None,
+                },
+                &[g, c2],
+            );
             b.finish().unwrap()
         };
         let mut serving = BatchEngine::new(engine(), 0.25).unwrap();
@@ -1219,7 +1270,7 @@ mod tests {
 
     #[test]
     fn optimizer_totals_roll_into_the_serving_report() {
-        use onesa_plan::{EvalMode, Op, OptLevel};
+        use onesa_plan::{EvalMode, Op, OptLevel, Precision};
         let mut rng = Pcg32::seed_from_u64(43);
         let w = rng.randn(&[4, 3], 1.0);
         // A conservatively-emitted program: duplicate Quantize + a
@@ -1232,11 +1283,33 @@ mod tests {
             },
         );
         let x = b.input(&[2, 4]);
-        let q1 = b.push(Op::Quantize, &[x]);
-        let q2 = b.push(Op::Quantize, &[x]);
+        let q1 = b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        );
+        let q2 = b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        );
         let c = b.constant(w);
-        let g1 = b.push(Op::Gemm { bias: None }, &[q1, c]);
-        let g2 = b.push(Op::Gemm { bias: None }, &[q2, c]);
+        let g1 = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[q1, c],
+        );
+        let g2 = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[q2, c],
+        );
         b.push(Op::Add, &[g1, g2]);
         let raw = b.finish().unwrap();
         let optimized = raw.optimize(OptLevel::Standard).unwrap();

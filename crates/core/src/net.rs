@@ -415,6 +415,11 @@ pub struct WindowResult {
     pub batched_seconds: f64,
     /// Optimizer totals of the batch's program requests.
     pub opt: OptTotals,
+    /// Weight column blocks the worker's sparse GEMM kernel skipped
+    /// (see `ServingReport::blocks_skipped`).
+    pub blocks_skipped: u64,
+    /// Total column blocks of the batch's sparsity-attributed GEMMs.
+    pub blocks_total: u64,
 }
 
 /// A window's outcome: executed, or failed as a unit (the worker's
@@ -450,6 +455,9 @@ fn put_window_result(w: &mut WireWriter, outcomes: &[RemoteOutcome], result: &Wi
     w.put_usize(result.opt.shared);
     w.put_usize(result.opt.fused);
     w.put_usize(result.opt.dead);
+    w.put_usize(result.opt.pruned);
+    w.put_u64(result.blocks_skipped);
+    w.put_u64(result.blocks_total);
 }
 
 fn get_window_result(r: &mut WireReader<'_>) -> Result<WindowResult, WireError> {
@@ -497,7 +505,10 @@ fn get_window_result(r: &mut WireReader<'_>) -> Result<WindowResult, WireError> 
             shared: r.get_usize()?,
             fused: r.get_usize()?,
             dead: r.get_usize()?,
+            pruned: r.get_usize()?,
         },
+        blocks_skipped: r.get_u64()?,
+        blocks_total: r.get_u64()?,
     })
 }
 
@@ -945,6 +956,8 @@ fn serve_window(
                 total_macs: run.report.total_macs,
                 batched_seconds: run.report.batched_seconds,
                 opt: run.report.opt,
+                blocks_skipped: run.report.blocks_skipped,
+                blocks_total: run.report.blocks_total,
             };
             let mut w = WireWriter::new();
             put_window_result(&mut w, &outcomes, &result);
@@ -967,7 +980,13 @@ mod tests {
         let mut b = Program::builder("net-test", EvalMode::Exact);
         let x = b.input(&[1, 4]);
         let c = b.constant(w);
-        b.push(Op::Gemm { bias: None }, &[x, c]);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, c],
+        );
         b.finish().unwrap()
     }
 
@@ -1064,7 +1083,10 @@ mod tests {
                 shared: 2,
                 fused: 0,
                 dead: 3,
+                pruned: 4,
             },
+            blocks_skipped: 12,
+            blocks_total: 48,
         };
         let mut w = WireWriter::new();
         put_window_result(&mut w, std::slice::from_ref(&outcome), &result);
@@ -1083,6 +1105,8 @@ mod tests {
         assert_eq!(back.gemm_groups, 3);
         assert_eq!(back.total_macs, 999);
         assert_eq!(back.opt.dead, 3);
+        assert_eq!(back.opt.pruned, 4);
+        assert_eq!((back.blocks_skipped, back.blocks_total), (12, 48));
     }
 
     #[test]
@@ -1205,6 +1229,8 @@ mod tests {
                 total_macs: seed.wrapping_mul(31),
                 batched_seconds: (seed % 1000) as f64 / 64.0,
                 opt: OptTotals::default(),
+                blocks_skipped: seed % 16,
+                blocks_total: 16 + seed % 16,
             };
             let mut w = WireWriter::new();
             put_window_result(&mut w, &outcomes, &result);

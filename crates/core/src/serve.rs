@@ -965,6 +965,12 @@ pub struct ShardStats {
     /// Optimizer pass totals of the program requests this shard served
     /// (see `ServingReport::opt`).
     pub opt: OptTotals,
+    /// Weight column blocks the sparse GEMM kernel skipped on this
+    /// shard (see `ServingReport::blocks_skipped`).
+    pub blocks_skipped: u64,
+    /// Total column blocks of the sparsity-attributed GEMMs this shard
+    /// served (see `ServingReport::blocks_total`).
+    pub blocks_total: u64,
     /// Process backend only: this shard's worker process died
     /// (EOF/ping timeout) during the run and its in-flight windows were
     /// requeued on surviving shards.
@@ -2136,6 +2142,8 @@ impl ServeEngine {
             nonlinear_groups: shards.iter().map(|s| s.nonlinear_groups).sum(),
             latencies: records.iter().map(|r| r.seconds).collect(),
             opt,
+            blocks_skipped: shards.iter().map(|s| s.blocks_skipped).sum(),
+            blocks_total: shards.iter().map(|s| s.blocks_total).sum(),
         };
         Ok(ServeSummary {
             report,
@@ -2638,6 +2646,8 @@ fn shard_loop(
             occupancy: 0.0,
             peak_queue_depth: 0,
             opt: OptTotals::default(),
+            blocks_skipped: 0,
+            blocks_total: 0,
             worker_lost: false,
             requeued: 0,
             wire_cache: WeightCacheStats::default(),
@@ -2679,6 +2689,8 @@ fn shard_loop(
                 out.stats.macs += run.report.total_macs;
                 out.stats.array_seconds += run.report.batched_seconds;
                 out.stats.opt.merge(&run.report.opt);
+                out.stats.blocks_skipped += run.report.blocks_skipped;
+                out.stats.blocks_total += run.report.blocks_total;
                 out.window_records.push(WindowRecord {
                     window: batch_window,
                     seconds: run.report.batched_seconds,
@@ -2774,6 +2786,8 @@ fn remote_shard_loop(ctx: RemoteShardCtx) -> ShardOut {
             occupancy: 0.0,
             peak_queue_depth: 0,
             opt: OptTotals::default(),
+            blocks_skipped: 0,
+            blocks_total: 0,
             worker_lost: false,
             requeued: 0,
             wire_cache: WeightCacheStats::default(),
@@ -2814,6 +2828,8 @@ fn remote_shard_loop(ctx: RemoteShardCtx) -> ShardOut {
                     out.stats.macs += result.total_macs;
                     out.stats.array_seconds += result.batched_seconds;
                     out.stats.opt.merge(&result.opt);
+                    out.stats.blocks_skipped += result.blocks_skipped;
+                    out.stats.blocks_total += result.blocks_total;
                     // Energy is attributed to this proxy's shard even
                     // after a failover — the window was admitted and
                     // powered here; which surviving worker's process
@@ -2985,9 +3001,21 @@ mod tests {
         );
         let x = b.input(&[2, 6]);
         let (c1, c2) = (b.constant(w1.clone()), b.constant(w2.clone()));
-        let h = b.push(Op::Gemm { bias: None }, &[x, c1]);
+        let h = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, c1],
+        );
         let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
-        b.push(Op::Gemm { bias: None }, &[g, c2]);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[g, c2],
+        );
         let program = b.finish().unwrap();
 
         let engine = pool(2);
@@ -3520,9 +3548,21 @@ mod tests {
         );
         let x = b.input(&[2, 6]);
         let (c1, c2) = (b.constant(w1), b.constant(w2));
-        let h = b.push(Op::Gemm { bias: None }, &[x, c1]);
+        let h = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, c1],
+        );
         let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
-        b.push(Op::Gemm { bias: None }, &[g, c2]);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[g, c2],
+        );
         (b.finish().unwrap(), rng.randn(&[2, 6], 1.0))
     }
 
@@ -3640,7 +3680,13 @@ mod tests {
         let mut b = Program::builder("exact", EvalMode::Exact);
         let x = b.input(&[2, 4]);
         let c = b.constant(rng.randn(&[4, 2], 1.0));
-        b.push(Op::Gemm { bias: None }, &[x, c]);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, c],
+        );
         let exact = b.finish().unwrap();
         let engine = ServeEngine::start(
             ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
@@ -3806,6 +3852,107 @@ mod tests {
             .map(|t| t.wait().unwrap().shard)
             .collect();
         assert_eq!(shards, vec![0, 1, 0, 1]);
+        let _ = engine.finish().unwrap();
+    }
+
+    /// A one-GEMM exact program over a `[32, 4·PRUNE_BLOCK_COLS]`
+    /// weight; `pruned` zeroes the upper half of the columns so
+    /// `OptLevel::Standard`'s prune-pack pass attaches the sparsity
+    /// attribute (2 of 4 blocks skipped).
+    fn credit_program(pruned: bool, seed: u64) -> onesa_plan::Program {
+        use onesa_plan::{EvalMode, Op, OptLevel, Program, PRUNE_BLOCK_COLS};
+        let (k, n) = (32, 4 * PRUNE_BLOCK_COLS);
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut w = rng.randn(&[k, n], 1.0);
+        if pruned {
+            for r in 0..k {
+                for c in n / 2..n {
+                    w.as_mut_slice()[r * n + c] = 0.0;
+                }
+            }
+        }
+        let mut b = Program::builder(if pruned { "pruned" } else { "dense" }, EvalMode::Exact);
+        let x = b.input(&[4, k]);
+        let c = b.constant(w);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, c],
+        );
+        b.finish().unwrap().optimize(OptLevel::Standard).unwrap()
+    }
+
+    #[test]
+    fn sparse_credit_reaches_admission_and_energy_routing() {
+        // One source of truth: `Request::modeled_macs` delegates to
+        // `Program::modeled_macs`, whose GEMM cost credits skipped
+        // column blocks — size-capped windows and energy-aware routing
+        // must both see a pruned program as the cheaper work it is.
+        let dense = credit_program(false, 57);
+        let sparse = credit_program(true, 57);
+        assert_eq!(sparse.sparse_blocks(), (2, 4));
+        assert_eq!(sparse.modeled_macs() * 2, dense.modeled_macs());
+        let x = Pcg32::seed_from_u64(58).randn(&[4, 32], 1.0);
+        assert_eq!(
+            Request::program(sparse.clone(), vec![x.clone()]).modeled_macs(),
+            sparse.modeled_macs(),
+            "admission and routing weigh the credited program cost"
+        );
+
+        // Size-capped admission: the budget fits exactly two *credited*
+        // programs per window (dense-costed accounting would close the
+        // window after one), and the summary surfaces the skip totals.
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(1, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_admission(AdmissionPolicy::SizeCapped {
+                    max_macs: 2 * sparse.modeled_macs(),
+                })
+                .start_paused(),
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|_| {
+                engine
+                    .submit_program(sparse.clone(), vec![x.clone()])
+                    .unwrap()
+            })
+            .collect();
+        engine.resume();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let summary = engine.finish().unwrap();
+        assert_eq!(
+            summary.windows, 2,
+            "sparse credit packs two pruned programs per window"
+        );
+        assert_eq!(
+            (summary.report.blocks_skipped, summary.report.blocks_total),
+            (6, 12)
+        );
+        assert!(format!("{}", summary.report).contains("sparsity: skipped 6 of 12"));
+
+        // Energy-aware routing: after the dense program lands on shard
+        // 0, both pruned programs prefer shard 1 — its outstanding
+        // credited work stays below the dense shard's. Without the
+        // credit the third request would tie (2 programs each) and fall
+        // back to shard 0.
+        let engine = ServeEngine::start(
+            ServeConfig::uniform(2, ArrayConfig::new(8, 16), Parallelism::Sequential)
+                .with_routing(RoutePolicy::EnergyAware)
+                .start_paused(),
+        )
+        .unwrap();
+        let d = engine.submit_program(dense, vec![x.clone()]).unwrap();
+        let s1 = engine
+            .submit_program(sparse.clone(), vec![x.clone()])
+            .unwrap();
+        let s2 = engine.submit_program(sparse, vec![x]).unwrap();
+        engine.resume();
+        let shards = [d, s1, s2].map(|t| t.wait().unwrap().shard);
+        assert_eq!(shards, [0, 1, 1]);
         let _ = engine.finish().unwrap();
     }
 

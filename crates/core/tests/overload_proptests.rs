@@ -55,9 +55,21 @@ fn mlp() -> Program {
     );
     let x = b.input(&[2, 6]);
     let (c1, c2) = (b.constant(w1), b.constant(w2));
-    let h = b.push(Op::Gemm { bias: None }, &[x, c1]);
+    let h = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[x, c1],
+    );
     let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
-    b.push(Op::Gemm { bias: None }, &[g, c2]);
+    b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[g, c2],
+    );
     b.finish().unwrap()
 }
 

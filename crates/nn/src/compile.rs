@@ -42,7 +42,9 @@ use crate::layers::Linear;
 use crate::models::{EncoderBlock, Gcn, SmallCnn, TinyBert, TinyCausalLm};
 use onesa_cpwl::NonlinearFn;
 use onesa_data::GraphDataset;
-use onesa_plan::{Compile, Op, Operand, PoolKind, Program, ProgramBuilder, ProgramRun, TableCache};
+use onesa_plan::{
+    Compile, Op, Operand, PoolKind, Precision, Program, ProgramBuilder, ProgramRun, TableCache,
+};
 use onesa_tensor::{Result, Tensor};
 
 /// Runs a compiled program solo, seeding the executor's table cache
@@ -94,7 +96,12 @@ pub fn run_compiled_full(program: &Program, inputs: &[Tensor], mode: &InferenceM
 /// [`OptLevel::Standard`](onesa_plan::OptLevel).
 fn boundary(b: &mut ProgramBuilder, mode: &InferenceMode, x: Operand) -> Operand {
     match mode.eval_mode() {
-        onesa_plan::EvalMode::Cpwl { quantize: true, .. } => b.push(Op::Quantize, &[x]),
+        onesa_plan::EvalMode::Cpwl { quantize: true, .. } => b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        ),
         _ => x,
     }
 }
@@ -105,6 +112,7 @@ fn linear(b: &mut ProgramBuilder, l: &Linear, x: Operand) -> Operand {
     b.push(
         Op::Gemm {
             bias: Some(l.b.value.as_slice().to_vec()),
+            sparsity: None,
         },
         &[x, w],
     )
@@ -152,6 +160,7 @@ impl SmallCnn {
             let prod = b.push(
                 Op::Gemm {
                     bias: Some(layer.b.value.as_slice().to_vec()),
+                    sparsity: None,
                 },
                 &[cols, wt],
             );
@@ -304,10 +313,22 @@ fn compile_block(
         let kh = b.push(Op::SliceCols { start, len: dk }, &[k]);
         let vh = b.push(Op::SliceCols { start, len: dk }, &[v]);
         let kt = b.push(Op::Transpose, &[kh]);
-        let scores = b.push(Op::Gemm { bias: None }, &[qh, kt]);
+        let scores = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[qh, kt],
+        );
         let scaled = b.push(Op::Scale(1.0 / (dk as f32).sqrt()), &[scores]);
         let p = b.push(Op::Softmax, &[scaled]);
-        ctxs.push(b.push(Op::Gemm { bias: None }, &[p, vh]));
+        ctxs.push(b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[p, vh],
+        ));
     }
     let concat = b.push(Op::ConcatCols, &ctxs);
     let a = linear(b, &blk.attn.wo, concat);
@@ -425,14 +446,26 @@ fn compile_causal_block(
         let kh = b.push(Op::SliceCols { start, len: dk }, &[k_full]);
         let vh = b.push(Op::SliceCols { start, len: dk }, &[v_full]);
         let kt = b.push(Op::Transpose, &[kh]);
-        let scores = b.push(Op::Gemm { bias: None }, &[qh, kt]);
+        let scores = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[qh, kt],
+        );
         let scaled = b.push(Op::Scale(1.0 / (dk as f32).sqrt()), &[scores]);
         let p = if causal {
             b.push(Op::CausalSoftmax { offset: 0 }, &[scaled])
         } else {
             b.push(Op::Softmax, &[scaled])
         };
-        ctxs.push(b.push(Op::Gemm { bias: None }, &[p, vh]));
+        ctxs.push(b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[p, vh],
+        ));
     }
     let concat = b.push(Op::ConcatCols, &ctxs);
     let a = linear(b, &blk.attn.wo, concat);
@@ -470,7 +503,13 @@ impl TinyCausalLm {
             Some(l) => linear(b, l, x),
             None => {
                 let wt = b.constant(self.emb.table.value.transpose()?);
-                b.push(Op::Gemm { bias: None }, &[x, wt])
+                b.push(
+                    Op::Gemm {
+                        bias: None,
+                        sparsity: None,
+                    },
+                    &[x, wt],
+                )
             }
         })
     }
@@ -579,12 +618,36 @@ impl Gcn {
         let w1 = b.constant(self.w1.value.clone());
         let w2 = b.constant(self.w2.value.clone());
         let a_hat = b.constant(g.a_hat.clone());
-        let xw = b.push(Op::Gemm { bias: None }, &[x, w1]);
-        let z1 = b.push(Op::Gemm { bias: None }, &[a_hat, xw]);
+        let xw = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, w1],
+        );
+        let z1 = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[a_hat, xw],
+        );
         let z1 = boundary(&mut b, mode, z1);
         let h1 = b.push(Op::Nonlinear(NonlinearFn::Relu), &[z1]);
-        let hw = b.push(Op::Gemm { bias: None }, &[h1, w2]);
-        let z2 = b.push(Op::Gemm { bias: None }, &[a_hat, hw]);
+        let hw = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[h1, w2],
+        );
+        let z2 = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[a_hat, hw],
+        );
         boundary(&mut b, mode, z2);
         b.finish()
     }

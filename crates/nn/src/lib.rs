@@ -51,6 +51,7 @@ pub mod infer;
 pub mod layers;
 pub mod models;
 pub mod profile;
+pub mod prune;
 pub mod train;
 pub mod workloads;
 

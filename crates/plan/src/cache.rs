@@ -20,7 +20,7 @@
 //!     let mut b = Program::builder("mlp", EvalMode::Exact);
 //!     let x = b.input(&[2, 4]);
 //!     let w = b.constant(Tensor::zeros(&[4, 3]));
-//!     b.push(Op::Gemm { bias: None }, &[x, w]);
+//!     b.push(Op::Gemm { bias: None, sparsity: None }, &[x, w]);
 //!     b.finish()
 //! };
 //! let a = cache.get_or_compile(EvalMode::Exact, &[2, 4], 0, build)?;
@@ -145,7 +145,13 @@ mod tests {
         let mut b = Program::builder("t", EvalMode::Exact);
         let x = b.input(&[m, 4]);
         let w = b.constant(Tensor::zeros(&[4, 3]));
-        b.push(Op::Gemm { bias: None }, &[x, w]);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, w],
+        );
         b.finish()
     }
 

@@ -1,12 +1,15 @@
 //! Program execution: a table cache, single-op kernels and the staged
 //! multi-program scheduler with per-stage cross-program coalescing.
 
-use crate::program::{op_cost, tensor_fingerprint, EvalMode, Op, Operand, PoolKind, Program};
+use crate::program::{
+    op_cost, tensor_fingerprint, EvalMode, GemmSparsity, Op, Operand, PoolKind, Precision, Program,
+};
 use onesa_cpwl::ops::{self, TableSet};
 use onesa_cpwl::NonlinearFn;
 use onesa_sim::{analytic, ArrayConfig, CycleBreakdown, ExecStats};
 use onesa_tensor::parallel::{self, Parallelism};
-use onesa_tensor::quant::QuantTensor;
+use onesa_tensor::quant::{QuantTensor, QuantTensor8};
+use onesa_tensor::sparse::SparseTensor;
 use onesa_tensor::{im2col, Result, Tensor, TensorError};
 use std::sync::Arc;
 
@@ -19,6 +22,10 @@ use std::sync::Arc;
 pub struct TableCache {
     sets: Vec<Arc<TableSet>>,
     builds: usize,
+    /// Packed sparse weights keyed by `(weight fingerprint, block_cols)`
+    /// so a sparse-attributed GEMM packs its constant once per cache,
+    /// not once per run. `Arc`-shared like the table sets.
+    packs: Vec<(u64, usize, Arc<SparseTensor>)>,
 }
 
 impl TableCache {
@@ -80,6 +87,25 @@ impl TableCache {
     /// matter how many runs it serves.
     pub fn builds(&self) -> usize {
         self.builds
+    }
+
+    /// The packed form of sparse-attributed GEMM weight `w` at
+    /// `block_cols`, packing it on first use. Keyed by the weight's
+    /// content fingerprint, so programs cloned from a cached compile
+    /// (which share their consts) and even distinct programs with
+    /// bit-identical weights all hit the same pack.
+    pub(crate) fn packed(&mut self, w: &Tensor, block_cols: usize) -> Result<Arc<SparseTensor>> {
+        let fp = tensor_fingerprint(w);
+        if let Some((_, _, p)) = self
+            .packs
+            .iter()
+            .find(|(f, b, _)| *f == fp && *b == block_cols)
+        {
+            return Ok(Arc::clone(p));
+        }
+        let packed = Arc::new(SparseTensor::from_dense(w, block_cols)?);
+        self.packs.push((fp, block_cols, Arc::clone(&packed)));
+        Ok(packed)
     }
 }
 
@@ -295,9 +321,18 @@ fn member_key(state: &JobState, stage: usize) -> GroupKey {
     let node = &state.program.nodes()[stage];
     let mode = state.program.mode().coalesce_key();
     match &node.op {
-        Op::Gemm { .. } => match (node.inputs[0], node.inputs[1]) {
+        Op::Gemm { sparsity, .. } => match (node.inputs[0], node.inputs[1]) {
             (Operand::Slot(_), Operand::Const(c)) => {
-                GroupKey::GemmRight(tensor_fingerprint(&state.program.consts()[c]))
+                // Mix the sparsity attribute into the key: a sparse and
+                // a dense GEMM over the same weight run different
+                // kernels and must never coalesce into one group.
+                let mut h = tensor_fingerprint(&state.program.consts()[c]);
+                if let Some(s) = sparsity {
+                    for v in [1, s.block_cols, s.nnz_blocks, s.total_blocks, s.nnz_cols] {
+                        h = crate::program::fnv_u64(h, v as u64);
+                    }
+                }
+                GroupKey::GemmRight(h)
             }
             (Operand::Const(c), Operand::Slot(_)) => {
                 GroupKey::GemmLeft(tensor_fingerprint(&state.program.consts()[c]))
@@ -332,7 +367,10 @@ fn keys_truly_equal(
 ) -> bool {
     let a = &states[first].program.nodes()[stage];
     match (&a.op, &node.op) {
-        (Op::Gemm { .. }, Op::Gemm { .. }) => {
+        (Op::Gemm { sparsity: s1, .. }, Op::Gemm { sparsity: s2, .. }) => {
+            if s1 != s2 {
+                return false;
+            }
             let const_of = |j: usize| -> Option<&Tensor> {
                 let n = &states[j].program.nodes()[stage];
                 n.inputs.iter().find_map(|op| match *op {
@@ -409,6 +447,7 @@ fn exec_group(
             // out and apply its bias (bit-identical: each output element
             // is an independent dot product plus its own bias add).
             let b = gemm_const(&states[ids[0]], stage);
+            let sparsity = gemm_sparsity(&states[ids[0]], stage);
             let (k, n) = (b.dims()[0], b.dims()[1]);
             let mut stacked = Vec::new();
             let mut row_counts = Vec::with_capacity(ids.len());
@@ -419,8 +458,14 @@ fn exec_group(
             }
             let total_m: usize = row_counts.iter().sum();
             let tall = Tensor::from_vec(stacked, &[total_m, k])?;
-            let product = parallel::matmul(&tall, b, par)?;
-            let batched = analytic::gemm_stats(cfg, total_m, k, n);
+            let product = match sparsity {
+                Some(s) => {
+                    let packed = tables.packed(b, s.block_cols)?;
+                    onesa_tensor::sparse::matmul(&tall, &packed, par)?
+                }
+                None => parallel::matmul(&tall, b, par)?,
+            };
+            let batched = gemm_credit(cfg, total_m, k, n, sparsity);
             let mut outputs = Vec::with_capacity(ids.len());
             let mut row0 = 0usize;
             for (&j, &m) in ids.iter().zip(&row_counts) {
@@ -428,7 +473,7 @@ fn exec_group(
                 row0 += m;
                 apply_bias(&mut rows, m, n, gemm_bias(&states[j], stage));
                 let out = Tensor::from_vec(rows, &[m, n])?;
-                let solo = analytic::gemm_stats(cfg, m, k, n);
+                let solo = gemm_credit(cfg, m, k, n, sparsity);
                 outputs.push((j, out, solo));
             }
             Ok(GroupOut { outputs, batched })
@@ -593,8 +638,31 @@ fn gemm_const<'a>(state: &'a JobState, stage: usize) -> &'a Tensor {
 
 fn gemm_bias<'a>(state: &'a JobState, stage: usize) -> Option<&'a [f32]> {
     match &state.program.nodes()[stage].op {
-        Op::Gemm { bias } => bias.as_deref(),
+        Op::Gemm { bias, .. } => bias.as_deref(),
         _ => unreachable!("gemm group holds gemm ops"),
+    }
+}
+
+fn gemm_sparsity(state: &JobState, stage: usize) -> Option<GemmSparsity> {
+    match &state.program.nodes()[stage].op {
+        Op::Gemm { sparsity, .. } => *sparsity,
+        _ => unreachable!("gemm group holds gemm ops"),
+    }
+}
+
+/// Modeled GEMM stats with sparse credit — the same crediting rule as
+/// `op_cost`, so solo and coalesced runs agree with `modeled_macs`.
+fn gemm_credit(
+    cfg: &ArrayConfig,
+    m: usize,
+    k: usize,
+    n: usize,
+    sparsity: Option<GemmSparsity>,
+) -> ExecStats {
+    match sparsity {
+        Some(s) if s.nnz_cols == 0 => ExecStats::new(cfg, CycleBreakdown::default(), 0, 0),
+        Some(s) => analytic::gemm_stats(cfg, m, k, s.nnz_cols),
+        None => analytic::gemm_stats(cfg, m, k, n),
     }
 }
 
@@ -658,8 +726,14 @@ fn exec_single(
     tables: &mut TableCache,
 ) -> Result<Tensor> {
     match op {
-        Op::Gemm { bias } => {
-            let mut y = parallel::matmul(ins[0], ins[1], par)?;
+        Op::Gemm { bias, sparsity } => {
+            let mut y = match sparsity {
+                Some(s) => {
+                    let packed = tables.packed(ins[1], s.block_cols)?;
+                    onesa_tensor::sparse::matmul(ins[0], &packed, par)?
+                }
+                None => parallel::matmul(ins[0], ins[1], par)?,
+            };
             let (m, n) = y.shape().as_matrix()?;
             apply_bias(y.as_mut_slice(), m, n, bias.as_deref());
             Ok(y)
@@ -792,7 +866,10 @@ fn exec_single(
             }
             Ok(pooled)
         }
-        Op::Quantize => Ok(QuantTensor::quantize(ins[0]).dequantize()),
+        Op::Quantize { precision } => Ok(match precision {
+            Precision::Int16 => QuantTensor::quantize(ins[0]).dequantize(),
+            Precision::Int8 => QuantTensor8::quantize(ins[0]).dequantize(),
+        }),
         Op::QuantizeRows => {
             // Each row round-trips through INT16 with its own scale, so
             // the result for row i is a pure function of row i — the
@@ -903,9 +980,21 @@ mod tests {
         let mut b = Program::builder("mlp", mode);
         let x = b.input(&[3, 6]);
         let (w1, w2) = (b.constant(w1.clone()), b.constant(w2.clone()));
-        let h = b.push(Op::Gemm { bias: None }, &[x, w1]);
+        let h = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, w1],
+        );
         let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
-        b.push(Op::Gemm { bias: None }, &[g, w2]);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[g, w2],
+        );
         b.finish().unwrap()
     }
 
@@ -991,7 +1080,13 @@ mod tests {
             let mut b = Program::builder("gcn-ish", EvalMode::Exact);
             let x = b.input(&[5, n]);
             let a = b.constant(a_hat.clone());
-            b.push(Op::Gemm { bias: None }, &[a, x]);
+            b.push(
+                Op::Gemm {
+                    bias: None,
+                    sparsity: None,
+                },
+                &[a, x],
+            );
             b.finish().unwrap()
         };
         let (p1, p2) = (build(4), build(7));
@@ -1071,5 +1166,130 @@ mod tests {
         assert_eq!(cache.get(0.25).unwrap().granularity(), 0.25);
         assert_eq!(cache.get(0.5).unwrap().granularity(), 0.5);
         assert!(cache.get(f32::NAN).is_err());
+    }
+
+    /// A weight with its second 16-column block zeroed, plus the dense
+    /// and sparse-attributed programs over it.
+    fn sparse_pair() -> (Tensor, Program, Program) {
+        let mut rng = Pcg32::seed_from_u64(6);
+        let n = 32;
+        let mut w = rng.randn(&[6, n], 1.0);
+        for r in 0..6 {
+            for c in 16..n {
+                w.as_mut_slice()[r * n + c] = 0.0;
+            }
+        }
+        let build = |sparsity| {
+            let mut b = Program::builder("sp", EvalMode::Exact);
+            let x = b.input(&[3, 6]);
+            let wc = b.constant(w.clone());
+            b.push(
+                Op::Gemm {
+                    bias: None,
+                    sparsity,
+                },
+                &[x, wc],
+            );
+            b.finish().unwrap()
+        };
+        let dense = build(None);
+        let sparse = build(Some(GemmSparsity {
+            block_cols: 16,
+            nnz_blocks: 1,
+            total_blocks: 2,
+            nnz_cols: 16,
+        }));
+        (w, dense, sparse)
+    }
+
+    #[test]
+    fn sparse_gemm_runs_bit_identical_and_packs_once() {
+        let (w, dense, sparse) = sparse_pair();
+        let mut rng = Pcg32::seed_from_u64(7);
+        let x = rng.randn(&[3, 6], 1.0);
+        let mut cache = TableCache::new();
+        for par in [Parallelism::Sequential, Parallelism::Threads(3)] {
+            let d = dense
+                .run(std::slice::from_ref(&x), par, &mut cache)
+                .unwrap();
+            let s = sparse
+                .run(std::slice::from_ref(&x), par, &mut cache)
+                .unwrap();
+            assert_eq!(d.output, s.output, "{}", par.label());
+            assert_eq!(d.output, gemm::matmul(&x, &w).unwrap());
+            // Sparse credit shows up in the solo stats.
+            assert!(s.op_stats[0].macs < d.op_stats[0].macs);
+        }
+        // Both runs hit the one packed weight (same fingerprint).
+        assert_eq!(cache.packs.len(), 1);
+    }
+
+    #[test]
+    fn sparse_and_dense_gemms_over_one_weight_do_not_coalesce() {
+        let (_, dense, sparse) = sparse_pair();
+        let mut rng = Pcg32::seed_from_u64(8);
+        let x1 = rng.randn(&[3, 6], 1.0);
+        let x2 = rng.randn(&[3, 6], 1.0);
+        let cfg = ArrayConfig::new(8, 16);
+        let staged = run_staged(
+            &[
+                (&dense, std::slice::from_ref(&x1)),
+                (&sparse, std::slice::from_ref(&x2)),
+            ],
+            &cfg,
+            Parallelism::Sequential,
+            &mut TableCache::new(),
+        )
+        .unwrap();
+        // Same weight, different kernels: two groups, both GEMM.
+        assert_eq!(staged.stages[0].groups, 2);
+        assert_eq!(staged.gemm_groups, 2);
+        // And two sparse programs over the weight DO coalesce.
+        let staged = run_staged(
+            &[
+                (&sparse, std::slice::from_ref(&x1)),
+                (&sparse, std::slice::from_ref(&x2)),
+            ],
+            &cfg,
+            Parallelism::Sequential,
+            &mut TableCache::new(),
+        )
+        .unwrap();
+        assert_eq!(staged.stages[0].groups, 1);
+        // Coalesced sparse output still matches the dense reference.
+        let d1 = dense
+            .run(
+                std::slice::from_ref(&x1),
+                Parallelism::Sequential,
+                &mut TableCache::new(),
+            )
+            .unwrap();
+        assert_eq!(staged.runs[0].output, d1.output);
+    }
+
+    #[test]
+    fn int8_quantize_executes_the_coarser_rung() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let x = rng.randn(&[2, 5], 1.0);
+        let build = |precision| {
+            let mut b = Program::builder("q", EvalMode::Exact);
+            let i = b.input(&[2, 5]);
+            b.push(Op::Quantize { precision }, &[i]);
+            b.finish().unwrap()
+        };
+        let run = |p: &Program| {
+            p.run(
+                std::slice::from_ref(&x),
+                Parallelism::Sequential,
+                &mut TableCache::new(),
+            )
+            .unwrap()
+            .output
+        };
+        let y16 = run(&build(Precision::Int16));
+        let y8 = run(&build(Precision::Int8));
+        assert_eq!(y16, QuantTensor::quantize(&x).dequantize());
+        assert_eq!(y8, QuantTensor8::quantize(&x).dequantize());
+        assert_ne!(y16, y8, "the rungs round differently");
     }
 }

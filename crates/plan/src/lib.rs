@@ -52,9 +52,9 @@
 //! let x = b.input(&[2, 16]);                    // [batch, features]
 //! let w1 = b.constant(w1);
 //! let w2 = b.constant(w2);
-//! let h = b.push(Op::Gemm { bias: None }, &[x, w1]);
+//! let h = b.push(Op::Gemm { bias: None, sparsity: None }, &[x, w1]);
 //! let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
-//! b.push(Op::Gemm { bias: None }, &[g, w2]);
+//! b.push(Op::Gemm { bias: None, sparsity: None }, &[g, w2]);
 //! let program = b.finish()?;                    // validates + infers shapes
 //!
 //! assert_eq!(program.stages(), 3);
@@ -79,9 +79,10 @@ pub mod wire;
 
 pub use cache::CompileCache;
 pub use exec::{run_staged, ProgramRun, StageGroups, StagedRun, TableCache};
-pub use opt::{OptLevel, OptReport, OptTotals, PassStats};
+pub use opt::{OptLevel, OptReport, OptTotals, PassStats, PRUNE_BLOCK_COLS};
 pub use program::{
-    tensor_fingerprint, EvalMode, Op, OpNode, Operand, PoolKind, Program, ProgramBuilder,
+    tensor_fingerprint, EvalMode, GemmSparsity, Op, OpNode, Operand, PoolKind, Precision, Program,
+    ProgramBuilder,
 };
 
 /// A model that can compile itself into a [`Program`].

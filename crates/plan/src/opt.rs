@@ -11,6 +11,7 @@
 //! |---|---|---|---|
 //! | `quantize-elision` | [`OptLevel::Standard`] | dedups `Quantize` boundaries of the same value | bit-identical |
 //! | `cse` | [`OptLevel::Standard`] | shares any two ops with bit-identical payloads and operands (duplicate const-operand GEMMs, repeated `Im2col` of one slot, …) | bit-identical |
+//! | `prune-pack` | [`OptLevel::Standard`] | detects zero column-blocks in const GEMM weights and attaches the sparsity attribute so the executor skips them | bit-identical |
 //! | `fusion` | [`OptLevel::Fusion`] | folds `Affine` + `Nonlinear` into one [`Op::AffineNonlinear`] MHP pass | ≤ a few ULPs (reassociates) |
 //! | `dead-slot` | [`OptLevel::Standard`] | drops ops whose outputs nothing consumes | bit-identical |
 //!
@@ -31,18 +32,18 @@
 //! # Example
 //!
 //! ```
-//! use onesa_plan::{EvalMode, Op, OptLevel, Program};
+//! use onesa_plan::{EvalMode, Op, OptLevel, Precision, Program};
 //! use onesa_tensor::Tensor;
 //!
 //! let mode = EvalMode::Cpwl { granularity: 0.25, quantize: true };
 //! let mut b = Program::builder("demo", mode);
 //! let x = b.input(&[2, 3]);
 //! // A conservative frontend quantizes the same value once per use.
-//! let q1 = b.push(Op::Quantize, &[x]);
-//! let q2 = b.push(Op::Quantize, &[x]);
+//! let q1 = b.push(Op::Quantize { precision: Precision::Int16 }, &[x]);
+//! let q2 = b.push(Op::Quantize { precision: Precision::Int16 }, &[x]);
 //! let w = b.constant(Tensor::zeros(&[3, 4]));
-//! let g1 = b.push(Op::Gemm { bias: None }, &[q1, w]);
-//! let g2 = b.push(Op::Gemm { bias: None }, &[q2, w]);
+//! let g1 = b.push(Op::Gemm { bias: None, sparsity: None }, &[q1, w]);
+//! let g2 = b.push(Op::Gemm { bias: None, sparsity: None }, &[q2, w]);
 //! b.push(Op::Add, &[g1, g2]);
 //! let program = b.finish()?;
 //!
@@ -55,9 +56,15 @@
 //! # Ok::<(), onesa_tensor::TensorError>(())
 //! ```
 
-use crate::program::{Op, OpNode, Operand, Program};
+use crate::program::{GemmSparsity, Op, OpNode, Operand, Program};
 use onesa_sim::ArrayConfig;
 use onesa_tensor::Result;
+
+/// Column-block width the `prune-pack` pass scans const GEMM weights
+/// at. A multiple of nothing in particular — wide enough that the
+/// bitmap stays small, narrow enough that magnitude-pruned models
+/// actually produce all-zero blocks.
+pub const PRUNE_BLOCK_COLS: usize = 16;
 
 /// How aggressively [`Program::optimize`] rewrites a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,10 +98,11 @@ impl OptLevel {
 /// What one optimizer pass did to a program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PassStats {
-    /// Pass name (`"quantize-elision"`, `"cse"`, `"fusion"`,
-    /// `"dead-slot"`).
+    /// Pass name (`"quantize-elision"`, `"cse"`, `"prune-pack"`,
+    /// `"fusion"`, `"dead-slot"`).
     pub pass: &'static str,
-    /// Ops this pass removed from the program.
+    /// Ops this pass removed from the program (for `prune-pack`, ops it
+    /// rewrote to the sparse form — nothing is dropped).
     pub removed: usize,
 }
 
@@ -110,6 +118,8 @@ pub struct OptTotals {
     pub fused: usize,
     /// Dead ops removed.
     pub dead: usize,
+    /// GEMMs rewritten to the sparse form by `prune-pack`.
+    pub pruned: usize,
 }
 
 impl OptTotals {
@@ -119,6 +129,7 @@ impl OptTotals {
         self.shared += other.shared;
         self.fused += other.fused;
         self.dead += other.dead;
+        self.pruned += other.pruned;
     }
 
     /// Total ops removed across all passes.
@@ -192,6 +203,14 @@ impl Program {
                 removed,
             });
             totals.shared = removed;
+            current = next;
+
+            let (next, rewritten) = prune_pack(&current)?;
+            passes.push(PassStats {
+                pass: "prune-pack",
+                removed: rewritten,
+            });
+            totals.pruned = rewritten;
             current = next;
 
             if level == OptLevel::Fusion {
@@ -320,7 +339,7 @@ fn elide_duplicate_quantizes(program: &Program) -> Result<(Program, usize)> {
         .iter()
         .enumerate()
         .map(|(i, node)| {
-            if matches!(node.op, Op::Quantize) && i != last {
+            if matches!(node.op, Op::Quantize { .. }) && i != last {
                 let input = node.inputs[0];
                 if let Some(&(_, prev_out)) = seen.iter().find(|(op, _)| *op == input) {
                     removed += 1;
@@ -405,6 +424,54 @@ fn same_tensor(x: &onesa_tensor::Tensor, y: &onesa_tensor::Tensor) -> bool {
             .iter()
             .zip(y.as_slice())
             .all(|(a, b)| a.to_bits() == b.to_bits())
+}
+
+/// Attaches a [`GemmSparsity`] attribute to every dense GEMM whose
+/// constant right operand has at least one all-zero column block at
+/// [`PRUNE_BLOCK_COLS`]. The executor then runs the sparsity-aware
+/// kernel (`onesa_tensor::sparse`), which skips zero blocks entirely,
+/// and the cost model credits the skipped columns. Bit-identical: a
+/// skipped block contributes only `a · (+0.0)` terms, which can never
+/// move a finite accumulation (see the `sparse` module's proof).
+/// GEMMs already carrying an attribute (a decoded pre-optimized
+/// program) are left alone.
+fn prune_pack(program: &Program) -> Result<(Program, usize)> {
+    let mut rewritten = 0usize;
+    let actions: Vec<Action> = program
+        .nodes()
+        .iter()
+        .map(|node| {
+            if let Op::Gemm {
+                bias,
+                sparsity: None,
+            } = &node.op
+            {
+                if let [_, Operand::Const(c)] = node.inputs[..] {
+                    let w = &program.consts()[c];
+                    let stats = onesa_tensor::sparse::column_block_stats(w, PRUNE_BLOCK_COLS);
+                    if let Ok((nnz_blocks, total_blocks, nnz_cols)) = stats {
+                        if nnz_blocks < total_blocks {
+                            rewritten += 1;
+                            return Action::Keep(OpNode {
+                                op: Op::Gemm {
+                                    bias: bias.clone(),
+                                    sparsity: Some(GemmSparsity {
+                                        block_cols: PRUNE_BLOCK_COLS,
+                                        nnz_blocks,
+                                        total_blocks,
+                                        nnz_cols,
+                                    }),
+                                },
+                                inputs: node.inputs.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            Action::Keep(node.clone())
+        })
+        .collect();
+    Ok((rebuild(program, actions)?, rewritten))
 }
 
 /// Fuses an `Affine` immediately followed by a `Nonlinear` that is its
@@ -517,7 +584,7 @@ pub fn program_cost(program: &Program, cfg: &ArrayConfig) -> Result<(usize, u64,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::EvalMode;
+    use crate::program::{EvalMode, Precision};
     use crate::TableCache;
     use onesa_cpwl::NonlinearFn;
     use onesa_tensor::parallel::Parallelism;
@@ -543,11 +610,33 @@ mod tests {
         let w = rng.randn(&[4, 3], 1.0);
         let mut b = Program::builder("dupq", cpwl());
         let x = b.input(&[2, 4]);
-        let q1 = b.push(Op::Quantize, &[x]);
-        let q2 = b.push(Op::Quantize, &[x]);
+        let q1 = b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        );
+        let q2 = b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        );
         let w1 = b.constant(w.clone());
-        let g1 = b.push(Op::Gemm { bias: None }, &[q1, w1]);
-        let g2 = b.push(Op::Gemm { bias: None }, &[q2, w1]);
+        let g1 = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[q1, w1],
+        );
+        let g2 = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[q2, w1],
+        );
         b.push(Op::Add, &[g1, g2]);
         let p = b.finish().unwrap();
         let o = p.optimize(OptLevel::Standard).unwrap();
@@ -568,8 +657,18 @@ mod tests {
         // q(x) bit for bit, so the elision pass must not touch chains.
         let mut b = Program::builder("chain", cpwl());
         let x = b.input(&[2, 2]);
-        let q1 = b.push(Op::Quantize, &[x]);
-        let q2 = b.push(Op::Quantize, &[q1]);
+        let q1 = b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        );
+        let q2 = b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[q1],
+        );
         b.push(Op::Scale(2.0), &[q2]);
         let p = b.finish().unwrap();
         let o = p.optimize(OptLevel::Standard).unwrap();
@@ -596,8 +695,20 @@ mod tests {
         let w2 = b.constant(wt.clone());
         let c1 = b.push(Op::Im2col(geo), &[x]);
         let c2 = b.push(Op::Im2col(geo), &[x]);
-        let g1 = b.push(Op::Gemm { bias: None }, &[c1, w1]);
-        let g2 = b.push(Op::Gemm { bias: None }, &[c2, w2]);
+        let g1 = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[c1, w1],
+        );
+        let g2 = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[c2, w2],
+        );
         b.push(Op::Add, &[g1, g2]);
         let p = b.finish().unwrap();
         let o = p.optimize(OptLevel::Standard).unwrap();
@@ -619,10 +730,20 @@ mod tests {
         // output to a different op).
         let mut b = Program::builder("tail", cpwl());
         let x = b.input(&[2, 2]);
-        let q1 = b.push(Op::Quantize, &[x]);
+        let q1 = b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        );
         let s = b.push(Op::Scale(3.0), &[q1]);
         let _ = s;
-        b.push(Op::Quantize, &[x]); // duplicate of q1, but final
+        b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        ); // duplicate of q1, but final
         let p = b.finish().unwrap();
         let o = p.optimize(OptLevel::Standard).unwrap();
         let x = Pcg32::seed_from_u64(3).randn(&[2, 2], 1.0);
@@ -643,7 +764,13 @@ mod tests {
         let mut b = Program::builder("dead", EvalMode::Exact);
         let x = b.input(&[2, 3]);
         let w1 = b.constant(w);
-        let _unused = b.push(Op::Gemm { bias: None }, &[x, w1]);
+        let _unused = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, w1],
+        );
         let _unused2 = b.push(Op::Transpose, &[x]);
         b.push(Op::Scale(2.0), &[x]);
         let p = b.finish().unwrap();
@@ -671,7 +798,12 @@ mod tests {
             &[x],
         );
         let r = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[a]);
-        b.push(Op::Quantize, &[r]);
+        b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[r],
+        );
         let p = b.finish().unwrap();
         let o = p.optimize(OptLevel::Fusion).unwrap();
         assert_eq!(o.opt_report().unwrap().totals.fused, 1);
@@ -735,8 +867,18 @@ mod tests {
     fn opt_level_none_is_a_no_op_with_a_report() {
         let mut b = Program::builder("noop", cpwl());
         let x = b.input(&[1, 2]);
-        let q1 = b.push(Op::Quantize, &[x]);
-        let q2 = b.push(Op::Quantize, &[x]);
+        let q1 = b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        );
+        let q2 = b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        );
         b.push(Op::Add, &[q1, q2]);
         let p = b.finish().unwrap();
         let o = p.optimize(OptLevel::None).unwrap();
@@ -750,13 +892,111 @@ mod tests {
     }
 
     #[test]
+    fn prune_pack_attaches_sparsity_and_stays_bit_identical() {
+        let mut rng = Pcg32::seed_from_u64(21);
+        // 3 column blocks of PRUNE_BLOCK_COLS; zero the middle one.
+        let n = 3 * PRUNE_BLOCK_COLS;
+        let mut w = rng.randn(&[8, n], 1.0);
+        for r in 0..8 {
+            for c in PRUNE_BLOCK_COLS..2 * PRUNE_BLOCK_COLS {
+                w.as_mut_slice()[r * n + c] = 0.0;
+            }
+        }
+        let mut b = Program::builder("prune", EvalMode::Exact);
+        let x = b.input(&[4, 8]);
+        let wc = b.constant(w);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, wc],
+        );
+        let p = b.finish().unwrap();
+        let o = p.optimize(OptLevel::Standard).unwrap();
+        let report = o.opt_report().unwrap();
+        assert_eq!(report.totals.pruned, 1);
+        assert!(report.passes.iter().any(|ps| ps.pass == "prune-pack"));
+        let Op::Gemm {
+            sparsity: Some(s), ..
+        } = &o.nodes()[0].op
+        else {
+            panic!("prune-pack attaches the attribute");
+        };
+        assert_eq!(
+            (s.block_cols, s.nnz_blocks, s.total_blocks, s.nnz_cols),
+            (PRUNE_BLOCK_COLS, 2, 3, 2 * PRUNE_BLOCK_COLS)
+        );
+        // The sparse program credits only the surviving columns.
+        assert!(o.modeled_macs() < p.modeled_macs());
+        assert_eq!(o.modeled_macs(), p.modeled_macs() * 2 / 3);
+        assert_eq!(o.sparse_blocks(), (1, 3));
+        // And runs bit-identically to the dense original.
+        let x = rng.randn(&[4, 8], 1.0);
+        assert_eq!(
+            run(&p, std::slice::from_ref(&x)),
+            run(&o, std::slice::from_ref(&x))
+        );
+    }
+
+    #[test]
+    fn prune_pack_leaves_dense_weights_and_attributed_gemms_alone() {
+        let mut rng = Pcg32::seed_from_u64(22);
+        let w = rng.randn(&[4, 2 * PRUNE_BLOCK_COLS], 1.0);
+        let mut b = Program::builder("dense", EvalMode::Exact);
+        let x = b.input(&[2, 4]);
+        let wc = b.constant(w);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, wc],
+        );
+        let p = b.finish().unwrap();
+        let o = p.optimize(OptLevel::Standard).unwrap();
+        assert_eq!(o.opt_report().unwrap().totals.pruned, 0);
+        assert!(matches!(o.nodes()[0].op, Op::Gemm { sparsity: None, .. }));
+        // Re-optimizing an already-attributed program changes nothing.
+        let mut rng = Pcg32::seed_from_u64(23);
+        let n = 2 * PRUNE_BLOCK_COLS;
+        let mut w = rng.randn(&[4, n], 1.0);
+        for r in 0..4 {
+            for c in 0..PRUNE_BLOCK_COLS {
+                w.as_mut_slice()[r * n + c] = 0.0;
+            }
+        }
+        let mut b = Program::builder("again", EvalMode::Exact);
+        let x = b.input(&[2, 4]);
+        let wc = b.constant(w);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, wc],
+        );
+        let once = b.finish().unwrap().optimize(OptLevel::Standard).unwrap();
+        let twice = once.optimize(OptLevel::Standard).unwrap();
+        assert_eq!(once.opt_report().unwrap().totals.pruned, 1);
+        assert_eq!(twice.opt_report().unwrap().totals.pruned, 0);
+        assert_eq!(once.nodes(), twice.nodes());
+    }
+
+    #[test]
     fn optimized_programs_share_const_storage_with_the_source() {
         let mut rng = Pcg32::seed_from_u64(7);
         let w = rng.randn(&[4, 4], 1.0);
         let mut b = Program::builder("share", EvalMode::Exact);
         let x = b.input(&[2, 4]);
         let w1 = b.constant(w);
-        b.push(Op::Gemm { bias: None }, &[x, w1]);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, w1],
+        );
         let p = b.finish().unwrap();
         let o = p.optimize(OptLevel::Standard).unwrap();
         assert!(std::sync::Arc::ptr_eq(&p.consts()[0], &o.consts()[0]));

@@ -70,6 +70,55 @@ pub enum Operand {
     Const(usize),
 }
 
+/// The integer width an [`Op::Quantize`] boundary rounds through.
+///
+/// [`Precision::Int16`] is the paper's evaluation precision and the
+/// default every compiler emits; [`Precision::Int8`] is the coarser rung
+/// below it for models that tolerate the larger step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// Symmetric INT16 round trip (`onesa_tensor::quant::QuantTensor`).
+    Int16,
+    /// Symmetric INT8 round trip (`onesa_tensor::quant::QuantTensor8`).
+    Int8,
+}
+
+/// Column-block sparsity attribute of an [`Op::Gemm`] whose (constant)
+/// right operand has zero column blocks. The optimizer's `prune-pack`
+/// pass attaches this after scanning the weight; the executor then runs
+/// the sparsity-aware kernel (`onesa_tensor::sparse`) and the cost model
+/// credits the skipped blocks. Validation re-scans the weight, so an
+/// attribute that disagrees with the constant (e.g. corrupted wire
+/// bytes) fails typed at build time, never inside a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmSparsity {
+    /// Column-block width the weight was scanned at.
+    pub block_cols: usize,
+    /// Column blocks holding data.
+    pub nnz_blocks: usize,
+    /// Total column blocks (`ceil(n / block_cols)`).
+    pub total_blocks: usize,
+    /// Surviving columns across the non-zero blocks (edge blocks are
+    /// clipped, so this is not always `nnz_blocks · block_cols`).
+    pub nnz_cols: usize,
+}
+
+impl GemmSparsity {
+    /// Fraction of column blocks holding data.
+    pub fn density(&self) -> f64 {
+        if self.total_blocks == 0 {
+            1.0
+        } else {
+            self.nnz_blocks as f64 / self.total_blocks as f64
+        }
+    }
+
+    /// Column blocks the kernel skips entirely.
+    pub fn skipped_blocks(&self) -> usize {
+        self.total_blocks - self.nnz_blocks
+    }
+}
+
 /// Which pooling reduction an [`Op::Pool`] performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PoolKind {
@@ -96,6 +145,10 @@ pub enum Op {
     Gemm {
         /// Per-output-column bias, applied after the product.
         bias: Option<Vec<f32>>,
+        /// Column-block sparsity of a constant right operand, attached
+        /// by the optimizer's `prune-pack` pass (`None` = dense). The
+        /// validator re-checks the attribute against the weight.
+        sparsity: Option<GemmSparsity>,
     },
     /// A pointwise nonlinear evaluation (IPF + MHP under CPWL modes,
     /// the exact scalar function otherwise). One input, any shape.
@@ -165,9 +218,13 @@ pub enum Op {
     ConcatCols,
     /// A pooling reduction (see [`PoolKind`]).
     Pool(PoolKind),
-    /// INT16 quantize→dequantize round trip at a layer boundary (the
-    /// paper's evaluation precision).
-    Quantize,
+    /// Quantize→dequantize round trip at a layer boundary, at the
+    /// chosen [`Precision`] rung ([`Precision::Int16`] is the paper's
+    /// evaluation precision).
+    Quantize {
+        /// Integer width of the round trip.
+        precision: Precision,
+    },
     /// Embedding lookup: inputs `[ids, table, pos]` where `ids` is a
     /// `[1, L]` tensor of token indices and `table`/`pos` are the
     /// `[vocab, D]` / `[max_len, D]` tables; output `[L, D]` sums token
@@ -523,6 +580,33 @@ impl Program {
                 "program constant has a zero dimension",
             ));
         }
+        // A sparsity attribute is a claim about a constant weight; it is
+        // re-checked against the actual tensor here so corrupted or
+        // hand-forged attributes (wire bytes are untrusted) fail typed
+        // at build time, never inside the sparse kernel or the cost
+        // model.
+        for node in &self.nodes {
+            let Op::Gemm {
+                sparsity: Some(s), ..
+            } = &node.op
+            else {
+                continue;
+            };
+            let Some(&Operand::Const(c)) = node.inputs.get(1) else {
+                return Err(TensorError::InvalidArgument(
+                    "sparse GEMM weight must be a program constant",
+                ));
+            };
+            let w = self.consts.get(c).ok_or(TensorError::InvalidArgument(
+                "op reads an unregistered constant",
+            ))?;
+            let (nnz, total, cols) = onesa_tensor::sparse::column_block_stats(w, s.block_cols)?;
+            if (s.nnz_blocks, s.total_blocks, s.nnz_cols) != (nnz, total, cols) {
+                return Err(TensorError::InvalidArgument(
+                    "sparsity attribute disagrees with the constant weight",
+                ));
+            }
+        }
         // Session metadata (set by the builder, but also rebuilt by the
         // wire decoder from untrusted bytes): inputs must name declared
         // inputs, outputs must name op-output slots, no repeats.
@@ -746,11 +830,50 @@ impl Program {
         self.fingerprint
     }
 
+    /// The textual op rendering the fingerprint hashes. Ops that predate
+    /// the sparsity/precision attributes render exactly as their old
+    /// derived `Debug` output did, so every fingerprint minted before
+    /// the attributes existed — including the committed wire golden
+    /// fixtures — survives the enum growing fields. Sparse GEMMs and
+    /// non-INT16 boundaries render their full (new) debug form, which
+    /// keeps them fingerprint-distinct from their dense/INT16 shapes.
+    fn op_fingerprint_repr(op: &Op) -> String {
+        match op {
+            Op::Gemm {
+                bias,
+                sparsity: None,
+            } => format!("Gemm {{ bias: {bias:?} }}"),
+            Op::Quantize {
+                precision: Precision::Int16,
+            } => "Quantize".to_string(),
+            _ => format!("{op:?}"),
+        }
+    }
+
+    /// Column-block totals over the program's sparse GEMMs: `(skipped,
+    /// total)` blocks. `(0, 0)` for a program with no sparsity
+    /// attributes — the serving layer folds these into its
+    /// `ServingReport` blocks-skipped accounting.
+    pub fn sparse_blocks(&self) -> (u64, u64) {
+        let mut skipped = 0u64;
+        let mut total = 0u64;
+        for node in &self.nodes {
+            if let Op::Gemm {
+                sparsity: Some(s), ..
+            } = &node.op
+            {
+                skipped += s.skipped_blocks() as u64;
+                total += s.total_blocks as u64;
+            }
+        }
+        (skipped, total)
+    }
+
     fn compute_fingerprint(&self) -> u64 {
         let mut h = FNV_OFFSET;
         h = fnv_u64(h, self.mode.coalesce_key());
         for node in &self.nodes {
-            for byte in format!("{:?}", node.op).bytes() {
+            for byte in Self::op_fingerprint_repr(&node.op).bytes() {
                 h = fnv_u64(h, u64::from(byte));
             }
             for operand in &node.inputs {
@@ -819,7 +942,7 @@ fn infer_shape(op: &Op, ins: &[&[usize]]) -> Result<Vec<usize>> {
         }
     };
     match op {
-        Op::Gemm { bias } => {
+        Op::Gemm { bias, .. } => {
             let (m, ka) = matrix(ins[0])?;
             let (kb, n) = matrix(ins[1])?;
             if ka != kb {
@@ -832,7 +955,7 @@ fn infer_shape(op: &Op, ins: &[&[usize]]) -> Result<Vec<usize>> {
             }
             Ok(vec![m, n])
         }
-        Op::Nonlinear(_) | Op::Quantize => Ok(ins[0].to_vec()),
+        Op::Nonlinear(_) | Op::Quantize { .. } => Ok(ins[0].to_vec()),
         Op::Softmax | Op::QuantizeRows => {
             matrix(ins[0])?;
             Ok(ins[0].to_vec())
@@ -968,10 +1091,20 @@ pub(crate) fn op_cost(op: &Op, in0: &[usize], out: &[usize], cfg: &ArrayConfig) 
         }
     };
     match op {
-        Op::Gemm { .. } => {
+        Op::Gemm { sparsity, .. } => {
             let (m, k) = mat_or_row(in0);
             let n = out[1];
-            analytic::gemm_stats(cfg, m, k, n)
+            match sparsity {
+                // The sparse kernel packs and sweeps only the surviving
+                // columns, so the op costs exactly a dense `m × k ×
+                // nnz_cols` product — this single crediting point is
+                // what `modeled_macs`/`modeled_energy` (and through
+                // them `SizeCapped` admission and `EnergyAware`
+                // routing) all read.
+                Some(s) if s.nnz_cols == 0 => ExecStats::new(cfg, CycleBreakdown::default(), 0, 0),
+                Some(s) => analytic::gemm_stats(cfg, m, k, s.nnz_cols),
+                None => analytic::gemm_stats(cfg, m, k, n),
+            }
         }
         Op::Nonlinear(_) => {
             let (m, n) = mat_or_row(in0);
@@ -1016,7 +1149,7 @@ pub(crate) fn op_cost(op: &Op, in0: &[usize], out: &[usize], cfg: &ArrayConfig) 
         | Op::SliceCols { .. }
         | Op::ConcatCols
         | Op::ConcatRows
-        | Op::Quantize
+        | Op::Quantize { .. }
         | Op::QuantizeRows
         | Op::Embed
         | Op::EmbedAt { .. } => ExecStats::new(cfg, CycleBreakdown::default(), 0, 0),
@@ -1061,11 +1194,18 @@ mod tests {
         let x = b.input(&[2, 6]);
         let w1 = b.constant(w1);
         let w2 = b.constant(w2);
-        let h = b.push(Op::Gemm { bias: None }, &[x, w1]);
+        let h = b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, w1],
+        );
         let g = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[h]);
         b.push(
             Op::Gemm {
                 bias: Some(vec![0.1, 0.2, 0.3]),
+                sparsity: None,
             },
             &[g, w2],
         );
@@ -1173,7 +1313,13 @@ mod tests {
         let mut b = Program::builder("bad", EvalMode::Exact);
         let x = b.input(&[2, 5]);
         let w = b.constant(Tensor::zeros(&[6, 3]));
-        b.push(Op::Gemm { bias: None }, &[x, w]);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: None,
+            },
+            &[x, w],
+        );
         assert!(b.finish().is_err());
 
         // Empty program.
@@ -1205,6 +1351,7 @@ mod tests {
         b.push(
             Op::Gemm {
                 bias: Some(vec![0.0; 2]),
+                sparsity: None,
             },
             &[x, w],
         );
@@ -1273,6 +1420,7 @@ mod tests {
         let prod = b.push(
             Op::Gemm {
                 bias: Some(vec![0.0; 3]),
+                sparsity: None,
             },
             &[cols, wt],
         );
@@ -1293,11 +1441,133 @@ mod tests {
         );
         let r = b.push(Op::Nonlinear(NonlinearFn::Relu), &[aff]);
         let pooled = b.push(Op::Pool(PoolKind::GlobalAvg), &[r]);
-        b.push(Op::Quantize, &[pooled]);
+        b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[pooled],
+        );
         let p = b.finish().unwrap();
         assert_eq!(p.output_shape(), &[1, 3]);
         let shapes = p.slot_shapes().unwrap();
         assert_eq!(shapes[1], vec![16, geo.patch_len()]);
         assert_eq!(shapes[3], vec![3, 4, 4]);
+    }
+
+    /// A weight whose second 4-column block is all zero, plus the
+    /// matching (and a deliberately wrong) sparsity attribute.
+    fn sparse_weight_and_attr() -> (Tensor, GemmSparsity) {
+        let mut rng = Pcg32::seed_from_u64(31);
+        let mut w = rng.randn(&[3, 8], 1.0);
+        for r in 0..3 {
+            for c in 4..8 {
+                w.as_mut_slice()[r * 8 + c] = 0.0;
+            }
+        }
+        let attr = GemmSparsity {
+            block_cols: 4,
+            nnz_blocks: 1,
+            total_blocks: 2,
+            nnz_cols: 4,
+        };
+        (w, attr)
+    }
+
+    #[test]
+    fn sparsity_attribute_validates_against_the_weight() {
+        let (w, attr) = sparse_weight_and_attr();
+        let mut b = Program::builder("sparse-ok", EvalMode::Exact);
+        let x = b.input(&[2, 3]);
+        let wc = b.constant(w);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: Some(attr),
+            },
+            &[x, wc],
+        );
+        let p = b.finish().unwrap();
+        assert_eq!(p.sparse_blocks(), (1, 2));
+        // Sparse credit: half the columns, half the modeled MACs.
+        assert_eq!(p.modeled_macs(), 2 * 3 * 4);
+    }
+
+    #[test]
+    fn disagreeing_sparsity_attribute_fails_typed() {
+        let (w, attr) = sparse_weight_and_attr();
+        let wrong = GemmSparsity {
+            nnz_blocks: 2,
+            nnz_cols: 8,
+            ..attr
+        };
+        let mut b = Program::builder("sparse-bad", EvalMode::Exact);
+        let x = b.input(&[2, 3]);
+        let wc = b.constant(w);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: Some(wrong),
+            },
+            &[x, wc],
+        );
+        let err = b.finish().unwrap_err();
+        assert!(
+            err.to_string().contains("disagrees"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn sparsity_on_a_non_const_weight_fails_typed() {
+        let (_, attr) = sparse_weight_and_attr();
+        let mut b = Program::builder("sparse-slot", EvalMode::Exact);
+        let x = b.input(&[2, 3]);
+        let y = b.input(&[3, 8]);
+        b.push(
+            Op::Gemm {
+                bias: None,
+                sparsity: Some(attr),
+            },
+            &[x, y],
+        );
+        let err = b.finish().unwrap_err();
+        assert!(
+            err.to_string().contains("constant"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn dense_and_sparse_fingerprints_differ_and_int8_is_distinct() {
+        let (w, attr) = sparse_weight_and_attr();
+        let build = |sparsity| {
+            let mut b = Program::builder("fp", EvalMode::Exact);
+            let x = b.input(&[2, 3]);
+            let wc = b.constant(w.clone());
+            b.push(
+                Op::Gemm {
+                    bias: None,
+                    sparsity,
+                },
+                &[x, wc],
+            );
+            b.finish().unwrap()
+        };
+        assert_ne!(
+            build(None).fingerprint(),
+            build(Some(attr)).fingerprint(),
+            "sparse attribute must be fingerprint-visible"
+        );
+        let quant = |precision| {
+            let mut b = Program::builder("fp-q", EvalMode::Exact);
+            let x = b.input(&[2, 3]);
+            b.push(Op::Quantize { precision }, &[x]);
+            b.finish().unwrap()
+        };
+        assert_ne!(
+            quant(Precision::Int16).fingerprint(),
+            quant(Precision::Int8).fingerprint(),
+            "precision rung must be fingerprint-visible"
+        );
     }
 }

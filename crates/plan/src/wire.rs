@@ -72,14 +72,21 @@ use onesa_tensor::parallel::Parallelism;
 use onesa_tensor::{Tensor, TensorError};
 
 use crate::opt::{OptLevel, OptReport, OptTotals, PassStats};
-use crate::program::{EvalMode, Op, Operand, PoolKind, Program};
+use crate::program::{EvalMode, GemmSparsity, Op, Operand, PoolKind, Precision, Program};
 
 /// Leading 4 bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"OSAW";
 
 /// Current format version. Bump only with a decode-compat plan: old
 /// readers reject newer frames with [`WireError::UnsupportedVersion`].
-pub const VERSION: u16 = 1;
+///
+/// * v1 — initial format.
+/// * v2 — sparse-GEMM attribute (op tag 20), INT8 quantize boundary
+///   (op tag 21), `prune-pack` pass stats and the `pruned` counter in
+///   the optimizer-report tail. v1 frames still decode: their ops are
+///   the dense/INT16 tags and their report tail is read without the
+///   `pruned` field.
+pub const VERSION: u16 = 2;
 
 /// Frame kind: a standalone tensor ([`encode_tensor`]).
 pub const KIND_TENSOR: u16 = 0x0001;
@@ -443,6 +450,7 @@ impl FrameBuilder {
 /// in place.
 #[derive(Debug)]
 pub struct FrameView<'a> {
+    version: u16,
     kind: u16,
     sections: Vec<(u32, &'a [u8])>,
 }
@@ -493,7 +501,18 @@ impl<'a> FrameView<'a> {
             }
             sections.push((id, &body[offset..end]));
         }
-        Ok(Self { kind, sections })
+        Ok(Self {
+            version,
+            kind,
+            sections,
+        })
+    }
+
+    /// The format version the frame was written at (≤ [`VERSION`] —
+    /// newer frames are rejected at parse). Decoders branch on this for
+    /// fields added in later versions.
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// The frame's kind tag.
@@ -810,11 +829,35 @@ fn put_opt_bias(w: &mut WireWriter, bias: &Option<Vec<f32>>) {
     }
 }
 
+fn get_opt_bias(r: &mut WireReader<'_>) -> WireResult<Option<Vec<f32>>> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.get_f32_vec()?)),
+        _ => Err(WireError::Corrupt("unknown Option tag")),
+    }
+}
+
 fn put_op(w: &mut WireWriter, op: &Op) {
     match op {
-        Op::Gemm { bias } => {
+        // Dense GEMMs keep the v1 tag so pre-sparsity fixtures decode
+        // unchanged; a sparse attribute moves the op to tag 20 (v2).
+        Op::Gemm {
+            bias,
+            sparsity: None,
+        } => {
             w.put_u8(0);
             put_opt_bias(w, bias);
+        }
+        Op::Gemm {
+            bias,
+            sparsity: Some(s),
+        } => {
+            w.put_u8(20);
+            put_opt_bias(w, bias);
+            w.put_usize(s.block_cols);
+            w.put_usize(s.nnz_blocks);
+            w.put_usize(s.total_blocks);
+            w.put_usize(s.nnz_cols);
         }
         Op::Nonlinear(f) => {
             w.put_u8(1);
@@ -871,7 +914,13 @@ fn put_op(w: &mut WireWriter, op: &Op) {
                 PoolKind::MeanRows => 1,
             });
         }
-        Op::Quantize => w.put_u8(14),
+        // The INT16 boundary keeps the v1 tag; INT8 is tag 21 (v2).
+        Op::Quantize {
+            precision: Precision::Int16,
+        } => w.put_u8(14),
+        Op::Quantize {
+            precision: Precision::Int8,
+        } => w.put_u8(21),
         Op::Embed => w.put_u8(15),
         Op::ConcatRows => w.put_u8(16),
         Op::CausalSoftmax { offset } => {
@@ -889,11 +938,8 @@ fn put_op(w: &mut WireWriter, op: &Op) {
 fn get_op(r: &mut WireReader<'_>) -> WireResult<Op> {
     Ok(match r.get_u8()? {
         0 => Op::Gemm {
-            bias: match r.get_u8()? {
-                0 => None,
-                1 => Some(r.get_f32_vec()?),
-                _ => return Err(WireError::Corrupt("unknown Option tag")),
-            },
+            bias: get_opt_bias(r)?,
+            sparsity: None,
         },
         1 => Op::Nonlinear(get_nonlinear(r)?),
         2 => Op::Softmax,
@@ -936,7 +982,9 @@ fn get_op(r: &mut WireReader<'_>) -> WireResult<Op> {
             1 => PoolKind::MeanRows,
             _ => return Err(WireError::Corrupt("unknown PoolKind tag")),
         }),
-        14 => Op::Quantize,
+        14 => Op::Quantize {
+            precision: Precision::Int16,
+        },
         15 => Op::Embed,
         16 => Op::ConcatRows,
         17 => Op::CausalSoftmax {
@@ -946,6 +994,18 @@ fn get_op(r: &mut WireReader<'_>) -> WireResult<Op> {
             offset: r.get_usize()?,
         },
         19 => Op::QuantizeRows,
+        20 => Op::Gemm {
+            bias: get_opt_bias(r)?,
+            sparsity: Some(GemmSparsity {
+                block_cols: r.get_usize()?,
+                nnz_blocks: r.get_usize()?,
+                total_blocks: r.get_usize()?,
+                nnz_cols: r.get_usize()?,
+            }),
+        },
+        21 => Op::Quantize {
+            precision: Precision::Int8,
+        },
         _ => return Err(WireError::Corrupt("unknown Op tag")),
     })
 }
@@ -969,6 +1029,7 @@ fn put_opt_report(w: &mut WireWriter, report: &OptReport) {
     w.put_usize(report.totals.shared);
     w.put_usize(report.totals.fused);
     w.put_usize(report.totals.dead);
+    w.put_usize(report.totals.pruned); // v2 tail field
 }
 
 /// The optimizer's pass names are `&'static str`; decoding maps wire
@@ -979,13 +1040,14 @@ fn intern_pass_name(name: &str) -> WireResult<&'static str> {
     match name {
         "quantize-elision" => Ok("quantize-elision"),
         "cse" => Ok("cse"),
+        "prune-pack" => Ok("prune-pack"),
         "fusion" => Ok("fusion"),
         "dead-slot" => Ok("dead-slot"),
         _ => Err(WireError::Corrupt("unknown optimizer pass name")),
     }
 }
 
-fn get_opt_report(r: &mut WireReader<'_>) -> WireResult<OptReport> {
+fn get_opt_report(r: &mut WireReader<'_>, version: u16) -> WireResult<OptReport> {
     let level = match r.get_u8()? {
         0 => OptLevel::None,
         1 => OptLevel::Standard,
@@ -1020,6 +1082,8 @@ fn get_opt_report(r: &mut WireReader<'_>) -> WireResult<OptReport> {
             shared: r.get_usize()?,
             fused: r.get_usize()?,
             dead: r.get_usize()?,
+            // v1 frames predate the prune-pack pass: no field, no work.
+            pruned: if version >= 2 { r.get_usize()? } else { 0 },
         },
     })
 }
@@ -1135,7 +1199,7 @@ pub fn decode_program(bytes: &[u8]) -> WireResult<Program> {
     let fingerprint = meta.get_u64()?;
     let opt = match meta.get_u8()? {
         0 => None,
-        1 => Some(get_opt_report(&mut meta)?),
+        1 => Some(get_opt_report(&mut meta, frame.version())?),
         _ => return Err(WireError::Corrupt("unknown Option tag")),
     };
     meta.expect_end()?;
@@ -1233,11 +1297,17 @@ mod tests {
             },
         );
         let x = b.input(&[2, 4]);
-        let q = b.push(Op::Quantize, &[x]);
+        let q = b.push(
+            Op::Quantize {
+                precision: Precision::Int16,
+            },
+            &[x],
+        );
         let c = b.constant(w);
         let g = b.push(
             Op::Gemm {
                 bias: Some(vec![0.5, -1.0, 0.0]),
+                sparsity: None,
             },
             &[q, c],
         );

@@ -13,7 +13,10 @@
 //!   (the encoding is canonical).
 
 use onesa_cpwl::NonlinearFn;
-use onesa_plan::{wire, CompileCache, EvalMode, Op, OptLevel, PoolKind, Program, TableCache};
+use onesa_plan::{
+    wire, CompileCache, EvalMode, Op, OptLevel, PoolKind, Precision, Program, TableCache,
+    PRUNE_BLOCK_COLS,
+};
 use onesa_tensor::im2col::Conv2dGeometry;
 use onesa_tensor::parallel::Parallelism;
 use onesa_tensor::rng::Pcg32;
@@ -48,16 +51,44 @@ fn conservative_mlp(mode: EvalMode, m: usize, k: usize, n: usize, seed: u64) -> 
     let w2 = rng.randn(&[n, 3], 1.0);
     let mut b = Program::builder("prop-mlp", mode);
     let x = b.input(&[m, k]);
-    let q1 = b.push(Op::Quantize, &[x]);
-    let q2 = b.push(Op::Quantize, &[x]);
+    let q1 = b.push(
+        Op::Quantize {
+            precision: Precision::Int16,
+        },
+        &[x],
+    );
+    let q2 = b.push(
+        Op::Quantize {
+            precision: Precision::Int16,
+        },
+        &[x],
+    );
     let c = b.constant(w.clone());
     let c_dup = b.constant(w); // duplicate registration: CSE sees through it
-    let g1 = b.push(Op::Gemm { bias: None }, &[q1, c]);
-    let g2 = b.push(Op::Gemm { bias: None }, &[q2, c_dup]);
+    let g1 = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q1, c],
+    );
+    let g2 = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q2, c_dup],
+    );
     let sum = b.push(Op::Add, &[g1, g2]);
     let nl = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[sum]);
     let c2 = b.constant(w2);
-    b.push(Op::Gemm { bias: None }, &[nl, c2]);
+    b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[nl, c2],
+    );
     b.finish().expect("program builds")
 }
 
@@ -110,7 +141,12 @@ fn kitchen_sink(mode: EvalMode, c: usize, h: usize, func: NonlinearFn, seed: u64
     let ids = b.input(&[1, l]);
     // Image branch: quantize → affine → fused affine+relu → conv
     // (im2col/gemm+bias/col2im) → global pool.
-    let q = b.push(Op::Quantize, &[x]);
+    let q = b.push(
+        Op::Quantize {
+            precision: Precision::Int16,
+        },
+        &[x],
+    );
     let af = b.push(
         Op::Affine {
             k: chan(0.5, &mut rng),
@@ -131,7 +167,13 @@ fn kitchen_sink(mode: EvalMode, c: usize, h: usize, func: NonlinearFn, seed: u64
     let bias: Vec<f32> = (0..ch)
         .map(|_| rng.randn(&[1], 0.1).as_slice()[0])
         .collect();
-    let g = b.push(Op::Gemm { bias: Some(bias) }, &[cols, wc]);
+    let g = b.push(
+        Op::Gemm {
+            bias: Some(bias),
+            sparsity: None,
+        },
+        &[cols, wc],
+    );
     let ci = b.push(
         Op::Col2im {
             channels: ch,
@@ -179,7 +221,13 @@ fn kitchen_sink(mode: EvalMode, c: usize, h: usize, func: NonlinearFn, seed: u64
     // Merge and classify.
     let merged = b.push(Op::ConcatCols, &[pooled, mr]);
     let wf = b.constant(rng.randn(&[ch + d, 2], 1.0));
-    b.push(Op::Gemm { bias: None }, &[merged, wf]);
+    b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[merged, wf],
+    );
     b.finish().expect("kitchen-sink builds")
 }
 
@@ -209,17 +257,41 @@ fn session_decode_program(mode: EvalMode, ctx: usize, d: usize, seed: u64) -> Pr
     let q = b.push(Op::QuantizeRows, &[e]);
     let wk = b.constant(rng.randn(&[d, d], 1.0));
     let wv = b.constant(rng.randn(&[d, d], 1.0));
-    let k_new = b.push(Op::Gemm { bias: None }, &[q, wk]);
-    let v_new = b.push(Op::Gemm { bias: None }, &[q, wv]);
+    let k_new = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q, wk],
+    );
+    let v_new = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q, wv],
+    );
     let k_full = b.push(Op::ConcatRows, &[k_cache, k_new]);
     let v_full = b.push(Op::ConcatRows, &[v_cache, v_new]);
     b.mark_session_output(k_full);
     b.mark_session_output(v_full);
     let kt = b.push(Op::Transpose, &[k_full]);
-    let scores = b.push(Op::Gemm { bias: None }, &[q, kt]);
+    let scores = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q, kt],
+    );
     let sc = b.push(Op::Scale(0.5), &[scores]);
     let att = b.push(Op::CausalSoftmax { offset: ctx }, &[sc]);
-    b.push(Op::Gemm { bias: None }, &[att, v_full]);
+    b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[att, v_full],
+    );
     b.finish().expect("decode step builds")
 }
 
@@ -229,6 +301,46 @@ fn session_decode_inputs(ctx: usize, d: usize, seed: u64) -> Vec<Tensor> {
     let mut rng = Pcg32::seed_from_u64(seed ^ 0xCAFE);
     let ids = Tensor::from_vec(vec![(seed % 6) as f32], &[1, 1]).unwrap();
     vec![ids, rng.randn(&[ctx, d], 1.0), rng.randn(&[ctx, d], 1.0)]
+}
+
+/// A pruned network: the GEMM weight has `zeroed` of its
+/// `PRUNE_BLOCK_COLS`-wide column blocks zeroed out, so
+/// `OptLevel::Standard`'s prune-pack pass attaches a sparsity attribute
+/// and an `Int8` boundary precedes the GEMM. Exercises both new wire
+/// tags (20 and 21) plus the version-2 opt-report `pruned` counter.
+fn pruned_int8_program(
+    mode: EvalMode,
+    m: usize,
+    k: usize,
+    blocks: usize,
+    zeroed: usize,
+    seed: u64,
+) -> Program {
+    let n = blocks * PRUNE_BLOCK_COLS;
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut w = rng.randn(&[k, n], 1.0);
+    for r in 0..k {
+        for c in (n - zeroed * PRUNE_BLOCK_COLS)..n {
+            w.as_mut_slice()[r * n + c] = 0.0;
+        }
+    }
+    let mut b = Program::builder("prop-pruned-int8", mode);
+    let x = b.input(&[m, k]);
+    let q = b.push(
+        Op::Quantize {
+            precision: Precision::Int8,
+        },
+        &[x],
+    );
+    let c = b.constant(w);
+    b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q, c],
+    );
+    b.finish().expect("program builds")
 }
 
 fn assert_programs_bit_identical(a: &Program, b: &Program, inputs: &[Tensor]) {
@@ -466,6 +578,57 @@ proptest! {
         let deeper = session_decode_program(mode, ctx + 1, d, seed);
         prop_assert!(deeper.modeled_macs() > p.modeled_macs());
         prop_assert_ne!(deeper.fingerprint(), p.fingerprint());
+    }
+
+    /// Sparsity- and precision-attributed programs survive the wire:
+    /// the prune-pack attribute (block geometry, skipped-block credit),
+    /// the `Int8` rung, the sparse-credited modeled cost and the
+    /// version-2 `pruned` report counter all round-trip, the encoding
+    /// stays canonical, and the decoded program still executes
+    /// bit-identically to the pre-wire one.
+    #[test]
+    fn wire_round_trip_keeps_sparsity_and_precision_attributes(
+        mode in mode_strategy(),
+        m in 1usize..5,
+        k in 1usize..7,
+        blocks in 2usize..5,
+        zeroed_frac in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let zeroed = (blocks * zeroed_frac) / 4; // 0..blocks zeroed blocks
+        let p = pruned_int8_program(mode, m, k, blocks, zeroed, seed);
+        let o = p.optimize(OptLevel::Standard).expect("optimizes");
+        let report = o.opt_report().expect("report recorded");
+        let expect_pruned = usize::from(zeroed > 0);
+        prop_assert_eq!(report.totals.pruned, expect_pruned);
+        prop_assert_eq!(o.sparse_blocks(), (zeroed as u64, if zeroed > 0 { blocks as u64 } else { 0 }));
+        let bytes = wire::encode_program(&o);
+        let back = wire::decode_program(&bytes).expect("decodes");
+        prop_assert_eq!(back.fingerprint(), o.fingerprint());
+        prop_assert_eq!(back.sparse_blocks(), o.sparse_blocks());
+        prop_assert_eq!(back.modeled_macs(), o.modeled_macs());
+        prop_assert_eq!(back.opt_report().expect("report kept"), report);
+        prop_assert_eq!(wire::encode_program(&back), bytes);
+        if zeroed > 0 {
+            // Sparse credit shows in the modeled cost: the attributed
+            // program must model strictly less work than the dense one.
+            prop_assert!(o.modeled_macs() < p.modeled_macs());
+            let gemm = back
+                .nodes()
+                .iter()
+                .find_map(|node| match &node.op {
+                    Op::Gemm { sparsity: Some(s), .. } => Some(*s),
+                    _ => None,
+                })
+                .expect("sparse attribute survived");
+            prop_assert_eq!(gemm.block_cols, PRUNE_BLOCK_COLS);
+            prop_assert_eq!(gemm.total_blocks - gemm.nnz_blocks, zeroed);
+        }
+        let x = Pcg32::seed_from_u64(seed ^ 0xF00D).randn(&[m, k], 1.0);
+        let (ya, yb) = (run(&o, &x), run(&back, &x));
+        for (a, b) in ya.as_slice().iter().zip(yb.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     /// The parameter-carrying nonlinears (`Elu`, `LeakyRelu`) keep

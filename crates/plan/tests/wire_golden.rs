@@ -1,6 +1,7 @@
 //! Golden-frame tests for the wire format: committed byte fixtures
-//! (`tests/fixtures/*.bin`) pin the **exact** encoding of format
-//! version 1.
+//! (`tests/fixtures/*.bin`) pin the **exact** encoding of the current
+//! format version (`*_v2.bin`), and the `*_v1.bin` fixtures from the
+//! previous version stay committed to prove old frames keep decoding.
 //!
 //! Two directions are locked in:
 //!
@@ -10,8 +11,9 @@
 //!   format-version bump (plus fresh fixtures) instead of a silent
 //!   break.
 //! * **decode compatibility** — today's decoder accepts the committed
-//!   bytes and reconstructs semantically identical values, which is
-//!   what keeps old peers talking to new hosts within a version.
+//!   bytes of the current *and all previous* versions and reconstructs
+//!   semantically identical values, which is what keeps old peers
+//!   talking to new hosts across a version bump.
 //!
 //! Negative cases prove malformed frames surface as typed
 //! [`WireError`]s, never panics: truncation at every prefix length, a
@@ -23,7 +25,7 @@
 
 use onesa_cpwl::NonlinearFn;
 use onesa_plan::wire::{self, WireError};
-use onesa_plan::{EvalMode, Op, OptLevel, Program};
+use onesa_plan::{EvalMode, Op, OptLevel, Precision, Program};
 use onesa_tensor::rng::Pcg32;
 use onesa_tensor::Tensor;
 use std::path::PathBuf;
@@ -88,12 +90,19 @@ fn golden_program() -> Program {
     let g1 = b.push(
         Op::Gemm {
             bias: Some(vec![0.1, -0.2, 0.3]),
+            sparsity: None,
         },
         &[x, w1],
     );
     let nl = b.push(Op::Nonlinear(NonlinearFn::Gelu), &[g1]);
     let w2 = b.constant(rng.randn(&[3, 2], 1.0));
-    b.push(Op::Gemm { bias: None }, &[nl, w2]);
+    b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[nl, w2],
+    );
     b.finish().unwrap()
 }
 
@@ -121,17 +130,41 @@ fn golden_decode_program() -> Program {
     let q = b.push(Op::QuantizeRows, &[e]);
     let wk = b.constant(rng.randn(&[d, d], 1.0));
     let wv = b.constant(rng.randn(&[d, d], 1.0));
-    let k_new = b.push(Op::Gemm { bias: None }, &[q, wk]);
-    let v_new = b.push(Op::Gemm { bias: None }, &[q, wv]);
+    let k_new = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q, wk],
+    );
+    let v_new = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q, wv],
+    );
     let k_full = b.push(Op::ConcatRows, &[k_cache, k_new]);
     let v_full = b.push(Op::ConcatRows, &[v_cache, v_new]);
     b.mark_session_output(k_full);
     b.mark_session_output(v_full);
     let kt = b.push(Op::Transpose, &[k_full]);
-    let scores = b.push(Op::Gemm { bias: None }, &[q, kt]);
+    let scores = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q, kt],
+    );
     let sc = b.push(Op::Scale(0.5), &[scores]);
     let att = b.push(Op::CausalSoftmax { offset: ctx }, &[sc]);
-    b.push(Op::Gemm { bias: None }, &[att, v_full]);
+    b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[att, v_full],
+    );
     b.finish().unwrap()
 }
 
@@ -147,20 +180,80 @@ fn golden_optimized() -> Program {
         },
     );
     let x = b.input(&[2, 4]);
-    let q1 = b.push(Op::Quantize, &[x]);
-    let q2 = b.push(Op::Quantize, &[x]);
+    let q1 = b.push(
+        Op::Quantize {
+            precision: Precision::Int16,
+        },
+        &[x],
+    );
+    let q2 = b.push(
+        Op::Quantize {
+            precision: Precision::Int16,
+        },
+        &[x],
+    );
     let c1 = b.constant(w.clone());
     let c2 = b.constant(w);
-    let g1 = b.push(Op::Gemm { bias: None }, &[q1, c1]);
-    let g2 = b.push(Op::Gemm { bias: None }, &[q2, c2]);
+    let g1 = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q1, c1],
+    );
+    let g2 = b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q2, c2],
+    );
     b.push(Op::Add, &[g1, g2]);
+    b.finish().unwrap().optimize(OptLevel::Standard).unwrap()
+}
+
+/// The sparsity/precision fixture (new in v2): a pruned weight whose
+/// zero column-blocks the `prune-pack` pass rewrites to a sparse GEMM
+/// attribute (op tag 20), plus an INT8 boundary (op tag 21) — every
+/// byte of the new attributes pinned exactly.
+fn golden_sparse() -> Program {
+    let mut rng = Pcg32::seed_from_u64(11);
+    let mut w = rng.randn(&[8, 48], 1.0);
+    // Zero the last two of the three 16-column blocks.
+    for r in 0..8 {
+        for c in 16..48 {
+            w.as_mut_slice()[r * 48 + c] = 0.0;
+        }
+    }
+    let mut b = Program::builder(
+        "golden-sparse",
+        EvalMode::Cpwl {
+            granularity: 0.25,
+            quantize: true,
+        },
+    );
+    let x = b.input(&[2, 8]);
+    let q = b.push(
+        Op::Quantize {
+            precision: Precision::Int8,
+        },
+        &[x],
+    );
+    let wc = b.constant(w);
+    b.push(
+        Op::Gemm {
+            bias: None,
+            sparsity: None,
+        },
+        &[q, wc],
+    );
     b.finish().unwrap().optimize(OptLevel::Standard).unwrap()
 }
 
 #[test]
 fn tensor_fixture_is_byte_exact_and_decodes() {
     let t = golden_tensor();
-    let committed = check_golden("tensor_v1.bin", &wire::encode_tensor(&t));
+    let committed = check_golden("tensor_v2.bin", &wire::encode_tensor(&t));
     let back = wire::decode_tensor(&committed).expect("committed tensor frame decodes");
     assert_eq!(back.dims(), t.dims());
     for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
@@ -171,7 +264,7 @@ fn tensor_fixture_is_byte_exact_and_decodes() {
 #[test]
 fn program_fixture_is_byte_exact_and_decodes() {
     let p = golden_program();
-    let committed = check_golden("program_v1.bin", &wire::encode_program(&p));
+    let committed = check_golden("program_v2.bin", &wire::encode_program(&p));
     let back = wire::decode_program(&committed).expect("committed program frame decodes");
     assert_eq!(back.fingerprint(), p.fingerprint());
     assert_eq!(back.name(), "golden-mlp");
@@ -182,7 +275,7 @@ fn program_fixture_is_byte_exact_and_decodes() {
 #[test]
 fn optimized_program_fixture_keeps_its_report() {
     let p = golden_optimized();
-    let committed = check_golden("program_opt_v1.bin", &wire::encode_program(&p));
+    let committed = check_golden("program_opt_v2.bin", &wire::encode_program(&p));
     let back = wire::decode_program(&committed).expect("committed frame decodes");
     assert_eq!(back.fingerprint(), p.fingerprint());
     let report = back.opt_report().expect("opt report survives the wire");
@@ -192,7 +285,7 @@ fn optimized_program_fixture_keeps_its_report() {
 #[test]
 fn decode_program_fixture_is_byte_exact_and_decodes() {
     let p = golden_decode_program();
-    let committed = check_golden("program_decode_v1.bin", &wire::encode_program(&p));
+    let committed = check_golden("program_decode_v2.bin", &wire::encode_program(&p));
     let back = wire::decode_program(&committed).expect("committed decode frame decodes");
     assert_eq!(back.fingerprint(), p.fingerprint());
     assert_eq!(back.name(), "golden-decode");
@@ -203,12 +296,79 @@ fn decode_program_fixture_is_byte_exact_and_decodes() {
 }
 
 #[test]
-fn truncated_fixture_frames_error_and_never_panic() {
+fn sparse_program_fixture_is_byte_exact_and_decodes() {
+    let p = golden_sparse();
+    assert_eq!(
+        p.opt_report().unwrap().totals.pruned,
+        1,
+        "prune-pack rewrote the zero-blocked GEMM"
+    );
+    let committed = check_golden("program_sparse_v2.bin", &wire::encode_program(&p));
+    let back = wire::decode_program(&committed).expect("sparse frame decodes");
+    assert_eq!(back.fingerprint(), p.fingerprint());
+    assert_eq!(back, p, "sparsity + precision attributes survive exactly");
+    assert_eq!(back.sparse_blocks(), (2, 3));
+    assert_eq!(back.modeled_macs(), p.modeled_macs());
+}
+
+/// Every byte of the previous version's committed frames must keep
+/// decoding under the v2 reader: v1 op tags map onto the dense/INT16
+/// forms and the v1 optimizer-report tail reads with zero `pruned`
+/// rewrites. Re-encoding a decoded v1 program at v2 preserves its
+/// fingerprint end to end.
+#[test]
+fn v1_fixtures_from_the_previous_version_still_decode() {
+    let bytes = std::fs::read(fixture_path("tensor_v1.bin")).unwrap();
+    let t = wire::decode_tensor(&bytes).expect("v1 tensor frame decodes");
+    for (a, b) in golden_tensor().as_slice().iter().zip(t.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+    }
     for name in [
-        "tensor_v1.bin",
         "program_v1.bin",
         "program_opt_v1.bin",
         "program_decode_v1.bin",
+    ] {
+        let bytes = std::fs::read(fixture_path(name)).unwrap();
+        let p = wire::decode_program(&bytes)
+            .unwrap_or_else(|e| panic!("{name}: v1 frame must decode ({e})"));
+        let back = wire::decode_program(&wire::encode_program(&p)).unwrap();
+        assert_eq!(back.fingerprint(), p.fingerprint(), "{name}");
+        assert_eq!(back, p, "{name}");
+    }
+    let bytes = std::fs::read(fixture_path("program_opt_v1.bin")).unwrap();
+    let p = wire::decode_program(&bytes).unwrap();
+    assert_eq!(p.opt_report().unwrap().totals.pruned, 0);
+}
+
+#[test]
+fn corrupted_sparse_fixture_errors_and_never_panics() {
+    // Flip every single byte of the sparse frame in turn: a corrupted
+    // sparsity attribute must fail typed (the validator re-scans the
+    // weight; the fingerprint covers the rest) — never a panic, never a
+    // silently different program.
+    let bytes = std::fs::read(fixture_path("program_sparse_v2.bin")).unwrap();
+    let original = wire::decode_program(&bytes).unwrap();
+    for i in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x01;
+        if let Ok(p) = wire::decode_program(&corrupt) {
+            assert_eq!(
+                p.fingerprint(),
+                original.fingerprint(),
+                "byte {i}: a tolerated flip must decode to the identical program"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_fixture_frames_error_and_never_panic() {
+    for name in [
+        "tensor_v2.bin",
+        "program_v2.bin",
+        "program_opt_v2.bin",
+        "program_decode_v2.bin",
+        "program_sparse_v2.bin",
     ] {
         let bytes = std::fs::read(fixture_path(name)).unwrap();
         for cut in 0..bytes.len() {
@@ -231,7 +391,7 @@ fn corrupted_decode_fixture_errors_and_never_panics() {
     // structural damage, const damage and session-section damage must
     // all surface as typed errors or decode to the identical program —
     // never a panic, never a silently different session contract.
-    let bytes = std::fs::read(fixture_path("program_decode_v1.bin")).unwrap();
+    let bytes = std::fs::read(fixture_path("program_decode_v2.bin")).unwrap();
     let original = wire::decode_program(&bytes).unwrap();
     for i in 0..bytes.len() {
         let mut corrupt = bytes.clone();
@@ -248,7 +408,7 @@ fn corrupted_decode_fixture_errors_and_never_panics() {
 
 #[test]
 fn bad_magic_is_a_typed_error() {
-    let mut bytes = std::fs::read(fixture_path("program_v1.bin")).unwrap();
+    let mut bytes = std::fs::read(fixture_path("program_v2.bin")).unwrap();
     bytes[0] = b'X';
     match wire::decode_program(&bytes) {
         Err(WireError::BadMagic { found }) => assert_eq!(found[0], b'X'),
@@ -258,7 +418,7 @@ fn bad_magic_is_a_typed_error() {
 
 #[test]
 fn bumped_format_version_is_rejected_not_panicked() {
-    let mut bytes = std::fs::read(fixture_path("program_v1.bin")).unwrap();
+    let mut bytes = std::fs::read(fixture_path("program_v2.bin")).unwrap();
     // Version field sits right after the 4-byte magic, little-endian.
     let future = (wire::VERSION + 1).to_le_bytes();
     bytes[4] = future[0];
@@ -274,7 +434,7 @@ fn bumped_format_version_is_rejected_not_panicked() {
 
 #[test]
 fn corrupted_const_payload_trips_the_fingerprint_check() {
-    let bytes = std::fs::read(fixture_path("program_v1.bin")).unwrap();
+    let bytes = std::fs::read(fixture_path("program_v2.bin")).unwrap();
     // Flip one bit in the last const f32 (the tail of the consts
     // section): structure still parses, semantics changed — the
     // recomputed fingerprint must disagree with the recorded one.

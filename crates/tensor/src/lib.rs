@@ -8,7 +8,10 @@
 //!   ops (`X ⊙ K + B`) at the heart of the paper's MHP event.
 //! * [`im2col`] — convolution-as-GEMM lowering used by the CNN substrate.
 //! * [`quant`] — symmetric INT16 quantization matching the paper's
-//!   evaluation precision.
+//!   evaluation precision, plus the INT8 rung below it.
+//! * [`sparse`] — packed column-block sparse weights and a
+//!   sparsity-aware GEMM that skips zero blocks entirely (bit-identical
+//!   to the dense kernels on the same values).
 //! * [`fixed`] — Q-format fixed-point scalar arithmetic used by the
 //!   shift-based segment addressing of the L3 buffer.
 //! * [`parallel`] — the cache-blocked, multi-threaded execution backend
@@ -41,6 +44,7 @@ pub mod im2col;
 pub mod parallel;
 pub mod quant;
 pub mod rng;
+pub mod sparse;
 pub mod stats;
 
 pub use error::TensorError;

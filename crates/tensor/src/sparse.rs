@@ -1,0 +1,588 @@
+//! Packed column-block sparse weights and the sparsity-aware GEMM.
+//!
+//! Structured pruning zeroes whole **column blocks** of a weight matrix
+//! (groups of `block_cols` adjacent output columns). [`SparseTensor`]
+//! stores such a matrix as a block bitmap plus a packed payload: the
+//! dense matrix with its zero column-blocks deleted. The payload is
+//! exactly the sub-matrix the packed dense kernel would have swept had
+//! the zero panels never existed, so [`matmul`] drives the same
+//! 4×48 register-tiled microkernel as [`crate::parallel`] over the
+//! payload and scatters each output column back to its true position —
+//! zero blocks are never packed, never swept, never touched.
+//!
+//! # Bit-identical by construction
+//!
+//! A column of `C` depends only on the matching column of `B`. For a
+//! column inside a zero block, every term of the reference accumulation
+//! is `a·(+0.0)`: starting from the `+0.0` the output is initialized
+//! with, each fused multiply-add returns the accumulator unchanged (an
+//! accumulator seeded from `+0.0` over finite terms can never become
+//! `-0.0` — exact cancellation rounds to `+0.0`), so the reference
+//! produces exactly the `+0.0` the sparse kernel leaves in place. A
+//! block counts as zero only when every element is bit-pattern `+0.0`
+//! (a `-0.0` keeps its block in the payload), which also makes
+//! [`SparseTensor::to_dense`] a lossless bit-exact round trip. Surviving
+//! columns run the identical packed-microkernel op sequence as the dense
+//! backend, so for finite inputs the whole product is bit-identical to
+//! dense-times-dense under every [`Parallelism`] setting — the same
+//! finite-input caveat as the dense kernel's own `A == 0.0` skip.
+//!
+//! # Example
+//!
+//! ```
+//! use onesa_tensor::{gemm, sparse::SparseTensor, parallel::Parallelism, rng::Pcg32};
+//!
+//! let mut rng = Pcg32::seed_from_u64(7);
+//! let a = rng.randn(&[8, 32], 1.0);
+//! let mut b = rng.randn(&[32, 64], 1.0);
+//! // Zero columns 16..48 (two 16-wide blocks).
+//! for row in 0..32 {
+//!     for col in 16..48 {
+//!         b.as_mut_slice()[row * 64 + col] = 0.0;
+//!     }
+//! }
+//! let sb = SparseTensor::from_dense(&b, 16)?;
+//! assert_eq!(sb.nnz_blocks(), 2);
+//! assert_eq!(sb.to_dense(), b); // lossless
+//! let fast = onesa_tensor::sparse::matmul(&a, &sb, Parallelism::Auto)?;
+//! assert_eq!(fast, gemm::matmul(&a, &b)?); // bit-identical
+//! # Ok::<(), onesa_tensor::TensorError>(())
+//! ```
+
+use crate::parallel::Parallelism;
+use crate::{Result, Tensor, TensorError};
+use std::thread;
+
+/// Microkernel tile height — mirrors `parallel::MR`.
+const MR: usize = 4;
+/// Microkernel tile width — mirrors `parallel::NR`.
+const NR: usize = 48;
+/// K-blocking depth — mirrors `parallel::KC`.
+const KC: usize = 128;
+
+/// A `rows × cols` matrix whose zero column-blocks are stored as a
+/// bitmap instead of data. See the [module docs](self) for the layout
+/// and the bit-identicality contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseTensor {
+    rows: usize,
+    cols: usize,
+    block_cols: usize,
+    /// `bitmap[b]` is `true` iff column block `b` holds any non-`+0.0`
+    /// bit pattern. Length [`SparseTensor::total_blocks`].
+    bitmap: Vec<bool>,
+    /// The dense matrix with zero column-blocks deleted: `rows ×
+    /// nnz_cols`, row-major — byte-for-byte what the packed kernel
+    /// sweeps.
+    payload: Vec<f32>,
+    /// Payload column → original column (length `nnz_cols`).
+    col_map: Vec<usize>,
+}
+
+/// Column-block occupancy of a dense matrix without packing it:
+/// `(nnz_blocks, total_blocks, nnz_cols)` at the given block width.
+/// This is what `onesa-plan` validates a program's sparsity attribute
+/// against.
+///
+/// # Errors
+///
+/// [`TensorError::NotAMatrix`] for non-2-D input,
+/// [`TensorError::InvalidArgument`] for a zero block width.
+pub fn column_block_stats(t: &Tensor, block_cols: usize) -> Result<(usize, usize, usize)> {
+    let (rows, cols) = t.shape().as_matrix()?;
+    if block_cols == 0 {
+        return Err(TensorError::InvalidArgument(
+            "sparse block width must be positive",
+        ));
+    }
+    let total = cols.div_ceil(block_cols);
+    let data = t.as_slice();
+    let mut nnz_blocks = 0;
+    let mut nnz_cols = 0;
+    for b in 0..total {
+        let j0 = b * block_cols;
+        let width = block_cols.min(cols - j0);
+        let live = (0..rows).any(|i| {
+            data[i * cols + j0..i * cols + j0 + width]
+                .iter()
+                .any(|v| v.to_bits() != 0)
+        });
+        if live {
+            nnz_blocks += 1;
+            nnz_cols += width;
+        }
+    }
+    Ok((nnz_blocks, total, nnz_cols))
+}
+
+impl SparseTensor {
+    /// Packs a dense matrix at the given column-block width. Blocks in
+    /// which every element is bit-pattern `+0.0` are recorded only in
+    /// the bitmap; all other blocks are copied bit-exactly into the
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// As for [`column_block_stats`].
+    pub fn from_dense(t: &Tensor, block_cols: usize) -> Result<Self> {
+        let (rows, cols) = t.shape().as_matrix()?;
+        if block_cols == 0 {
+            return Err(TensorError::InvalidArgument(
+                "sparse block width must be positive",
+            ));
+        }
+        let total = cols.div_ceil(block_cols);
+        let data = t.as_slice();
+        let mut bitmap = vec![false; total];
+        let mut col_map = Vec::new();
+        for (b, live_flag) in bitmap.iter_mut().enumerate() {
+            let j0 = b * block_cols;
+            let width = block_cols.min(cols - j0);
+            let live = (0..rows).any(|i| {
+                data[i * cols + j0..i * cols + j0 + width]
+                    .iter()
+                    .any(|v| v.to_bits() != 0)
+            });
+            if live {
+                *live_flag = true;
+                col_map.extend(j0..j0 + width);
+            }
+        }
+        let nnz_cols = col_map.len();
+        let mut payload = vec![0.0f32; rows * nnz_cols];
+        for i in 0..rows {
+            let src = &data[i * cols..(i + 1) * cols];
+            let dst = &mut payload[i * nnz_cols..(i + 1) * nnz_cols];
+            for (d, &j) in dst.iter_mut().zip(&col_map) {
+                *d = src[j];
+            }
+        }
+        Ok(SparseTensor {
+            rows,
+            cols,
+            block_cols,
+            bitmap,
+            payload,
+            col_map,
+        })
+    }
+
+    /// Reconstructs the dense matrix, bit-exactly.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.rows, self.cols]);
+        let data = out.as_mut_slice();
+        let nnz = self.col_map.len();
+        for i in 0..self.rows {
+            let src = &self.payload[i * nnz..(i + 1) * nnz];
+            for (&v, &j) in src.iter().zip(&self.col_map) {
+                data[i * self.cols + j] = v;
+            }
+        }
+        out
+    }
+
+    /// Row count (the GEMM's inner dimension).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count of the dense matrix this represents.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The column-block width the matrix was packed at.
+    pub fn block_cols(&self) -> usize {
+        self.block_cols
+    }
+
+    /// Number of column blocks holding data.
+    pub fn nnz_blocks(&self) -> usize {
+        self.bitmap.iter().filter(|&&b| b).count()
+    }
+
+    /// Total number of column blocks (`ceil(cols / block_cols)`).
+    pub fn total_blocks(&self) -> usize {
+        self.bitmap.len()
+    }
+
+    /// Number of surviving columns in the payload.
+    pub fn nnz_cols(&self) -> usize {
+        self.col_map.len()
+    }
+
+    /// Fraction of column blocks holding data (`1.0` for an empty
+    /// block grid).
+    pub fn density(&self) -> f64 {
+        if self.bitmap.is_empty() {
+            1.0
+        } else {
+            self.nnz_blocks() as f64 / self.total_blocks() as f64
+        }
+    }
+}
+
+/// Computes `A · B` for a column-block sparse `B` under the given
+/// parallelism setting — bit-identical to the dense product of
+/// `A · B.to_dense()` for every setting (see the [module docs](self)).
+///
+/// Zero blocks are skipped entirely: the kernel packs and sweeps only
+/// the payload, so the MAC count scales with
+/// [`SparseTensor::nnz_cols`], not with the dense width.
+///
+/// # Errors
+///
+/// Shape errors as in [`crate::gemm::matmul`].
+pub fn matmul(a: &Tensor, b: &SparseTensor, par: Parallelism) -> Result<Tensor> {
+    let (m, k) = a.shape().as_matrix()?;
+    if k != b.rows {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: vec![b.rows, b.cols],
+            op: "sparse::matmul",
+        });
+    }
+    let mut out = Tensor::zeros(&[m, b.cols]);
+    let nnz = b.col_map.len();
+    if nnz == 0 {
+        // Every block is zero: the dense product is exactly the +0.0
+        // the output is initialized with.
+        return Ok(out);
+    }
+    let av = a.as_slice();
+    let workers = par.worker_count().min(m.max(1));
+    if matches!(par, Parallelism::Sequential) || workers <= 1 || m < 2 * MR {
+        panel_rows_scattered(av, b, out.as_mut_slice(), 0, m, k);
+        return Ok(out);
+    }
+    // Disjoint near-equal row panels, one per worker, exactly as the
+    // dense backend splits C.
+    let n = b.cols;
+    let base = m / workers;
+    let extra = m % workers;
+    thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        let mut r0 = 0;
+        for w in 0..workers {
+            let rows = base + usize::from(w < extra);
+            let (mine, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            scope.spawn(move || panel_rows_scattered(av, b, mine, r0, rows, k));
+            r0 += rows;
+        }
+    });
+    Ok(out)
+}
+
+/// The sparsity-aware variant of `parallel::panel_rows`: identical A
+/// packing and k-blocking, but the B panels are read from the packed
+/// payload (zero blocks were deleted at pack time, so the panel sweep
+/// skips them by construction) and the `MR × NR` accumulator tile is
+/// resumed from / checkpointed to `C` through the column map. Each
+/// output element still experiences one uninterrupted ascending-`k`
+/// chain of fused multiply-adds — the reference op sequence.
+fn panel_rows_scattered(
+    a: &[f32],
+    b: &SparseTensor,
+    c: &mut [f32],
+    r0: usize,
+    rows: usize,
+    k: usize,
+) {
+    let n = b.cols;
+    let nnz = b.col_map.len();
+    let full_rows = (rows / MR) * MR;
+    let blocks = rows / MR;
+    let mut apack = vec![0.0f32; blocks * k * MR];
+    for blk in 0..blocks {
+        let base = blk * k * MR;
+        for p in 0..k {
+            for r in 0..MR {
+                apack[base + p * MR + r] = a[(r0 + blk * MR + r) * k + p];
+            }
+        }
+    }
+    let mut panel = vec![0.0f32; KC * NR];
+    for t in 0..nnz.div_ceil(NR) {
+        let j0 = t * NR;
+        let width = NR.min(nnz - j0);
+        let cmap = &b.col_map[j0..j0 + width];
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            if width < NR || kc < KC {
+                panel.fill(0.0);
+            }
+            for p in 0..kc {
+                panel[p * NR..p * NR + width]
+                    .copy_from_slice(&b.payload[(k0 + p) * nnz + j0..(k0 + p) * nnz + j0 + width]);
+            }
+            for blk in 0..blocks {
+                let base = blk * k * MR + k0 * MR;
+                let ablock = &apack[base..base + kc * MR];
+                microkernel_scattered(ablock, kc, &panel, c, blk * MR, cmap, n);
+            }
+            k0 += kc;
+        }
+    }
+    for ii in full_rows..rows {
+        reference_row_scattered(a, b, c, r0 + ii, ii, k);
+    }
+}
+
+/// The `MR × NR` register-tiled inner kernel over one packed payload
+/// panel. Identical accumulation to `parallel::microkernel`; only the
+/// resume/checkpoint addressing differs — each tile column maps to its
+/// original output column through `cmap`.
+fn microkernel_scattered(
+    ablock: &[f32],
+    kc: usize,
+    bpanel: &[f32],
+    c: &mut [f32],
+    ci0: usize,
+    cmap: &[usize],
+    n: usize,
+) {
+    let width = cmap.len();
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        let row = (ci0 + r) * n;
+        for (j, &col) in cmap.iter().enumerate() {
+            accr[j] = c[row + col];
+        }
+    }
+    for p in 0..kc {
+        let brow: &[f32; NR] = bpanel[p * NR..p * NR + NR].try_into().expect("panel line");
+        let arow: &[f32; MR] = ablock[p * MR..p * MR + MR]
+            .try_into()
+            .expect("A block line");
+        for r in 0..MR {
+            let arp = arow[r];
+            // Same skip as the dense kernels: an exact zero in A
+            // contributes no operation at all.
+            if arp == 0.0 {
+                continue;
+            }
+            let accr = &mut acc[r];
+            for j in 0..NR {
+                accr[j] = arp.mul_add(brow[j], accr[j]);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let row = (ci0 + r) * n;
+        for (j, &col) in cmap.iter().enumerate().take(width) {
+            c[row + col] = accr[j];
+        }
+    }
+}
+
+/// One full output row via the reference axpy loop over the payload —
+/// the leftover rows of a panel that do not fill an `MR`-row block.
+fn reference_row_scattered(
+    a: &[f32],
+    b: &SparseTensor,
+    c: &mut [f32],
+    ai: usize,
+    ci: usize,
+    k: usize,
+) {
+    let n = b.cols;
+    let nnz = b.col_map.len();
+    let arow = &a[ai * k..ai * k + k];
+    let crow = &mut c[ci * n..(ci + 1) * n];
+    for (p, &ap) in arow.iter().enumerate() {
+        if ap == 0.0 {
+            continue;
+        }
+        let brow = &b.payload[p * nnz..(p + 1) * nnz];
+        for (&bv, &j) in brow.iter().zip(&b.col_map) {
+            crow[j] = ap.mul_add(bv, crow[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg32;
+    use crate::{gemm, parallel};
+
+    fn assert_bit_identical(x: &Tensor, y: &Tensor) {
+        assert_eq!(x.dims(), y.dims());
+        for (i, (a, b)) in x.as_slice().iter().zip(y.as_slice()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "element {i}: {a} vs {b}");
+        }
+    }
+
+    /// Zeroes the column blocks of `b` whose index is not in `keep`.
+    fn prune_blocks(b: &mut Tensor, block_cols: usize, keep: impl Fn(usize) -> bool) {
+        let (rows, cols) = b.shape().as_matrix().unwrap();
+        let data = b.as_mut_slice();
+        for i in 0..rows {
+            for j in 0..cols {
+                if !keep(j / block_cols) {
+                    data[i * cols + j] = 0.0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        for (k, n, bc) in [(5, 7, 3), (16, 48, 16), (31, 50, 48), (8, 8, 13)] {
+            let mut b = rng.randn(&[k, n], 1.0);
+            prune_blocks(&mut b, bc, |blk| blk % 2 == 0);
+            let sb = SparseTensor::from_dense(&b, bc).unwrap();
+            assert_bit_identical(&sb.to_dense(), &b);
+            assert_eq!(sb.total_blocks(), n.div_ceil(bc));
+        }
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_block_and_round_trips() {
+        // A block holding only -0.0 is NOT a zero block: packing it away
+        // would lose the sign bit on reconstruction.
+        let mut b = Tensor::zeros(&[2, 8]);
+        b.as_mut_slice()[5] = -0.0;
+        let sb = SparseTensor::from_dense(&b, 4).unwrap();
+        assert_eq!(sb.nnz_blocks(), 1);
+        let back = sb.to_dense();
+        assert_bit_identical(&back, &b);
+        assert!(back.as_slice()[5].is_sign_negative());
+    }
+
+    #[test]
+    fn stats_match_packing() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let mut b = rng.randn(&[12, 50], 1.0);
+        prune_blocks(&mut b, 16, |blk| blk == 1 || blk == 3);
+        let sb = SparseTensor::from_dense(&b, 16).unwrap();
+        let (nnz, total, cols) = column_block_stats(&b, 16).unwrap();
+        assert_eq!((nnz, total, cols), (2, 4, 16 + 2)); // edge block is 2 wide
+        assert_eq!(sb.nnz_blocks(), nnz);
+        assert_eq!(sb.total_blocks(), total);
+        assert_eq!(sb.nnz_cols(), cols);
+        assert!((sb.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_matmul_bit_identical_to_dense_all_modes() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        for (m, k, n, bc) in [
+            (1, 1, 1, 1),
+            (5, 7, 3, 2),
+            (13, 29, 17, 5),
+            (64, 48, 96, 16),
+            (97, 31, 113, 48),
+        ] {
+            let a = rng.randn(&[m, k], 1.0);
+            let mut b = rng.randn(&[k, n], 1.0);
+            prune_blocks(&mut b, bc, |blk| blk % 3 != 1);
+            let sb = SparseTensor::from_dense(&b, bc).unwrap();
+            let reference = gemm::matmul(&a, &b).unwrap();
+            for par in [
+                Parallelism::Sequential,
+                Parallelism::Threads(1),
+                Parallelism::Threads(2),
+                Parallelism::Threads(4),
+                Parallelism::Auto,
+            ] {
+                assert_bit_identical(&matmul(&a, &sb, par).unwrap(), &reference);
+                // And against the dense blocked backend, which is itself
+                // bit-identical to the reference.
+                assert_bit_identical(
+                    &matmul(&a, &sb, par).unwrap(),
+                    &parallel::matmul(&a, &b, par).unwrap(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_in_a_and_signed_zero_accumulation() {
+        let a = Tensor::from_vec(
+            vec![
+                0.0, 1.0, -0.0, 2.0, 0.0, 0.0, -1.5, 0.0, 3.0, 0.0, -0.0, 0.25,
+            ],
+            &[2, 6],
+        )
+        .unwrap();
+        let mut b = Pcg32::seed_from_u64(5).randn(&[6, 49], 1.0);
+        prune_blocks(&mut b, 16, |blk| blk != 1);
+        let sb = SparseTensor::from_dense(&b, 16).unwrap();
+        let reference = gemm::matmul(&a, &b).unwrap();
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Threads(2),
+            Parallelism::Auto,
+        ] {
+            assert_bit_identical(&matmul(&a, &sb, par).unwrap(), &reference);
+        }
+    }
+
+    #[test]
+    fn fully_zero_weight_yields_zero_output() {
+        let a = Pcg32::seed_from_u64(2).randn(&[9, 12], 1.0);
+        let b = Tensor::zeros(&[12, 20]);
+        let sb = SparseTensor::from_dense(&b, 8).unwrap();
+        assert_eq!(sb.nnz_blocks(), 0);
+        let out = matmul(&a, &sb, Parallelism::Auto).unwrap();
+        assert_bit_identical(&out, &gemm::matmul(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn shape_and_argument_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(SparseTensor::from_dense(&b, 0).is_err());
+        assert!(SparseTensor::from_dense(&Tensor::zeros(&[4]), 2).is_err());
+        assert!(column_block_stats(&b, 0).is_err());
+        let sb = SparseTensor::from_dense(&b, 2).unwrap();
+        assert!(matmul(&a, &sb, Parallelism::Auto).is_err());
+    }
+
+    use proptest::prelude::*;
+
+    fn sparse_case() -> impl Strategy<Value = (Tensor, Tensor, usize)> {
+        (1usize..24, 1usize..40, 1usize..56, 1usize..24, 0u64..10_000).prop_map(
+            |(m, k, n, bc, seed)| {
+                let mut rng = Pcg32::seed_from_u64(seed);
+                let a = rng.randn(&[m, k], 1.0);
+                let mut b = rng.randn(&[k, n], 1.0);
+                // Random block survival pattern driven by the seed.
+                let total = n.div_ceil(bc);
+                let keep: Vec<bool> = (0..total).map(|i| (seed >> (i % 60)) & 1 == 1).collect();
+                prune_blocks(&mut b, bc, |blk| keep[blk]);
+                (a, b, bc)
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random sparse patterns × shapes: pack/unpack is lossless.
+        #[test]
+        fn prop_pack_unpack_lossless((_a, b, bc) in sparse_case()) {
+            let sb = SparseTensor::from_dense(&b, bc).unwrap();
+            assert_bit_identical(&sb.to_dense(), &b);
+            let (nnz, total, cols) = column_block_stats(&b, bc).unwrap();
+            prop_assert_eq!(sb.nnz_blocks(), nnz);
+            prop_assert_eq!(sb.total_blocks(), total);
+            prop_assert_eq!(sb.nnz_cols(), cols);
+        }
+
+        /// Random sparse patterns × shapes: the sparse kernel is
+        /// bit-identical to the dense reference in every mode.
+        #[test]
+        fn prop_sparse_kernel_bit_identical((a, b, bc) in sparse_case()) {
+            let sb = SparseTensor::from_dense(&b, bc).unwrap();
+            let reference = gemm::matmul(&a, &b).unwrap();
+            for par in [Parallelism::Sequential, Parallelism::Threads(2), Parallelism::Auto] {
+                assert_bit_identical(&matmul(&a, &sb, par).unwrap(), &reference);
+            }
+        }
+    }
+}
