@@ -1005,3 +1005,28 @@ mod tests {
         assert!(std::sync::Arc::ptr_eq(&c.consts()[0], &o.consts()[0]));
     }
 }
+
+#[cfg(test)]
+mod review_repro {
+    use super::*;
+    use crate::program::{EvalMode, Precision};
+    use crate::TableCache;
+    use onesa_tensor::parallel::Parallelism;
+    use onesa_tensor::rng::Pcg32;
+
+    #[test]
+    fn mixed_precision_quantizes_must_not_merge() {
+        let mut b = Program::builder("mixed", EvalMode::Exact);
+        let x = b.input(&[2, 3]);
+        let q16 = b.push(Op::Quantize { precision: Precision::Int16 }, &[x]);
+        let q8 = b.push(Op::Quantize { precision: Precision::Int8 }, &[x]);
+        b.push(Op::Add, &[q16, q8]);
+        let p = b.finish().unwrap();
+        let o = p.optimize(OptLevel::Standard).unwrap();
+        let xv = Pcg32::seed_from_u64(1).randn(&[2, 3], 1.0);
+        let mut c = TableCache::new();
+        let r0 = p.run(std::slice::from_ref(&xv), Parallelism::Sequential, &mut c).unwrap();
+        let r1 = o.run(std::slice::from_ref(&xv), Parallelism::Sequential, &mut c).unwrap();
+        assert_eq!(r0.output, r1.output, "optimization changed semantics");
+    }
+}
